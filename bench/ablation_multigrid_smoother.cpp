@@ -1,0 +1,64 @@
+/// Ablation (paper Section 5 future work): block-asynchronous
+/// relaxation as a multigrid smoother for the 2D Poisson problem,
+/// against Gauss-Seidel and damped-Jacobi smoothing.
+
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <iostream>
+
+#include "mg/multigrid.hpp"
+
+using namespace bars;
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  bench::banner("Ablation — multigrid smoothers",
+                "paper Section 5 (future work: multigrid smoothing)");
+  const auto m = static_cast<index_t>(args.get_int("m", 63));
+
+  Vector rhs(static_cast<std::size_t>(m * m));
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < m; ++j) {
+      const double x = static_cast<double>(i + 1) / (m + 1);
+      const double y = static_cast<double>(j + 1) / (m + 1);
+      rhs[i * m + j] = std::sin(std::numbers::pi * x) * std::sin(2 * std::numbers::pi * y);
+    }
+  }
+
+  struct Entry {
+    const char* name;
+    mg::Smoother smoother;
+  };
+  const Entry entries[] = {
+      {"Gauss-Seidel", mg::gauss_seidel_smoother()},
+      {"Jacobi (w=0.8)", mg::jacobi_smoother(0.8)},
+      {"async-(2), block 64", mg::block_async_smoother(64, 2, 5)},
+      {"async-(5), block 128", mg::block_async_smoother(128, 5, 5)},
+  };
+
+  report::Table t({"smoother", "V-cycles to 1e-9", "final residual",
+                   "avg contraction/cycle"});
+  for (const Entry& e : entries) {
+    const mg::PoissonMultigrid solver(m, 0.0, e.smoother);
+    mg::MgOptions o;
+    o.tol = 1e-9;
+    o.max_cycles = 60;
+    const mg::MgResult r = solver.solve(rhs, o);
+    const double contraction =
+        r.cycles > 0
+            ? std::pow(r.final_residual / r.residual_history.front(),
+                       1.0 / static_cast<double>(r.cycles))
+            : 0.0;
+    t.add_row({e.name,
+               r.converged ? report::fmt_int(r.cycles) : "n/c",
+               report::fmt_sci(r.final_residual, 2),
+               report::fmt_fixed(contraction, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: async smoothing achieves grid-independent "
+               "V-cycle counts comparable to damped Jacobi, making it a "
+               "viable exascale smoother (paper Section 5).\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+/// Ablation: overlapping subdomains (restricted additive Schwarz; the
+/// asynchronous weighted-Schwarz lineage the paper cites as [18]).
+/// Overlap pulls boundary couplings into the local solves at the cost
+/// of redundant work.
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "core/block_async.hpp"
+
+using namespace bars;
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  bench::banner("Ablation — subdomain overlap",
+                "asynchronous additive Schwarz (paper refs [5], [18])");
+
+  for (PaperMatrix id : {PaperMatrix::kFv1, PaperMatrix::kTrefethen2000}) {
+    const TestProblem p = make_paper_problem(id, bench::ufmc_dir(args));
+    const Vector b = bench::unit_rhs(p.matrix.rows());
+    std::cout << "--- " << p.name
+              << " (async-(5), block 448, iterations to 1e-10) ---\n";
+    report::Table t({"overlap", "global iters", "redundant rows/block"});
+    for (index_t ov : {0, 16, 64, 128, 448}) {
+      BlockAsyncOptions o;
+      o.block_size = 448;
+      o.local_iters = 5;
+      o.overlap = ov;
+      o.matrix_name = p.name;
+      o.solve.max_iters = 2000;
+      o.solve.tol = 1e-10;
+      const BlockAsyncResult r = block_async_solve(p.matrix, b, o);
+      t.add_row({report::fmt_int(ov),
+                 r.solve.converged ? report::fmt_int(r.solve.iterations)
+                                   : "n/c",
+                 report::fmt_int(2 * ov)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected: overlap reduces iterations on the banded fv "
+               "system (boundary\ncouplings enter the subdomain solves); "
+               "for Trefethen the far couplings\nstay outside any "
+               "reasonable overlap, so gains saturate quickly.\n";
+  return 0;
+}

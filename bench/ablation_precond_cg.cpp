@@ -1,0 +1,55 @@
+/// Ablation (paper Section 5 future work): block-asynchronous
+/// relaxation as a Krylov preconditioner. Compares plain CG,
+/// Jacobi-preconditioned CG, and flexible CG with an async-(2)
+/// preconditioner on the single-GPU test suite.
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "core/cg.hpp"
+#include "core/fcg.hpp"
+
+using namespace bars;
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  bench::banner("Ablation — async-preconditioned flexible CG",
+                "paper Section 5 (relaxation as preconditioner)");
+
+  report::Table t({"matrix", "CG iters", "PCG-Jacobi iters",
+                   "FCG-async(2) iters"});
+  for (PaperMatrix id :
+       {PaperMatrix::kChem97ZtZ, PaperMatrix::kFv1, PaperMatrix::kFv3,
+        PaperMatrix::kTrefethen2000}) {
+    const TestProblem p = make_paper_problem(id, bench::ufmc_dir(args));
+    const Vector b = bench::unit_rhs(p.matrix.rows());
+    SolveOptions so;
+    so.max_iters = 100000;
+    so.tol = 1e-10;
+
+    CgOptions plain;
+    plain.solve = so;
+    const SolveResult cg = cg_solve(p.matrix, b, plain);
+
+    CgOptions jac = plain;
+    jac.jacobi_preconditioner = true;
+    const SolveResult pcg = cg_solve(p.matrix, b, jac);
+
+    FcgOptions fo;
+    fo.solve = so;
+    fo.solve.max_iters = 10000;
+    fo.preconditioner = block_async_preconditioner(2, 448, 2, 99);
+    const SolveResult fcg = fcg_solve(p.matrix, b, fo);
+
+    const auto cell = [](const SolveResult& r) {
+      return r.converged ? report::fmt_int(r.iterations) : std::string("n/c");
+    };
+    t.add_row({p.name, cell(cg), cell(pcg), cell(fcg)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: the async preconditioner cuts Krylov iterations "
+               "most on the\ndiagonally dominant fv systems — the regime "
+               "where relaxation smooths well.\n";
+  return 0;
+}

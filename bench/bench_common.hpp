@@ -1,0 +1,36 @@
+#pragma once
+
+/// Shared helpers for the reproduction harnesses in bench/.
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "matrices/paper_suite.hpp"
+#include "report/args.hpp"
+#include "report/table.hpp"
+#include "sparse/types.hpp"
+
+namespace bars::bench {
+
+/// Uniform right-hand side (the paper takes one RHS per system; we use
+/// b = 1 so runs are reproducible).
+inline Vector unit_rhs(index_t n) {
+  return Vector(static_cast<std::size_t>(n), 1.0);
+}
+
+/// Optional --ufmc=<dir> pointing at original UFMC .mtx files.
+inline std::optional<std::string> ufmc_dir(const report::Args& args) {
+  const std::string dir = args.get_string("ufmc", "");
+  return dir.empty() ? std::nullopt : std::make_optional(dir);
+}
+
+/// Print the standard bench banner.
+inline void banner(const std::string& what, const std::string& paper_ref) {
+  std::cout << "=== " << what << " ===\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "(timings are virtual seconds on the paper's hardware "
+               "model; see DESIGN.md)\n\n";
+}
+
+}  // namespace bars::bench

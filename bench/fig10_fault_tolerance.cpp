@@ -1,0 +1,143 @@
+/// Reproduces Fig. 10 and Table 6: convergence of async-(5) when 25% of
+/// the computing cores fail at t0 ~ 10 global iterations, with recovery
+/// after t_r in {10, 20, 30} iterations or no recovery at all.
+///
+/// Flags: --ufmc=<dir>, --fraction=0.25, --fail-at=10
+
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <optional>
+
+#include "core/block_async.hpp"
+#include "core/silent_error.hpp"
+
+using namespace bars;
+
+namespace {
+
+struct Scenario {
+  std::string label;
+  std::optional<gpusim::FaultPlan> plan;
+};
+
+value_t at(const std::vector<value_t>& h, index_t i) {
+  if (h.empty()) return 0.0;
+  return h[std::min<std::size_t>(static_cast<std::size_t>(i), h.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  bench::banner("Fig. 10 / Table 6 — fault tolerance of async-(5)",
+                "paper Section 4.5");
+  const value_t fraction = args.get_double("fraction", 0.25);
+  const auto fail_at = static_cast<index_t>(args.get_int("fail-at", 10));
+
+  for (PaperMatrix id :
+       {PaperMatrix::kFv1, PaperMatrix::kTrefethen2000}) {
+    const TestProblem p = make_paper_problem(id, bench::ufmc_dir(args));
+    const Vector b = bench::unit_rhs(p.matrix.rows());
+    const bool tref = id == PaperMatrix::kTrefethen2000;
+    const index_t max_iters = tref ? 50 : 100;
+
+    std::vector<Scenario> scenarios;
+    scenarios.push_back({"no failure", std::nullopt});
+    for (index_t tr : {10, 20, 30}) {
+      gpusim::FaultPlan plan;
+      plan.fail_at = fail_at;
+      plan.fraction = fraction;
+      plan.recover_after = tr;
+      scenarios.push_back({"recovery-(" + std::to_string(tr) + ")", plan});
+    }
+    {
+      gpusim::FaultPlan plan;
+      plan.fail_at = fail_at;
+      plan.fraction = fraction;
+      plan.recover_after = std::nullopt;
+      scenarios.push_back({"no recovery", plan});
+    }
+
+    std::vector<std::vector<value_t>> histories;
+    std::vector<index_t> conv_iters;
+    for (const Scenario& s : scenarios) {
+      BlockAsyncOptions o;
+      o.block_size = 448;
+      o.local_iters = 5;
+      o.matrix_name = p.name;
+      o.fault = s.plan;
+      o.seed = 31;
+      o.solve.max_iters = 4 * max_iters;
+      o.solve.tol = 1e-14;
+      const BlockAsyncResult r = block_async_solve(p.matrix, b, o);
+      histories.push_back(r.solve.residual_history);
+      conv_iters.push_back(r.solve.converged ? r.solve.iterations : -1);
+    }
+
+    std::cout << "--- " << p.name << " (" << fraction * 100
+              << "% of components fail at iteration " << fail_at
+              << ") ---\n";
+    std::vector<std::string> headers{"# global iters"};
+    for (const Scenario& s : scenarios) headers.push_back(s.label);
+    report::Table t(headers);
+    const index_t step = std::max<index_t>(max_iters / 10, 1);
+    for (index_t i = 0; i <= max_iters; i += step) {
+      std::vector<std::string> row{report::fmt_int(i)};
+      for (const auto& h : histories) {
+        row.push_back(report::fmt_sci(at(h, i), 2));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+
+    // Table 6: additional iterations (== computation time) in percent.
+    std::cout << "  extra cost vs no failure (Table 6 analogue): ";
+    for (std::size_t s = 1; s + 1 < scenarios.size(); ++s) {
+      if (conv_iters[0] > 0 && conv_iters[s] > 0) {
+        const double extra = 100.0 *
+                             (static_cast<double>(conv_iters[s]) /
+                                  static_cast<double>(conv_iters[0]) -
+                              1.0);
+        std::cout << scenarios[s].label << "=+"
+                  << report::fmt_fixed(extra, 1) << "%  ";
+      }
+    }
+    std::cout << "\n\n";
+  }
+  std::cout << "Expected shape (paper): recovery runs rejoin the no-failure "
+               "curve\nwith delay growing in t_r (8-32% extra); the "
+               "no-recovery run stagnates at a large residual.\n\n";
+
+  // Section 4.5's closing idea: silent errors announce themselves as
+  // residual anomalies. Inject one and let the detector find it.
+  {
+    const TestProblem p =
+        make_paper_problem(PaperMatrix::kFv1, bench::ufmc_dir(args));
+    const Vector b = bench::unit_rhs(p.matrix.rows());
+    BlockAsyncOptions o;
+    o.block_size = 448;
+    o.local_iters = 5;
+    o.matrix_name = p.name;
+    o.solve.max_iters = 300;
+    o.solve.tol = 1e-12;
+    SilentErrorPlan sdc;
+    sdc.at = 20;
+    sdc.magnitude = 1e9;
+    const SdcRunResult r = block_async_solve_with_sdc(p.matrix, b, o, sdc);
+    std::cout << "--- silent-error scenario (" << p.name
+              << ", corruption at iteration 20) ---\n"
+              << "detector: "
+              << (r.report.detected
+                      ? "flagged at iteration " +
+                            std::to_string(r.report.at_iteration) +
+                            " (residual jump " +
+                            report::fmt_sci(r.report.jump_ratio, 1) + "x)"
+                      : "MISSED")
+              << "; solver "
+              << (r.solve.solve.converged ? "self-healed and converged"
+                                          : "did not converge")
+              << " in " << r.solve.solve.iterations << " iterations.\n";
+  }
+  return 0;
+}

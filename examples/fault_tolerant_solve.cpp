@@ -1,0 +1,61 @@
+/// Domain example: solving through a simulated hardware failure
+/// (paper Section 4.5). 25% of the components stop updating at
+/// iteration 10; the operating system reassigns them after 20 more
+/// iterations, and the solve completes with only a bounded delay —
+/// no checkpoint/restart needed.
+///
+///   build/examples/fault_tolerant_solve
+
+#include <iostream>
+
+#include "core/block_async.hpp"
+#include "matrices/generators.hpp"
+
+int main() {
+  using namespace bars;
+
+  const Csr a = trefethen(2000);
+  const Vector b(2000, 1.0);
+
+  const auto run = [&](const char* label,
+                       std::optional<gpusim::FaultPlan> fault) {
+    BlockAsyncOptions o;
+    o.block_size = 448;
+    o.local_iters = 5;
+    o.matrix_name = "Trefethen_2000";
+    o.fault = fault;
+    o.solve.tol = 1e-12;
+    o.solve.max_iters = 500;
+    const BlockAsyncResult r = block_async_solve(a, b, o);
+    std::cout << label << ": "
+              << (r.solve.converged ? "converged" : "STAGNATED") << " after "
+              << r.solve.iterations << " global iterations (residual "
+              << r.solve.final_residual << ")\n";
+    return r;
+  };
+
+  const auto clean = run("no failure          ", std::nullopt);
+
+  gpusim::FaultPlan recover;
+  recover.fail_at = 10;
+  recover.fraction = 0.25;
+  recover.recover_after = 20;
+  const auto rec = run("25% fail, recover(20)", recover);
+
+  gpusim::FaultPlan lost;
+  lost.fail_at = 10;
+  lost.fraction = 0.25;
+  lost.recover_after = std::nullopt;
+  (void)run("25% fail, no recovery", lost);
+
+  if (clean.solve.converged && rec.solve.converged) {
+    const double extra = 100.0 *
+                         (static_cast<double>(rec.solve.iterations) /
+                              static_cast<double>(clean.solve.iterations) -
+                          1.0);
+    std::cout << "\nRecovery cost only " << extra
+              << "% extra iterations — the asynchronous method needs no "
+                 "checkpointing (paper Table 6 reports 8-32%).\n";
+  }
+  return clean.solve.converged && rec.solve.converged ? 0 : 1;
+}

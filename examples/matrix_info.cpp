@@ -1,0 +1,71 @@
+/// Matrix diagnostics tool: structural and spectral properties relevant
+/// to choosing a relaxation method (the paper's Table-1 columns, for
+/// your own matrices).
+///
+///   build/examples/matrix_info [--matrix=A.mtx] [--block-size=448]
+///       [--full]   (adds the slow condition-number estimates)
+
+#include <iostream>
+
+#include "eigen/condition.hpp"
+#include "eigen/power_iteration.hpp"
+#include "matrices/generators.hpp"
+#include "report/args.hpp"
+#include "report/spy.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/properties.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bars;
+  const report::Args args(argc, argv);
+  const std::string path = args.get_string("matrix", "");
+  const Csr a = path.empty() ? trefethen(2000) : read_matrix_market_file(path);
+  const auto block = static_cast<index_t>(args.get_int("block-size", 448));
+
+  std::cout << (path.empty() ? "built-in Trefethen_2000" : path) << "\n"
+            << "  n           = " << a.rows() << " x " << a.cols() << "\n"
+            << "  nnz         = " << a.nnz() << " ("
+            << static_cast<double>(a.nnz()) /
+                   static_cast<double>(std::max<index_t>(a.rows(), 1))
+            << " per row)\n"
+            << "  symmetric   = " << (a.is_symmetric(1e-12) ? "yes" : "no")
+            << "\n"
+            << "  bandwidth   = " << bandwidth(a) << "\n";
+
+  if (a.rows() == a.cols()) {
+    const auto dd = diagonal_dominance(a);
+    std::cout << "  diag. dominance: "
+              << (dd.strictly_dominant
+                      ? "strict"
+                      : (dd.weakly_dominant ? "weak" : "none"))
+              << " (max off/diag ratio " << dd.max_offdiag_ratio << ")\n";
+    const auto [glo, ghi] = gershgorin_interval(a);
+    std::cout << "  Gershgorin  = [" << glo << ", " << ghi << "]\n"
+              << "  off-block mass (block " << block
+              << ") = " << off_block_mass(a, block) << "\n";
+    if (has_positive_diagonal(a)) {
+      const value_t rho = jacobi_spectral_radius(a).value;
+      const value_t rho_abs = async_spectral_radius(a).value;
+      std::cout << "  rho(B)      = " << rho
+                << (rho < 1.0 ? "  [Jacobi converges]"
+                              : "  [Jacobi DIVERGES — use scaled-jacobi]")
+                << "\n"
+                << "  rho(|B|)    = " << rho_abs
+                << (rho_abs < 1.0 ? "  [async convergence guaranteed]"
+                                  : "  [no async guarantee]")
+                << "\n";
+      if (args.has("full")) {
+        const auto ca = spd_condition_number(a);
+        const auto cs = jacobi_scaled_condition_number(a);
+        std::cout << "  cond(A)       ~ " << ca.condition << "\n"
+                  << "  cond(D^-1 A)  ~ " << cs.condition << "\n"
+                  << "  tau (2/(l1+ln)) = "
+                  << 2.0 / (cs.lambda_min + cs.lambda_max) << "\n";
+      }
+    }
+  }
+
+  std::cout << "\nsparsity pattern:\n";
+  report::spy(std::cout, a);
+  return 0;
+}

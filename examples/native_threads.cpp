@@ -1,0 +1,55 @@
+/// Domain example: *native* chaotic relaxation on host threads — real
+/// asynchrony, no simulation. Demonstrates that convergence under
+/// Strikwerda's condition rho(|B|) < 1 holds on actual racing hardware
+/// threads, and measures real wall-clock time.
+///
+///   build/examples/native_threads [threads]
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/thread_async.hpp"
+#include "eigen/power_iteration.hpp"
+#include "matrices/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bars;
+  const index_t threads = argc > 1 ? std::atoll(argv[1]) : 0;
+
+  const Csr a = fv_like(64, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+
+  const value_t rho_abs = async_spectral_radius(a).value;
+  std::cout << "rho(|B|) = " << rho_abs
+            << (rho_abs < 1.0 ? "  -> asynchronous convergence guaranteed"
+                              : "  -> no guarantee!")
+            << "\n";
+
+  ThreadAsyncOptions o;
+  o.block_size = 256;
+  o.local_iters = 5;
+  o.num_threads = threads;
+  o.solve.tol = 1e-11;
+  o.solve.max_iters = 10000;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const ThreadAsyncResult r = thread_async_solve(a, b, o);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  std::cout << (r.solve.converged ? "converged" : "did not converge")
+            << " in " << r.solve.iterations << " global iterations ("
+            << r.total_block_executions << " block executions, " << secs
+            << " s wall)\n";
+  std::cout << "final relative residual: " << r.solve.final_residual << "\n";
+
+  index_t mn = r.block_executions.front(), mx = mn;
+  for (index_t c : r.block_executions) {
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  std::cout << "block execution counts: min " << mn << ", max " << mx
+            << " (chaotic but balanced — Chazan-Miranker condition 1)\n";
+  return r.solve.converged ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+/// Domain example: detecting silent data corruption from the residual
+/// history alone — the closing idea of the paper's Section 4.5
+/// ("a convergence delay ... indicates that a silent error has
+/// occurred"). A bit-flip-scale corruption is injected mid-solve; the
+/// detector flags the jump, and the asynchronous iteration then heals
+/// itself and still converges to the true solution.
+///
+///   build/examples/silent_error_detection
+
+#include <iostream>
+
+#include "core/silent_error.hpp"
+#include "matrices/generators.hpp"
+
+int main() {
+  using namespace bars;
+  const Csr a = trefethen(2000);
+  const Vector b(2000, 1.0);
+
+  BlockAsyncOptions o;
+  o.block_size = 448;
+  o.local_iters = 5;
+  o.matrix_name = "Trefethen_2000";
+  o.solve.max_iters = 500;
+  o.solve.tol = 1e-12;
+
+  // Clean run: detector must stay silent.
+  const SdcRunResult clean = block_async_solve_with_sdc(a, b, o, std::nullopt);
+  std::cout << "clean run:     converged in " << clean.solve.solve.iterations
+            << " iterations, detector says "
+            << (clean.report.detected ? "CORRUPTED (false positive!)"
+                                      : "healthy")
+            << "\n";
+
+  // Corrupted run: one component silently overwritten at iteration 12.
+  SilentErrorPlan sdc;
+  sdc.at = 12;
+  sdc.magnitude = 1.0e9;
+  const SdcRunResult bad = block_async_solve_with_sdc(a, b, o, sdc);
+  std::cout << "corrupted run: "
+            << (bad.solve.solve.converged ? "converged (self-healed)"
+                                          : "did not converge")
+            << " in " << bad.solve.solve.iterations << " iterations\n";
+  if (bad.report.detected) {
+    std::cout << "detector:      silent error flagged at global iteration "
+              << bad.report.at_iteration << " (residual jumped "
+              << bad.report.jump_ratio << "x)\n";
+  } else {
+    std::cout << "detector:      MISSED the corruption\n";
+  }
+  std::cout << "\nThe asynchronous method pays only a time penalty ("
+            << bad.solve.solve.iterations - clean.solve.solve.iterations
+            << " extra iterations) and needs no checkpoint/restart —\nthe "
+               "paper's exascale-resilience argument, Section 4.5.\n";
+  return clean.solve.solve.converged && !clean.report.detected &&
+                 bad.solve.solve.converged && bad.report.detected
+             ? 0
+             : 1;
+}

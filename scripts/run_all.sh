@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table/figure, recording the
+# outputs at the repository root (the artifacts EXPERIMENTS.md cites).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,102 @@
+#include "core/block_async.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/vector_ops.hpp"
+
+namespace bars {
+
+std::vector<index_t> adaptive_local_iter_counts(const Csr& a,
+                                                const RowPartition& partition,
+                                                index_t max_k) {
+  if (max_k <= 0) {
+    throw std::invalid_argument(
+        "adaptive_local_iter_counts: max_k must be > 0");
+  }
+  const index_t q = partition.num_blocks();
+  std::vector<index_t> counts(static_cast<std::size_t>(q), 1);
+  for (index_t bi = 0; bi < q; ++bi) {
+    const RowBlock blk = partition.block(bi);
+    value_t inblock = 0.0, total = 0.0;
+    for (index_t i = blk.begin; i < blk.end; ++i) {
+      const auto cols = a.row_cols(i);
+      const auto vals = a.row_vals(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == i) continue;
+        const value_t m = std::abs(vals[k]);
+        total += m;
+        if (cols[k] >= blk.begin && cols[k] < blk.end) inblock += m;
+      }
+    }
+    const value_t f = total > 0.0 ? inblock / total : 0.0;
+    counts[bi] = 1 + static_cast<index_t>(
+                         std::llround(static_cast<double>(max_k - 1) * f));
+  }
+  return counts;
+}
+
+BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
+                                   const BlockAsyncOptions& opts,
+                                   const Vector* x0) {
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(b.size()) != a.rows()) {
+    throw std::invalid_argument("block_async_solve: dimension mismatch");
+  }
+  if (opts.block_size <= 0) {
+    throw std::invalid_argument("block_async_solve: block_size must be > 0");
+  }
+
+  const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
+  BlockJacobiKernel kernel(a, b, part, opts.local_iters, opts.local_sweep,
+                           opts.local_omega, opts.overlap);
+  if (opts.adaptive_local_iters) {
+    kernel.set_per_block_iters(
+        adaptive_local_iter_counts(a, part, opts.local_iters));
+  }
+
+  static const gpusim::CostModel kDefaultModel =
+      gpusim::CostModel::calibrated_to_paper();
+  const gpusim::CostModel& model =
+      opts.cost_model ? *opts.cost_model : kDefaultModel;
+  const gpusim::MatrixShape shape{opts.matrix_name, a.rows(), a.nnz()};
+
+  gpusim::ExecutorOptions exec;
+  exec.max_global_iters = opts.solve.max_iters;
+  exec.tol = opts.solve.tol;
+  exec.divergence_limit = opts.solve.divergence_limit;
+  exec.concurrent_slots = opts.concurrent_slots;
+  exec.global_iteration_time =
+      model.gpu_block_async_iteration(shape, opts.local_iters);
+  exec.jitter = opts.jitter;
+  exec.straggler_prob = opts.straggler_prob;
+  exec.straggler_factor = opts.straggler_factor;
+  exec.policy = opts.policy;
+  exec.seed = opts.seed;
+  exec.pattern_seed = opts.pattern_seed;
+  exec.run_noise = opts.run_noise;
+  exec.fault = opts.fault;
+
+  BlockAsyncResult out;
+  out.solve.x = x0 ? *x0 : Vector(b.size(), 0.0);
+
+  gpusim::AsyncExecutor executor(kernel, exec);
+  const auto residual_fn = [&](const Vector& x) {
+    return relative_residual(a, b, x);
+  };
+  gpusim::ExecutorResult r = executor.run(out.solve.x, residual_fn);
+
+  out.solve.converged = r.converged;
+  out.solve.diverged = r.diverged;
+  out.solve.iterations = r.global_iterations;
+  out.solve.final_residual = r.residual_history.back();
+  if (opts.solve.record_history) {
+    out.solve.residual_history = std::move(r.residual_history);
+    out.solve.time_history = std::move(r.time_history);
+  }
+  out.block_executions = std::move(r.block_executions);
+  out.max_staleness = r.max_staleness;
+  return out;
+}
+
+}  // namespace bars

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "core/block_jacobi_kernel.hpp"
+#include "core/solver_types.hpp"
+
+/// \file block_jacobi.hpp
+/// Synchronous two-stage block-Jacobi: the synchronized counterpart of
+/// async-(k). Every outer iteration, all blocks read the SAME iterate
+/// snapshot and perform `local_iters` local sweeps. Comparing this with
+/// block_async_solve isolates the cost of asynchrony from the gain of
+/// local iterations (the trade-off at the heart of the paper).
+
+namespace bars {
+
+struct BlockJacobiOptions {
+  SolveOptions solve{};
+  index_t block_size = 448;
+  index_t local_iters = 1;
+  LocalSweep local_sweep = LocalSweep::kJacobi;
+  value_t local_omega = 1.0;
+  index_t overlap = 0;
+};
+
+/// Solve A x = b by synchronous two-stage block-Jacobi iteration.
+[[nodiscard]] SolveResult block_jacobi_solve(
+    const Csr& a, const Vector& b, const BlockJacobiOptions& opts = {},
+    const Vector* x0 = nullptr);
+
+}  // namespace bars

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "core/solver_types.hpp"
+
+/// \file cg.hpp
+/// Conjugate Gradient — the "highly tuned GPU CG" comparison solver of
+/// the paper's Section 4.4 (Fig. 9), with optional Jacobi (diagonal)
+/// preconditioning as an extension.
+
+namespace bars {
+
+struct CgOptions {
+  SolveOptions solve{};
+  /// Use the diagonal of A as preconditioner.
+  bool jacobi_preconditioner = false;
+  /// Recompute the true residual every `recompute_every` iterations to
+  /// avoid drift of the recurrence residual (0 = never).
+  index_t recompute_every = 50;
+};
+
+/// CG for SPD systems. Fails over to `diverged` on indefinite
+/// curvature (p^T A p <= 0).
+[[nodiscard]] SolveResult cg_solve(const Csr& a, const Vector& b,
+                                   const CgOptions& opts = {},
+                                   const Vector* x0 = nullptr);
+
+}  // namespace bars

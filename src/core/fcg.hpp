@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+
+#include "core/solver_types.hpp"
+
+/// \file fcg.hpp
+/// Flexible (Polak-Ribiere) preconditioned CG. The paper's Section 5
+/// names "component-wise relaxation as preconditioner" as the natural
+/// next use of block-asynchronous iteration; because an asynchronous
+/// preconditioner is a *varying* operator, the flexible variant of CG
+/// is required for robustness.
+
+namespace bars {
+
+/// Action z <- M^{-1} r of a (possibly nonlinear/varying)
+/// preconditioner.
+using Preconditioner =
+    std::function<void(const Csr& a, const Vector& r, Vector& z)>;
+
+struct FcgOptions {
+  SolveOptions solve{};
+  Preconditioner preconditioner;  ///< required
+};
+
+/// Flexible CG for SPD systems with a variable preconditioner
+/// (Polak-Ribiere beta = <z_{k+1}, r_{k+1} - r_k> / <z_k, r_k>).
+[[nodiscard]] SolveResult fcg_solve(const Csr& a, const Vector& b,
+                                    const FcgOptions& opts,
+                                    const Vector* x0 = nullptr);
+
+/// Identity preconditioner (reduces FCG to plain CG).
+[[nodiscard]] Preconditioner identity_preconditioner();
+
+/// Diagonal (Jacobi) preconditioner.
+[[nodiscard]] Preconditioner jacobi_preconditioner();
+
+/// Block-asynchronous preconditioner: `global_sweeps` async-(local_iters)
+/// iterations on A z = r starting from z = 0 (paper Section 5
+/// future-work scenario). Each application re-seeds deterministically
+/// from `seed` plus an internal counter, so applications differ — hence
+/// flexible CG.
+[[nodiscard]] Preconditioner block_async_preconditioner(
+    index_t global_sweeps = 2, index_t block_size = 256,
+    index_t local_iters = 2, std::uint64_t seed = 99);
+
+}  // namespace bars

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/solver_types.hpp"
+
+/// \file gauss_seidel.hpp
+/// Gauss-Seidel and SOR relaxation — the sequential CPU baseline of the
+/// paper (Sections 2.2, 4.2) plus the standard over-relaxed and
+/// symmetric variants as extensions.
+
+namespace bars {
+
+enum class SweepDirection {
+  kForward,    ///< rows 0..n-1 (the paper's baseline)
+  kBackward,   ///< rows n-1..0
+  kSymmetric,  ///< forward then backward per iteration
+};
+
+/// Gauss-Seidel: each component update immediately uses the freshest
+/// values of all previously updated components.
+[[nodiscard]] SolveResult gauss_seidel_solve(
+    const Csr& a, const Vector& b, const SolveOptions& opts = {},
+    SweepDirection dir = SweepDirection::kForward, const Vector* x0 = nullptr);
+
+/// Successive over-relaxation with factor omega in (0, 2).
+/// omega == 1 reduces to Gauss-Seidel.
+[[nodiscard]] SolveResult sor_solve(const Csr& a, const Vector& b,
+                                    value_t omega,
+                                    const SolveOptions& opts = {},
+                                    SweepDirection dir = SweepDirection::kForward,
+                                    const Vector* x0 = nullptr);
+
+}  // namespace bars

@@ -1,0 +1,136 @@
+#include "core/gmres.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/vector_ops.hpp"
+
+namespace bars {
+
+SolveResult gmres_solve(const Csr& a, const Vector& b,
+                        const GmresOptions& opts, const Vector* x0) {
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(b.size()) != a.rows()) {
+    throw std::invalid_argument("gmres_solve: dimension mismatch");
+  }
+  if (opts.restart <= 0) {
+    throw std::invalid_argument("gmres_solve: restart must be > 0");
+  }
+  const std::size_t n = b.size();
+  const auto m = static_cast<std::size_t>(opts.restart);
+
+  SolveResult res;
+  res.x = x0 ? *x0 : Vector(n, 0.0);
+  const value_t nb = norm2(b);
+  const value_t den = nb > 0.0 ? nb : 1.0;
+
+  Vector r(n);
+  a.residual(b, res.x, r);
+  value_t beta = norm2(r);
+  value_t rel = beta / den;
+  if (opts.solve.record_history) res.residual_history.push_back(rel);
+
+  std::vector<Vector> v;                 // Krylov basis
+  std::vector<std::vector<value_t>> h;   // Hessenberg columns
+  Vector cs(m, 0.0), sn(m, 0.0), g(m + 1, 0.0);
+  Vector w(n);
+
+  while (res.iterations < opts.solve.max_iters) {
+    if (rel <= opts.solve.tol) {
+      res.converged = true;
+      break;
+    }
+    if (!std::isfinite(rel) || rel > opts.solve.divergence_limit) {
+      res.diverged = true;
+      break;
+    }
+    // Start a cycle from the true residual.
+    a.residual(b, res.x, r);
+    beta = norm2(r);
+    if (beta == 0.0) {
+      rel = 0.0;
+      res.converged = true;
+      break;
+    }
+    v.assign(1, r);
+    scale(1.0 / beta, v[0]);
+    h.clear();
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    std::size_t k = 0;
+    for (; k < m && res.iterations < opts.solve.max_iters; ++k) {
+      a.spmv(v[k], w);
+      std::vector<value_t> hk(k + 2, 0.0);
+      // Modified Gram-Schmidt.
+      for (std::size_t i = 0; i <= k; ++i) {
+        hk[i] = dot(w, v[i]);
+        axpy(-hk[i], v[i], w);
+      }
+      hk[k + 1] = norm2(w);
+
+      // Apply the accumulated Givens rotations to the new column.
+      for (std::size_t i = 0; i < k; ++i) {
+        const value_t t = cs[i] * hk[i] + sn[i] * hk[i + 1];
+        hk[i + 1] = -sn[i] * hk[i] + cs[i] * hk[i + 1];
+        hk[i] = t;
+      }
+      // New rotation to annihilate hk[k+1].
+      const value_t denom =
+          std::sqrt(hk[k] * hk[k] + hk[k + 1] * hk[k + 1]);
+      if (denom == 0.0) {
+        cs[k] = 1.0;
+        sn[k] = 0.0;
+      } else {
+        cs[k] = hk[k] / denom;
+        sn[k] = hk[k + 1] / denom;
+      }
+      hk[k] = cs[k] * hk[k] + sn[k] * hk[k + 1];
+      hk[k + 1] = 0.0;
+      const value_t g_next = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+      g[k + 1] = g_next;
+      h.push_back(std::move(hk));
+
+      ++res.iterations;
+      rel = std::abs(g[k + 1]) / den;
+      if (opts.solve.record_history) res.residual_history.push_back(rel);
+
+      if (rel <= opts.solve.tol) {
+        ++k;
+        break;
+      }
+      // Lucky breakdown: exact solution found in this subspace.
+      if (k + 1 < m) {
+        const value_t wnorm = norm2(w);
+        if (wnorm == 0.0) {
+          ++k;
+          break;
+        }
+        Vector next = w;
+        scale(1.0 / wnorm, next);
+        v.push_back(std::move(next));
+      }
+    }
+
+    // Back-substitute y from the k x k triangular system and update x.
+    std::vector<value_t> y(k, 0.0);
+    for (std::size_t i = k; i-- > 0;) {
+      value_t s = g[i];
+      for (std::size_t j = i + 1; j < k; ++j) s -= h[j][i] * y[j];
+      y[i] = h[i][i] != 0.0 ? s / h[i][i] : 0.0;
+    }
+    for (std::size_t i = 0; i < k; ++i) axpy(y[i], v[i], res.x);
+
+    rel = relative_residual(a, b, res.x);
+    if (opts.solve.record_history && !res.residual_history.empty()) {
+      res.residual_history.back() = rel;  // replace estimate with true
+    }
+  }
+  if (rel <= opts.solve.tol) res.converged = true;
+  res.final_residual = rel;
+  return res;
+}
+
+}  // namespace bars

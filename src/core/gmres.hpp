@@ -1,0 +1,26 @@
+#pragma once
+
+#include "core/solver_types.hpp"
+
+/// \file gmres.hpp
+/// Restarted GMRES (Saad & Schultz), the nonsymmetric Krylov method the
+/// paper's introduction contrasts with asynchronous relaxation: its
+/// orthogonalization is a synchronization wall on parallel hardware,
+/// which is exactly the cost async-(k) avoids. Included so nonsymmetric
+/// systems (e.g. unsymmetric perturbations of the suite) are solvable
+/// and the comparison is available to benches.
+
+namespace bars {
+
+struct GmresOptions {
+  SolveOptions solve{};
+  index_t restart = 30;  ///< Krylov dimension per cycle (GMRES(m))
+};
+
+/// Solve A x = b by GMRES(m) with modified Gram-Schmidt and Givens
+/// rotations. `iterations` counts inner steps across all cycles.
+[[nodiscard]] SolveResult gmres_solve(const Csr& a, const Vector& b,
+                                      const GmresOptions& opts = {},
+                                      const Vector* x0 = nullptr);
+
+}  // namespace bars

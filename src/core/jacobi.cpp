@@ -1,0 +1,68 @@
+#include "core/jacobi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/vector_ops.hpp"
+
+namespace bars {
+
+namespace {
+
+SolveResult jacobi_impl(const Csr& a, const Vector& b, value_t tau,
+                        const SolveOptions& opts, const Vector* x0) {
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(b.size()) != a.rows()) {
+    throw std::invalid_argument("jacobi_solve: dimension mismatch");
+  }
+  const Vector d = a.diagonal();
+  for (value_t v : d) {
+    if (v == 0.0) throw std::invalid_argument("jacobi_solve: zero diagonal");
+  }
+  const std::size_t n = b.size();
+  SolveResult res;
+  res.x = x0 ? *x0 : Vector(n, 0.0);
+  const value_t nb = norm2(b);
+  const value_t scale_den = nb > 0.0 ? nb : 1.0;
+
+  Vector r(n);
+  a.residual(b, res.x, r);
+  value_t rel = norm2(r) / scale_den;
+  if (opts.record_history) res.residual_history.push_back(rel);
+
+  for (index_t it = 0; it < opts.max_iters; ++it) {
+    if (rel <= opts.tol) {
+      res.converged = true;
+      break;
+    }
+    if (!std::isfinite(rel) || rel > opts.divergence_limit) {
+      res.diverged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) res.x[i] += tau * r[i] / d[i];
+    a.residual(b, res.x, r);
+    rel = norm2(r) / scale_den;
+    res.iterations = it + 1;
+    if (opts.record_history) res.residual_history.push_back(rel);
+  }
+  if (rel <= opts.tol) res.converged = true;
+  res.final_residual = rel;
+  return res;
+}
+
+}  // namespace
+
+SolveResult jacobi_solve(const Csr& a, const Vector& b,
+                         const SolveOptions& opts, const Vector* x0) {
+  return jacobi_impl(a, b, 1.0, opts, x0);
+}
+
+SolveResult scaled_jacobi_solve(const Csr& a, const Vector& b, value_t tau,
+                                const SolveOptions& opts, const Vector* x0) {
+  if (tau <= 0.0) {
+    throw std::invalid_argument("scaled_jacobi_solve: tau must be > 0");
+  }
+  return jacobi_impl(a, b, tau, opts, x0);
+}
+
+}  // namespace bars

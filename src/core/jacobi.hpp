@@ -1,0 +1,25 @@
+#pragma once
+
+#include "core/solver_types.hpp"
+
+/// \file jacobi.hpp
+/// Synchronous (Jacobi-type) relaxation solvers — the GPU baseline of
+/// the paper (Section 2.1) and the damped variant of Section 4.2.
+
+namespace bars {
+
+/// Plain Jacobi: x_{k+1} = x_k + D^{-1}(b - A x_k). Converges iff
+/// rho(I - D^{-1}A) < 1. Throws on zero diagonal entries.
+[[nodiscard]] SolveResult jacobi_solve(const Csr& a, const Vector& b,
+                                       const SolveOptions& opts = {},
+                                       const Vector* x0 = nullptr);
+
+/// Damped/scaled Jacobi: x_{k+1} = x_k + tau * D^{-1}(b - A x_k).
+/// With tau = 2/(lambda_1 + lambda_n) of D^{-1}A this converges for any
+/// SPD system, including rho(B) > 1 cases like s1rmt3m1 (paper §4.2).
+[[nodiscard]] SolveResult scaled_jacobi_solve(const Csr& a, const Vector& b,
+                                              value_t tau,
+                                              const SolveOptions& opts = {},
+                                              const Vector* x0 = nullptr);
+
+}  // namespace bars

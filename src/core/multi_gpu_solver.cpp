@@ -1,0 +1,67 @@
+#include "core/multi_gpu_solver.hpp"
+
+#include <stdexcept>
+
+#include "sparse/vector_ops.hpp"
+
+namespace bars {
+
+MultiGpuResult multi_gpu_block_async_solve(const Csr& a, const Vector& b,
+                                           const MultiGpuOptions& opts,
+                                           const Vector* x0) {
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(b.size()) != a.rows()) {
+    throw std::invalid_argument(
+        "multi_gpu_block_async_solve: dimension mismatch");
+  }
+  const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
+  const BlockJacobiKernel kernel(a, b, part, opts.local_iters,
+                                 opts.local_sweep);
+
+  static const gpusim::CostModel kDefaultModel =
+      gpusim::CostModel::calibrated_to_paper();
+  const gpusim::CostModel& model =
+      opts.cost_model ? *opts.cost_model : kDefaultModel;
+  const gpusim::MatrixShape shape{opts.matrix_name, a.rows(), a.nnz()};
+
+  gpusim::MultiDeviceOptions exec;
+  exec.num_devices = opts.num_devices;
+  exec.scheme = opts.scheme;
+  exec.params = opts.transfer;
+  exec.max_global_iters = opts.solve.max_iters;
+  exec.tol = opts.solve.tol;
+  exec.divergence_limit = opts.solve.divergence_limit;
+  exec.slots_per_device = opts.slots_per_device;
+  exec.global_iteration_time =
+      model.gpu_block_async_iteration(shape, opts.local_iters);
+  exec.jitter = opts.jitter;
+  exec.straggler_prob = opts.straggler_prob;
+  exec.straggler_factor = opts.straggler_factor;
+  exec.seed = opts.seed;
+  exec.fault = opts.fault;
+
+  MultiGpuResult out;
+  out.solve.x = x0 ? *x0 : Vector(b.size(), 0.0);
+
+  gpusim::MultiDeviceExecutor executor(kernel, exec);
+  const auto residual_fn = [&](const Vector& x) {
+    return relative_residual(a, b, x);
+  };
+  gpusim::MultiDeviceResult r = executor.run(out.solve.x, residual_fn);
+
+  out.solve.converged = r.converged;
+  out.solve.diverged = r.diverged;
+  out.solve.iterations = r.global_iterations;
+  out.solve.final_residual = r.residual_history.back();
+  if (opts.solve.record_history) {
+    out.solve.residual_history = std::move(r.residual_history);
+    out.solve.time_history = std::move(r.time_history);
+  }
+  out.bytes_host_device = r.bytes_host_device;
+  out.bytes_device_device = r.bytes_device_device;
+  out.num_transfers = r.num_transfers;
+  out.time_to_convergence = r.virtual_time;
+  return out;
+}
+
+}  // namespace bars

@@ -1,0 +1,248 @@
+#include "core/nonlinear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/partition.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace bars {
+
+namespace {
+
+/// Nonlinear residual r = b - A x - phi(x); returns relative l2 norm.
+value_t nonlinear_residual(const Csr& a, const Vector& b,
+                           const DiagonalNonlinearity& phi, const Vector& x,
+                           value_t den) {
+  Vector r(b.size());
+  a.residual(b, x, r);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    r[i] -= phi.value(static_cast<index_t>(i), x[i]);
+  }
+  return norm2(r) / den;
+}
+
+/// BlockKernel for the nonlinear two-stage update: freeze off-block
+/// linear coupling, run damped Newton-Jacobi sweeps locally.
+class NonlinearBlockKernel final : public gpusim::BlockKernel {
+ public:
+  NonlinearBlockKernel(const Csr& a, const Vector& b,
+                       const DiagonalNonlinearity& phi,
+                       RowPartition partition, index_t local_iters,
+                       value_t damping)
+      : linear_(a, b, std::move(partition), local_iters),
+        a_(a),
+        b_(b),
+        phi_(phi),
+        local_iters_(local_iters),
+        damping_(damping) {
+    if (damping <= 0.0 || damping > 1.0) {
+      throw std::invalid_argument(
+          "NonlinearBlockKernel: damping must be in (0, 1]");
+    }
+  }
+
+  [[nodiscard]] index_t num_blocks() const override {
+    return linear_.num_blocks();
+  }
+  [[nodiscard]] index_t num_rows() const override {
+    return linear_.num_rows();
+  }
+  [[nodiscard]] std::span<const index_t> halo(index_t block) const override {
+    return linear_.halo(block);
+  }
+  [[nodiscard]] std::pair<index_t, index_t> rows(
+      index_t block) const override {
+    return linear_.rows(block);
+  }
+
+  void update(index_t block, std::span<const value_t> halo_values,
+              std::span<value_t> x,
+              const gpusim::ExecContext& ctx) const override {
+    const auto [lo, hi] = rows(block);
+    const auto halo_idx = halo(block);
+    const index_t m = hi - lo;
+
+    // Frozen off-block linear contribution s_i = b_i - sum_out a_ij x_j.
+    Vector s(static_cast<std::size_t>(m));
+    for (index_t i = lo; i < hi; ++i) {
+      value_t acc = b_[i];
+      const auto cols = a_.row_cols(i);
+      const auto vals = a_.row_vals(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const index_t j = cols[k];
+        if (j < lo || j >= hi) {
+          // Halo value lookup: halo_idx is sorted.
+          const auto it =
+              std::lower_bound(halo_idx.begin(), halo_idx.end(), j);
+          acc -= vals[k] *
+                 halo_values[static_cast<std::size_t>(it - halo_idx.begin())];
+        }
+      }
+      s[i - lo] = acc;
+    }
+
+    Vector xl(x.begin() + lo, x.begin() + hi);
+    for (index_t sweep = 0; sweep < local_iters_; ++sweep) {
+      Vector xn(xl);
+      for (index_t i = lo; i < hi; ++i) {
+        const index_t li = i - lo;
+        value_t acc = s[li];
+        value_t diag = 0.0;
+        const auto cols = a_.row_cols(i);
+        const auto vals = a_.row_vals(i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          const index_t j = cols[k];
+          if (j == i) {
+            diag = vals[k];
+          } else if (j >= lo && j < hi) {
+            acc -= vals[k] * xl[j - lo];
+          }
+        }
+        const value_t jac = diag + phi_.derivative(i, xl[li]);
+        if (jac <= 0.0) {
+          throw std::domain_error(
+              "nonlinear_block_async_solve: non-positive local Jacobian");
+        }
+        const value_t f = acc - diag * xl[li] - phi_.value(i, xl[li]);
+        xn[li] = xl[li] + damping_ * f / jac;
+      }
+      xl = std::move(xn);
+    }
+
+    const std::vector<std::uint8_t>* mask = ctx.failed_components;
+    for (index_t i = lo; i < hi; ++i) {
+      if (mask && (*mask)[i]) continue;
+      x[i] = xl[i - lo];
+    }
+  }
+
+ private:
+  BlockJacobiKernel linear_;  ///< reused for partition/halo bookkeeping
+  const Csr& a_;
+  const Vector& b_;
+  const DiagonalNonlinearity& phi_;
+  index_t local_iters_;
+  value_t damping_;
+};
+
+}  // namespace
+
+DiagonalNonlinearity zero_nonlinearity() {
+  return {[](index_t, value_t) { return 0.0; },
+          [](index_t, value_t) { return 0.0; }};
+}
+
+DiagonalNonlinearity cubic_nonlinearity(value_t c) {
+  return {[c](index_t, value_t x) { return c * x * x * x; },
+          [c](index_t, value_t x) { return 3.0 * c * x * x; }};
+}
+
+DiagonalNonlinearity exponential_nonlinearity(value_t c) {
+  return {[c](index_t, value_t x) { return c * (std::exp(x) - 1.0); },
+          [c](index_t, value_t x) { return c * std::exp(x); }};
+}
+
+NonlinearAsyncResult nonlinear_block_async_solve(
+    const Csr& a, const Vector& b, const DiagonalNonlinearity& phi,
+    const NonlinearAsyncOptions& opts, const Vector* x0) {
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(b.size()) != a.rows()) {
+    throw std::invalid_argument(
+        "nonlinear_block_async_solve: dimension mismatch");
+  }
+  if (!phi.value || !phi.derivative) {
+    throw std::invalid_argument(
+        "nonlinear_block_async_solve: nonlinearity callbacks required");
+  }
+  const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
+  const NonlinearBlockKernel kernel(a, b, phi, part, opts.local_iters,
+                                    opts.damping);
+
+  gpusim::ExecutorOptions exec;
+  exec.max_global_iters = opts.solve.max_iters;
+  exec.tol = opts.solve.tol;
+  exec.divergence_limit = opts.solve.divergence_limit;
+  exec.concurrent_slots = opts.concurrent_slots;
+  exec.policy = opts.policy;
+  exec.jitter = opts.jitter;
+  exec.seed = opts.seed;
+
+  NonlinearAsyncResult out;
+  out.solve.x = x0 ? *x0 : Vector(b.size(), 0.0);
+  const value_t nb = norm2(b);
+  const value_t den = nb > 0.0 ? nb : 1.0;
+
+  gpusim::AsyncExecutor executor(kernel, exec);
+  const auto residual_fn = [&](const Vector& x) {
+    return nonlinear_residual(a, b, phi, x, den);
+  };
+  gpusim::ExecutorResult r = executor.run(out.solve.x, residual_fn);
+
+  out.solve.converged = r.converged;
+  out.solve.diverged = r.diverged;
+  out.solve.iterations = r.global_iterations;
+  out.solve.final_residual = r.residual_history.back();
+  if (opts.solve.record_history) {
+    out.solve.residual_history = std::move(r.residual_history);
+    out.solve.time_history = std::move(r.time_history);
+  }
+  out.block_executions = std::move(r.block_executions);
+  return out;
+}
+
+SolveResult nonlinear_jacobi_solve(const Csr& a, const Vector& b,
+                                   const DiagonalNonlinearity& phi,
+                                   const SolveOptions& opts, value_t damping,
+                                   const Vector* x0) {
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(b.size()) != a.rows()) {
+    throw std::invalid_argument("nonlinear_jacobi_solve: dimension mismatch");
+  }
+  if (damping <= 0.0 || damping > 1.0) {
+    throw std::invalid_argument(
+        "nonlinear_jacobi_solve: damping must be in (0, 1]");
+  }
+  const std::size_t n = b.size();
+  SolveResult res;
+  res.x = x0 ? *x0 : Vector(n, 0.0);
+  const value_t nb = norm2(b);
+  const value_t den = nb > 0.0 ? nb : 1.0;
+  const Vector d = a.diagonal();
+
+  value_t rel = nonlinear_residual(a, b, phi, res.x, den);
+  if (opts.record_history) res.residual_history.push_back(rel);
+
+  Vector ax(n);
+  for (index_t it = 0; it < opts.max_iters; ++it) {
+    if (rel <= opts.tol) {
+      res.converged = true;
+      break;
+    }
+    if (!std::isfinite(rel) || rel > opts.divergence_limit) {
+      res.diverged = true;
+      break;
+    }
+    a.spmv(res.x, ax);
+    Vector xn(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto ii = static_cast<index_t>(i);
+      const value_t jac = d[i] + phi.derivative(ii, res.x[i]);
+      if (jac <= 0.0) {
+        throw std::domain_error(
+            "nonlinear_jacobi_solve: non-positive Jacobian");
+      }
+      const value_t f = b[i] - ax[i] - phi.value(ii, res.x[i]);
+      xn[i] = res.x[i] + damping * f / jac;
+    }
+    res.x = std::move(xn);
+    rel = nonlinear_residual(a, b, phi, res.x, den);
+    res.iterations = it + 1;
+    if (opts.record_history) res.residual_history.push_back(rel);
+  }
+  if (rel <= opts.tol) res.converged = true;
+  res.final_residual = rel;
+  return res;
+}
+
+}  // namespace bars

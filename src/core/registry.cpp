@@ -1,0 +1,146 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+#include "core/block_async.hpp"
+#include "core/block_jacobi.hpp"
+#include "core/cg.hpp"
+#include "core/fcg.hpp"
+#include "core/gauss_seidel.hpp"
+#include "core/gmres.hpp"
+#include "core/jacobi.hpp"
+#include "core/thread_async.hpp"
+#include "eigen/condition.hpp"
+
+namespace bars {
+
+namespace {
+
+struct Entry {
+  const char* name;
+  SolveResult (*run)(const Csr&, const Vector&, const RegistrySolveOptions&);
+};
+
+SolveResult run_jacobi(const Csr& a, const Vector& b,
+                       const RegistrySolveOptions& o) {
+  return jacobi_solve(a, b, o.solve);
+}
+
+SolveResult run_scaled_jacobi(const Csr& a, const Vector& b,
+                              const RegistrySolveOptions& o) {
+  return scaled_jacobi_solve(a, b, optimal_jacobi_tau(a), o.solve);
+}
+
+SolveResult run_gauss_seidel(const Csr& a, const Vector& b,
+                             const RegistrySolveOptions& o) {
+  return gauss_seidel_solve(a, b, o.solve);
+}
+
+SolveResult run_symmetric_gs(const Csr& a, const Vector& b,
+                             const RegistrySolveOptions& o) {
+  return gauss_seidel_solve(a, b, o.solve, SweepDirection::kSymmetric);
+}
+
+SolveResult run_sor(const Csr& a, const Vector& b,
+                    const RegistrySolveOptions& o) {
+  return sor_solve(a, b, o.omega, o.solve);
+}
+
+SolveResult run_cg(const Csr& a, const Vector& b,
+                   const RegistrySolveOptions& o) {
+  CgOptions co;
+  co.solve = o.solve;
+  return cg_solve(a, b, co);
+}
+
+SolveResult run_pcg_jacobi(const Csr& a, const Vector& b,
+                           const RegistrySolveOptions& o) {
+  CgOptions co;
+  co.solve = o.solve;
+  co.jacobi_preconditioner = true;
+  return cg_solve(a, b, co);
+}
+
+SolveResult run_fcg_async(const Csr& a, const Vector& b,
+                          const RegistrySolveOptions& o) {
+  FcgOptions fo;
+  fo.solve = o.solve;
+  fo.preconditioner = block_async_preconditioner(
+      /*global_sweeps=*/2, o.block_size, o.local_iters, o.seed);
+  return fcg_solve(a, b, fo);
+}
+
+SolveResult run_block_jacobi(const Csr& a, const Vector& b,
+                             const RegistrySolveOptions& o) {
+  BlockJacobiOptions bo;
+  bo.solve = o.solve;
+  bo.block_size = o.block_size;
+  bo.local_iters = o.local_iters;
+  return block_jacobi_solve(a, b, bo);
+}
+
+SolveResult run_gmres(const Csr& a, const Vector& b,
+                      const RegistrySolveOptions& o) {
+  GmresOptions go;
+  go.solve = o.solve;
+  return gmres_solve(a, b, go);
+}
+
+SolveResult run_async(const Csr& a, const Vector& b,
+                      const RegistrySolveOptions& o) {
+  BlockAsyncOptions ao;
+  ao.solve = o.solve;
+  ao.block_size = o.block_size;
+  ao.local_iters = o.local_iters;
+  ao.seed = o.seed;
+  return block_async_solve(a, b, ao).solve;
+}
+
+SolveResult run_thread_async(const Csr& a, const Vector& b,
+                             const RegistrySolveOptions& o) {
+  ThreadAsyncOptions to;
+  to.solve = o.solve;
+  to.block_size = o.block_size;
+  to.local_iters = o.local_iters;
+  to.num_threads = o.num_threads;
+  return thread_async_solve(a, b, to).solve;
+}
+
+constexpr Entry kEntries[] = {
+    {"jacobi", run_jacobi},
+    {"scaled-jacobi", run_scaled_jacobi},
+    {"gauss-seidel", run_gauss_seidel},
+    {"symmetric-gs", run_symmetric_gs},
+    {"sor", run_sor},
+    {"cg", run_cg},
+    {"gmres", run_gmres},
+    {"pcg-jacobi", run_pcg_jacobi},
+    {"fcg-async", run_fcg_async},
+    {"block-jacobi", run_block_jacobi},
+    {"block-async", run_async},
+    {"thread-async", run_thread_async},
+};
+
+}  // namespace
+
+std::vector<std::string> solver_names() {
+  std::vector<std::string> names;
+  for (const Entry& e : kEntries) names.emplace_back(e.name);
+  return names;
+}
+
+RegistrySolver find_solver(const std::string& name) {
+  for (const Entry& e : kEntries) {
+    if (name == e.name) {
+      return [run = e.run](const Csr& a, const Vector& b,
+                           const RegistrySolveOptions& o) {
+        return run(a, b, o);
+      };
+    }
+  }
+  std::string msg = "unknown solver '" + name + "'; valid:";
+  for (const Entry& e : kEntries) msg += std::string(" ") + e.name;
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace bars

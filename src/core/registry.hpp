@@ -1,0 +1,37 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/solver_types.hpp"
+
+/// \file registry.hpp
+/// Name-indexed access to every solver in the library, so tools and
+/// examples (e.g. examples/solve_mtx) can select solvers from the
+/// command line.
+
+namespace bars {
+
+/// Knobs shared across registry solvers; each solver reads the subset
+/// it understands.
+struct RegistrySolveOptions {
+  SolveOptions solve{};
+  value_t omega = 1.0;        ///< SOR relaxation factor
+  index_t block_size = 448;   ///< async block size
+  index_t local_iters = 5;    ///< async-(k)
+  std::uint64_t seed = 99;
+  index_t num_threads = 0;    ///< thread-async worker count (0 = auto)
+};
+
+using RegistrySolver = std::function<SolveResult(
+    const Csr& a, const Vector& b, const RegistrySolveOptions& opts)>;
+
+/// Names of all registered solvers, in presentation order.
+[[nodiscard]] std::vector<std::string> solver_names();
+
+/// Look up a solver by name. Throws std::invalid_argument for unknown
+/// names (message lists the valid ones).
+[[nodiscard]] RegistrySolver find_solver(const std::string& name);
+
+}  // namespace bars

@@ -1,0 +1,167 @@
+#include "core/silent_error.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "gpusim/async_executor.hpp"
+#include "sparse/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace bars {
+
+namespace {
+
+/// Kernel decorator that injects one silent corruption into the shared
+/// iterate after the trigger iteration. Single-threaded executor =>
+/// mutable counters are safe.
+class SdcKernel final : public gpusim::BlockKernel {
+ public:
+  SdcKernel(const gpusim::BlockKernel& inner, SilentErrorPlan plan)
+      : inner_(inner), plan_(plan) {
+    if (plan_.component >= inner.num_rows()) {
+      throw std::invalid_argument("SilentErrorPlan: component out of range");
+    }
+    if (plan_.component < 0) {
+      Rng rng(plan_.seed);
+      plan_.component = rng.uniform_int(0, inner.num_rows() - 1);
+    }
+  }
+
+  [[nodiscard]] index_t num_blocks() const override {
+    return inner_.num_blocks();
+  }
+  [[nodiscard]] index_t num_rows() const override {
+    return inner_.num_rows();
+  }
+  [[nodiscard]] std::span<const index_t> halo(index_t b) const override {
+    return inner_.halo(b);
+  }
+  [[nodiscard]] std::pair<index_t, index_t> rows(index_t b) const override {
+    return inner_.rows(b);
+  }
+
+  void update(index_t block, std::span<const value_t> halo_values,
+              std::span<value_t> x,
+              const gpusim::ExecContext& ctx) const override {
+    inner_.update(block, halo_values, x, ctx);
+    ++updates_;
+    if (!injected_ &&
+        updates_ >= plan_.at * inner_.num_blocks()) {
+      // The corruption lands in device memory unnoticed — any block's
+      // store can be hit, so we do not wait for the owner.
+      x[plan_.component] = plan_.magnitude;
+      injected_ = true;
+    }
+  }
+
+ private:
+  const gpusim::BlockKernel& inner_;
+  SilentErrorPlan plan_;
+  mutable index_t updates_ = 0;
+  mutable bool injected_ = false;
+};
+
+}  // namespace
+
+SilentErrorReport detect_silent_error(const std::vector<value_t>& history,
+                                      const DetectorOptions& opts) {
+  SilentErrorReport rep;
+  if (history.size() < 2) return rep;
+
+  value_t trend = 0.0;   // geometric-mean ratio of recent healthy steps
+  index_t trend_n = 0;
+  for (std::size_t k = 1; k < history.size(); ++k) {
+    const value_t prev = history[k - 1];
+    const value_t cur = history[k];
+    if (prev <= opts.floor || cur <= 0.0 || !std::isfinite(cur)) {
+      if (!std::isfinite(cur)) {
+        rep.detected = true;
+        rep.at_iteration = static_cast<index_t>(k);
+        rep.jump_ratio = std::numeric_limits<value_t>::infinity();
+        return rep;
+      }
+      continue;  // at the rounding floor: nothing to judge
+    }
+    const value_t ratio = cur / prev;
+    if (trend_n >= opts.warmup) {
+      // Jump detection.
+      if (ratio > opts.jump_factor * std::max(trend, value_t{1e-6})) {
+        rep.detected = true;
+        rep.at_iteration = static_cast<index_t>(k);
+        rep.jump_ratio = ratio;
+        return rep;
+      }
+      // Stall detection over the window.
+      if (k >= static_cast<std::size_t>(opts.stall_window)) {
+        const value_t base = history[k - opts.stall_window];
+        if (base > opts.floor && cur > opts.stall_factor * base) {
+          rep.detected = true;
+          rep.at_iteration = static_cast<index_t>(k);
+          rep.jump_ratio = cur / base;
+          return rep;
+        }
+      }
+    }
+    // Update the trend with this (apparently healthy) ratio.
+    trend = trend_n == 0
+                ? ratio
+                : std::exp((std::log(trend) * trend_n + std::log(ratio)) /
+                           (trend_n + 1));
+    ++trend_n;
+  }
+  return rep;
+}
+
+SdcRunResult block_async_solve_with_sdc(
+    const Csr& a, const Vector& b, const BlockAsyncOptions& opts,
+    const std::optional<SilentErrorPlan>& sdc) {
+  // Mirror block_async_solve but wrap the kernel with the injector.
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(b.size()) != a.rows()) {
+    throw std::invalid_argument(
+        "block_async_solve_with_sdc: dimension mismatch");
+  }
+  const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
+  BlockJacobiKernel base(a, b, part, opts.local_iters, opts.local_sweep,
+                         opts.local_omega, opts.overlap);
+  std::optional<SdcKernel> wrapped;
+  const gpusim::BlockKernel* kernel = &base;
+  if (sdc) {
+    wrapped.emplace(base, *sdc);
+    kernel = &*wrapped;
+  }
+
+  static const gpusim::CostModel kModel =
+      gpusim::CostModel::calibrated_to_paper();
+  const gpusim::MatrixShape shape{opts.matrix_name, a.rows(), a.nnz()};
+  gpusim::ExecutorOptions exec;
+  exec.max_global_iters = opts.solve.max_iters;
+  exec.tol = opts.solve.tol;
+  exec.divergence_limit = opts.solve.divergence_limit;
+  exec.concurrent_slots = opts.concurrent_slots;
+  exec.global_iteration_time =
+      kModel.gpu_block_async_iteration(shape, opts.local_iters);
+  exec.jitter = opts.jitter;
+  exec.seed = opts.seed;
+  exec.fault = opts.fault;
+
+  SdcRunResult out;
+  out.solve.solve.x = Vector(b.size(), 0.0);
+  gpusim::AsyncExecutor executor(*kernel, exec);
+  gpusim::ExecutorResult r = executor.run(
+      out.solve.solve.x,
+      [&](const Vector& x) { return relative_residual(a, b, x); });
+
+  out.solve.solve.converged = r.converged;
+  out.solve.solve.diverged = r.diverged;
+  out.solve.solve.iterations = r.global_iterations;
+  out.solve.solve.final_residual = r.residual_history.back();
+  out.solve.solve.residual_history = r.residual_history;
+  out.solve.solve.time_history = std::move(r.time_history);
+  out.solve.block_executions = std::move(r.block_executions);
+  out.report = detect_silent_error(out.solve.solve.residual_history);
+  return out;
+}
+
+}  // namespace bars

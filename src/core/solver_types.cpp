@@ -1,0 +1,16 @@
+#include "core/solver_types.hpp"
+
+#include "sparse/vector_ops.hpp"
+
+namespace bars {
+
+value_t relative_residual(const Csr& a, std::span<const value_t> b,
+                          std::span<const value_t> x) {
+  Vector r(b.size());
+  a.residual(b, x, r);
+  const value_t nb = norm2(b);
+  const value_t nr = norm2(r);
+  return nb > 0.0 ? nr / nb : nr;
+}
+
+}  // namespace bars

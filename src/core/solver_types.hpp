@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+/// \file solver_types.hpp
+/// Common option/result types for all iterative solvers in BARS.
+
+namespace bars {
+
+/// Stopping and bookkeeping options shared by every solver.
+struct SolveOptions {
+  index_t max_iters = 1000;
+  /// Convergence when ||b - A x||_2 <= tol * ||b||_2 (absolute when
+  /// ||b|| == 0). The paper reports relative l2 residuals throughout.
+  value_t tol = 1e-14;
+  /// Treat the run as diverged once the relative residual exceeds this.
+  value_t divergence_limit = 1e30;
+  /// Record the residual after every iteration (Figs. 6, 7, 9, 10).
+  bool record_history = true;
+};
+
+/// Result of a solver run.
+struct SolveResult {
+  Vector x;
+  bool converged = false;
+  bool diverged = false;
+  index_t iterations = 0;
+  value_t final_residual = 0.0;  ///< relative l2 residual at exit
+  /// residual_history[k] = relative residual after k iterations
+  /// (entry 0 is the initial residual). Empty if record_history off.
+  std::vector<value_t> residual_history;
+  /// For solvers with a virtual-time model: simulated seconds at which
+  /// each history entry was recorded. Empty for plain CPU solvers.
+  std::vector<value_t> time_history;
+};
+
+/// Relative l2 residual ||b - A x|| / ||b|| (absolute when ||b|| == 0).
+[[nodiscard]] value_t relative_residual(const Csr& a,
+                                        std::span<const value_t> b,
+                                        std::span<const value_t> x);
+
+}  // namespace bars

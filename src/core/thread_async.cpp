@@ -1,0 +1,174 @@
+#include "core/thread_async.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "core/block_jacobi_kernel.hpp"
+#include "sparse/partition.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace bars {
+
+namespace {
+
+/// Shared iterate with relaxed atomic element access.
+class AtomicVector {
+ public:
+  explicit AtomicVector(const Vector& init)
+      : n_(init.size()), data_(std::make_unique<std::atomic<value_t>[]>(n_)) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      data_[i].store(init[i], std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] value_t load(std::size_t i) const {
+    return data_[i].load(std::memory_order_relaxed);
+  }
+  void store(std::size_t i, value_t v) {
+    data_[i].store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] Vector snapshot() const {
+    Vector out(n_);
+    for (std::size_t i = 0; i < n_; ++i) out[i] = load(i);
+    return out;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  std::unique_ptr<std::atomic<value_t>[]> data_;
+};
+
+}  // namespace
+
+ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
+                                     const ThreadAsyncOptions& opts,
+                                     const Vector* x0) {
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(b.size()) != a.rows()) {
+    throw std::invalid_argument("thread_async_solve: dimension mismatch");
+  }
+  const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
+  const BlockJacobiKernel kernel(a, b, part, opts.local_iters);
+  const index_t q = part.num_blocks();
+
+  index_t threads = opts.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<index_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  threads = std::min(threads, q);
+
+  ThreadAsyncResult out;
+  out.block_executions.assign(static_cast<std::size_t>(q), 0);
+
+  AtomicVector x(x0 ? *x0 : Vector(b.size(), 0.0));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> executions{0};
+  // Per-block execution counts; the monitor reads them concurrently, so
+  // they must be atomic.
+  std::vector<std::atomic<index_t>> exec_counts(
+      static_cast<std::size_t>(q));
+  for (auto& c : exec_counts) c.store(0, std::memory_order_relaxed);
+
+  const auto worker = [&](index_t tid) {
+    Vector halo_vals;
+    Vector xs(b.size());
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (index_t blk = tid; blk < q; blk += threads) {
+        const auto halo = kernel.halo(blk);
+        halo_vals.resize(halo.size());
+        for (std::size_t i = 0; i < halo.size(); ++i) {
+          halo_vals[i] = x.load(static_cast<std::size_t>(halo[i]));
+        }
+        const auto [lo, hi] = kernel.rows(blk);
+        // Stage the block's own rows into a scratch full-length vector,
+        // run the kernel, and publish the result element-wise.
+        for (index_t i = lo; i < hi; ++i) {
+          xs[i] = x.load(static_cast<std::size_t>(i));
+        }
+        gpusim::ExecContext ctx;
+        kernel.update(blk, halo_vals, xs, ctx);
+        for (index_t i = lo; i < hi; ++i) {
+          x.store(static_cast<std::size_t>(i), xs[i]);
+        }
+        exec_counts[blk].fetch_add(1, std::memory_order_relaxed);
+        executions.fetch_add(1, std::memory_order_relaxed);
+        if (stop.load(std::memory_order_relaxed)) return;
+      }
+      // Give other workers a chance on oversubscribed machines so that
+      // no block starves (Chazan-Miranker condition 1).
+      std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (index_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+
+  const value_t nb = norm2(b);
+  const value_t den = nb > 0.0 ? nb : 1.0;
+  const auto residual_of = [&](const Vector& xv) {
+    Vector r(b.size());
+    a.residual(b, xv, r);
+    return norm2(r) / den;
+  };
+
+  SolveResult& sr = out.solve;
+  {
+    const Vector snap = x.snapshot();
+    const value_t rel = residual_of(snap);
+    if (opts.solve.record_history) sr.residual_history.push_back(rel);
+    sr.final_residual = rel;
+  }
+  // A "global iteration" completes when *every* block has executed at
+  // least once more (min over blocks) — this is the paper's counting
+  // convention and is robust against worker starvation on
+  // oversubscribed machines.
+  const auto min_generation = [&]() {
+    index_t mn = exec_counts[0].load(std::memory_order_relaxed);
+    for (index_t blk = 1; blk < q; ++blk) {
+      mn = std::min(mn, exec_counts[blk].load(std::memory_order_relaxed));
+    }
+    return mn;
+  };
+  while (true) {
+    if (min_generation() <= sr.iterations) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    ++sr.iterations;
+    const Vector snap = x.snapshot();
+    const value_t rel = residual_of(snap);
+    if (opts.solve.record_history) sr.residual_history.push_back(rel);
+    sr.final_residual = rel;
+    if (rel <= opts.solve.tol) {
+      sr.converged = true;
+      break;
+    }
+    if (!std::isfinite(rel) || rel > opts.solve.divergence_limit) {
+      sr.diverged = true;
+      break;
+    }
+    if (sr.iterations >= opts.solve.max_iters) break;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : pool) t.join();
+
+  sr.x = x.snapshot();
+  sr.final_residual = residual_of(sr.x);
+  if (sr.final_residual <= opts.solve.tol) sr.converged = true;
+  out.block_executions.resize(static_cast<std::size_t>(q));
+  for (index_t blk = 0; blk < q; ++blk) {
+    out.block_executions[blk] =
+        exec_counts[blk].load(std::memory_order_relaxed);
+  }
+  out.total_block_executions = static_cast<index_t>(
+      executions.load(std::memory_order_relaxed));
+  return out;
+}
+
+}  // namespace bars

@@ -1,0 +1,125 @@
+#include "eigen/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sparse/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace bars {
+
+namespace {
+
+/// Number of eigenvalues of the tridiagonal (alpha, beta) strictly less
+/// than x, via the Sturm sequence of leading principal minors.
+index_t sturm_count(const std::vector<value_t>& alpha,
+                    const std::vector<value_t>& beta, value_t x) {
+  index_t count = 0;
+  value_t d = 1.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    const value_t beta2 =
+        i == 0 ? 0.0 : beta[i - 1] * beta[i - 1];
+    d = alpha[i] - x - beta2 / (d == 0.0 ? 1e-300 : d);
+    if (d < 0.0) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<value_t> tridiag_eigenvalues(const std::vector<value_t>& alpha,
+                                         const std::vector<value_t>& beta,
+                                         value_t tol) {
+  const std::size_t n = alpha.size();
+  std::vector<value_t> eig(n);
+  if (n == 0) return eig;
+  // Gershgorin bounds for the tridiagonal matrix.
+  value_t lo = std::numeric_limits<value_t>::infinity();
+  value_t hi = -std::numeric_limits<value_t>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    value_t r = 0.0;
+    if (i > 0) r += std::abs(beta[i - 1]);
+    if (i + 1 < n) r += std::abs(beta[i]);
+    lo = std::min(lo, alpha[i] - r);
+    hi = std::max(hi, alpha[i] + r);
+  }
+  const value_t span = std::max(hi - lo, value_t{1e-300});
+  for (std::size_t k = 0; k < n; ++k) {
+    value_t a = lo, b = hi;
+    // Find the (k+1)-th smallest eigenvalue by bisection on the Sturm
+    // count.
+    while (b - a > tol * span) {
+      const value_t mid = 0.5 * (a + b);
+      if (sturm_count(alpha, beta, mid) > static_cast<index_t>(k)) {
+        b = mid;
+      } else {
+        a = mid;
+      }
+    }
+    eig[k] = 0.5 * (a + b);
+  }
+  return eig;
+}
+
+LanczosResult lanczos_extremal(const Csr& a, const LanczosOptions& opts) {
+  const index_t n = a.rows();
+  LanczosResult res;
+  if (n == 0) {
+    res.converged = true;
+    return res;
+  }
+  const index_t m = std::min<index_t>(opts.max_steps, n);
+
+  Rng rng(opts.seed);
+  std::vector<Vector> v;  // orthonormal Lanczos basis (full reorth.)
+  v.reserve(static_cast<std::size_t>(m) + 1);
+  Vector v0(static_cast<std::size_t>(n));
+  for (auto& x : v0) x = rng.uniform(-1.0, 1.0);
+  scale(1.0 / norm2(v0), v0);
+  v.push_back(std::move(v0));
+
+  std::vector<value_t> alpha, beta;
+  Vector w(static_cast<std::size_t>(n));
+  value_t prev_min = 0.0, prev_max = 0.0;
+
+  for (index_t j = 0; j < m; ++j) {
+    a.spmv(v.back(), w);
+    const value_t aj = dot(w, v.back());
+    alpha.push_back(aj);
+    axpy(-aj, v.back(), w);
+    if (j > 0) axpy(-beta.back(), v[v.size() - 2], w);
+    // Full reorthogonalization (twice is enough).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& q : v) axpy(-dot(w, q), q, w);
+    }
+    const value_t bj = norm2(w);
+    res.steps = j + 1;
+
+    const auto eig = tridiag_eigenvalues(alpha, beta);
+    res.lambda_min = eig.front();
+    res.lambda_max = eig.back();
+    const value_t scale_ref =
+        std::max(std::abs(res.lambda_max), value_t{1e-300});
+    if (j > 2 && std::abs(res.lambda_min - prev_min) <= opts.tol * scale_ref &&
+        std::abs(res.lambda_max - prev_max) <= opts.tol * scale_ref) {
+      res.converged = true;
+      break;
+    }
+    prev_min = res.lambda_min;
+    prev_max = res.lambda_max;
+
+    if (bj <= 1e-14 * scale_ref) {
+      // Invariant subspace found: the Ritz values are exact.
+      res.converged = true;
+      break;
+    }
+    beta.push_back(bj);
+    Vector next = w;
+    scale(1.0 / bj, next);
+    v.push_back(std::move(next));
+  }
+  return res;
+}
+
+}  // namespace bars

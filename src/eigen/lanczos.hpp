@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+/// \file lanczos.hpp
+/// Lanczos tridiagonalization with full reorthogonalization for extremal
+/// eigenvalues of symmetric matrices. Feeds the condition-number columns
+/// of the paper's Table 1 and the tau scaling of Section 4.2.
+
+namespace bars {
+
+struct LanczosOptions {
+  index_t max_steps = 200;   ///< Krylov dimension cap
+  value_t tol = 1e-10;       ///< relative change in extremal Ritz values
+  std::uint64_t seed = 7;    ///< start-vector seed
+};
+
+struct LanczosResult {
+  value_t lambda_min = 0.0;
+  value_t lambda_max = 0.0;
+  index_t steps = 0;
+  bool converged = false;
+};
+
+/// Extremal eigenvalues of a symmetric matrix `a` via Lanczos with full
+/// reorthogonalization. Note: lambda_min from plain Lanczos is only an
+/// upper bound for very ill-conditioned matrices — condition.hpp refines
+/// it with inverse iteration.
+[[nodiscard]] LanczosResult lanczos_extremal(const Csr& a,
+                                             const LanczosOptions& opts = {});
+
+/// Eigenvalues of a symmetric tridiagonal matrix (diag alpha, off-diag
+/// beta) by bisection with Sturm sequence counts. Returns all eigenvalues
+/// sorted ascending. Exposed for testing.
+[[nodiscard]] std::vector<value_t> tridiag_eigenvalues(
+    const std::vector<value_t>& alpha, const std::vector<value_t>& beta,
+    value_t tol = 1e-13);
+
+}  // namespace bars

@@ -1,0 +1,81 @@
+#include "eigen/power_iteration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace bars {
+
+PowerResult spectral_radius(const Csr& a, const PowerOptions& opts) {
+  const index_t n = a.rows();
+  PowerResult res;
+  if (n == 0) {
+    res.converged = true;
+    return res;
+  }
+  Rng rng(opts.seed);
+  Vector x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const value_t nx = norm2(x);
+  scale(1.0 / nx, x);
+
+  Vector y(static_cast<std::size_t>(n));
+  Vector z(static_cast<std::size_t>(n));
+  value_t lambda = 0.0;
+  // Iterate with A^2 per step: iteration matrices often carry +-lambda
+  // eigenvalue pairs (e.g. anti-diagonal couplings), which make plain
+  // power iteration oscillate, especially after a non-normal similarity
+  // transform. A^2 has the single dominant eigenvalue lambda^2 >= 0 for
+  // every real-spectrum matrix in this library.
+  for (index_t it = 1; it <= opts.max_iters; ++it) {
+    a.spmv(x, y);
+    a.spmv(y, z);
+    const value_t nz = norm2(z);
+    res.iterations = it;
+    if (nz == 0.0) {
+      // x is in the null space of A^2: restart with a fresh random
+      // vector to avoid a false zero (A may still be nilpotent-ish; a
+      // couple of restarts make that vanishingly unlikely).
+      if (it > 3) {
+        res.value = 0.0;
+        res.converged = true;
+        return res;
+      }
+      for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+      scale(1.0 / norm2(x), x);
+      continue;
+    }
+    const value_t next = std::sqrt(nz);  // sqrt(||A^2 x||), ||x|| = 1
+    scale(1.0 / nz, z);
+    std::swap(x, z);
+    if (it > 1 && std::abs(next - lambda) <=
+                      opts.tol * std::max(std::abs(next), value_t{1e-300})) {
+      lambda = next;
+      res.converged = true;
+      break;
+    }
+    lambda = next;
+  }
+  res.value = lambda;
+  return res;
+}
+
+PowerResult jacobi_spectral_radius(const Csr& a, const PowerOptions& opts) {
+  return spectral_radius(jacobi_iteration_matrix(a), opts);
+}
+
+PowerResult async_spectral_radius(const Csr& a, const PowerOptions& opts) {
+  return spectral_radius(jacobi_iteration_matrix(a).abs(), opts);
+}
+
+value_t async_worst_case_rate(value_t rho_abs, index_t max_shift) {
+  if (rho_abs < 0.0 || max_shift < 0) {
+    throw std::invalid_argument(
+        "async_worst_case_rate: need rho >= 0 and max_shift >= 0");
+  }
+  return std::pow(rho_abs, 1.0 / static_cast<value_t>(1 + max_shift));
+}
+
+}  // namespace bars

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+/// \file power_iteration.hpp
+/// Power-method estimators for spectral radii. Used to verify the
+/// convergence prerequisites of the paper: rho(B) < 1 for Jacobi
+/// (Section 2.1) and Strikwerda's rho(|B|) < 1 for asynchronous
+/// iteration (Section 2.2).
+
+namespace bars {
+
+/// Result of a power-method run.
+struct PowerResult {
+  value_t value = 0.0;      ///< dominant |eigenvalue| estimate
+  index_t iterations = 0;   ///< iterations actually performed
+  bool converged = false;   ///< relative change below tol before max_iters
+};
+
+struct PowerOptions {
+  index_t max_iters = 5000;
+  value_t tol = 1e-10;        ///< relative change stopping criterion
+  std::uint64_t seed = 42;    ///< start-vector seed
+};
+
+/// Estimate the spectral radius rho(A) = max |lambda(A)| by the power
+/// method. Correct for matrices with a real dominant eigenvalue (all
+/// matrices in this library: B is similar to a symmetric matrix; |B| is
+/// nonnegative so Perron-Frobenius applies).
+[[nodiscard]] PowerResult spectral_radius(const Csr& a,
+                                          const PowerOptions& opts = {});
+
+/// rho(B) for the Jacobi iteration matrix B = I - D^{-1}A of `a`.
+[[nodiscard]] PowerResult jacobi_spectral_radius(const Csr& a,
+                                                 const PowerOptions& opts = {});
+
+/// rho(|B|): spectral radius of the entrywise absolute value of the
+/// Jacobi iteration matrix — the sufficient condition for asynchronous
+/// convergence (Strikwerda 1997).
+[[nodiscard]] PowerResult async_spectral_radius(const Csr& a,
+                                                const PowerOptions& opts = {});
+
+/// Worst-case asymptotic contraction factor (per update round) of an
+/// asynchronous iteration whose shift function is bounded by max_shift:
+/// the Chazan-Miranker error envelope contracts by rho(|B|) only every
+/// (1 + max_shift) rounds, giving rho(|B|)^{1/(1+max_shift)}. Any
+/// actual schedule must do at least this well.
+[[nodiscard]] value_t async_worst_case_rate(value_t rho_abs,
+                                            index_t max_shift);
+
+}  // namespace bars

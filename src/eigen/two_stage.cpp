@@ -1,0 +1,140 @@
+#include "eigen/two_stage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/vector_ops.hpp"
+#include "stats/rng.hpp"
+
+namespace bars {
+
+Dense two_stage_iteration_matrix(const Csr& a, const RowPartition& partition,
+                                 index_t local_iters) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("two_stage_iteration_matrix: not square");
+  }
+  if (partition.total_rows() != a.rows()) {
+    throw std::invalid_argument(
+        "two_stage_iteration_matrix: partition mismatch");
+  }
+  if (local_iters <= 0) {
+    throw std::invalid_argument(
+        "two_stage_iteration_matrix: local_iters must be > 0");
+  }
+  const index_t n = a.rows();
+
+  // Assemble P = blockdiag((I - L_b^k) A_b^{-1}) block by block.
+  Dense p(n, n);
+  for (index_t bi = 0; bi < partition.num_blocks(); ++bi) {
+    const RowBlock blk = partition.block(bi);
+    const index_t m = blk.size();
+
+    Dense ab(m, m);
+    for (index_t i = 0; i < m; ++i) {
+      const auto cols = a.row_cols(blk.begin + i);
+      const auto vals = a.row_vals(blk.begin + i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const index_t j = cols[k];
+        if (j >= blk.begin && j < blk.end) ab(i, j - blk.begin) = vals[k];
+      }
+    }
+    // L = I - D^{-1} A_b.
+    Dense l(m, m);
+    for (index_t i = 0; i < m; ++i) {
+      const value_t d = ab(i, i);
+      if (d == 0.0) {
+        throw std::invalid_argument(
+            "two_stage_iteration_matrix: zero block diagonal");
+      }
+      for (index_t j = 0; j < m; ++j) {
+        l(i, j) = (i == j ? 1.0 : 0.0) - ab(i, j) / d;
+      }
+    }
+    // L^k by repeated multiplication.
+    Dense lk = Dense::identity(m);
+    for (index_t s = 0; s < local_iters; ++s) {
+      Dense next(m, m);
+      for (index_t i = 0; i < m; ++i) {
+        for (index_t j = 0; j < m; ++j) {
+          value_t acc = 0.0;
+          for (index_t t = 0; t < m; ++t) acc += lk(i, t) * l(t, j);
+          next(i, j) = acc;
+        }
+      }
+      lk = std::move(next);
+    }
+    // P_b = (I - L^k) A_b^{-1}: solve A_b^T y = row of (I - L^k).
+    // Equivalently compute columns of A_b^{-1} and multiply.
+    Dense ab_inv(m, m);
+    for (index_t j = 0; j < m; ++j) {
+      Vector e(static_cast<std::size_t>(m), 0.0);
+      e[j] = 1.0;
+      const Vector col = ab.solve(e);
+      for (index_t i = 0; i < m; ++i) ab_inv(i, j) = col[i];
+    }
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < m; ++j) {
+        value_t acc = 0.0;
+        for (index_t t = 0; t < m; ++t) {
+          const value_t ilk = (i == t ? 1.0 : 0.0) - lk(i, t);
+          acc += ilk * ab_inv(t, j);
+        }
+        p(blk.begin + i, blk.begin + j) = acc;
+      }
+    }
+  }
+
+  // T = I - P A.
+  Dense t(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      value_t acc = i == j ? 1.0 : 0.0;
+      // (P A)(i, j) = sum_t P(i, t) A(t, j) — use A's sparsity by
+      // iterating rows of A: acc -= sum over rows t with A(t, j) != 0.
+      t(i, j) = acc;
+    }
+  }
+  for (index_t trow = 0; trow < n; ++trow) {
+    const auto cols = a.row_cols(trow);
+    const auto vals = a.row_vals(trow);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const index_t j = cols[k];
+      const value_t av = vals[k];
+      for (index_t i = 0; i < n; ++i) {
+        const value_t pv = p(i, trow);
+        if (pv != 0.0) t(i, j) -= pv * av;
+      }
+    }
+  }
+  return t;
+}
+
+value_t two_stage_spectral_radius(const Csr& a,
+                                  const RowPartition& partition,
+                                  index_t local_iters, index_t power_iters) {
+  const Dense t = two_stage_iteration_matrix(a, partition, local_iters);
+  const index_t n = t.rows();
+  if (n == 0) return 0.0;
+  Rng rng(5);
+  Vector x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  scale(1.0 / norm2(x), x);
+  Vector y(x.size()), z(x.size());
+  value_t lambda = 0.0;
+  for (index_t it = 0; it < power_iters; ++it) {
+    t.spmv(x, y);
+    t.spmv(y, z);
+    const value_t nz = norm2(z);
+    if (nz == 0.0) return 0.0;
+    const value_t next = std::sqrt(nz);
+    scale(1.0 / nz, z);
+    std::swap(x, z);
+    if (it > 2 && std::abs(next - lambda) <= 1e-11 * std::max(next, 1e-300)) {
+      return next;
+    }
+    lambda = next;
+  }
+  return lambda;
+}
+
+}  // namespace bars

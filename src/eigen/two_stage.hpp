@@ -1,0 +1,34 @@
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/partition.hpp"
+
+/// \file two_stage.hpp
+/// Exact iteration operator of the *synchronous* two-stage block-Jacobi
+/// method (the synchronized skeleton of async-(k)):
+///
+///   x+ = T_k x + c,   T_k = I - P_k A,
+///   P_k = blockdiag( (I - L_b^k) A_b^{-1} ),  L_b = I - D_b^{-1} A_b,
+///
+/// where A_b are the diagonal blocks. rho(T_k) is the convergence rate
+/// of block-Jacobi-(k) and the baseline against which the asynchronous
+/// chaos penalty is measured. Dense computation — intended for small
+/// verification problems, not the solver hot path.
+
+namespace bars {
+
+/// Build T_k explicitly. Throws for non-square A, zero block diagonals,
+/// or a partition that does not cover A.
+[[nodiscard]] Dense two_stage_iteration_matrix(const Csr& a,
+                                               const RowPartition& partition,
+                                               index_t local_iters);
+
+/// rho(T_k) via the dense symmetric eigensolver on T_k^T T_k is wrong
+/// for non-normal T; instead this uses dense power iteration on T_k
+/// (the spectrum is real for the SPD systems in this library).
+[[nodiscard]] value_t two_stage_spectral_radius(
+    const Csr& a, const RowPartition& partition, index_t local_iters,
+    index_t power_iters = 2000);
+
+}  // namespace bars

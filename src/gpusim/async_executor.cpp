@@ -1,0 +1,270 @@
+#include "gpusim/async_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace bars::gpusim {
+
+namespace {
+
+enum class EventKind { kStart, kRead, kWrite };
+
+struct Event {
+  value_t time = 0.0;
+  EventKind kind = EventKind::kStart;
+  index_t block = 0;
+  std::uint64_t seq = 0;  ///< deterministic tie-break
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+AsyncExecutor::AsyncExecutor(const BlockKernel& kernel, ExecutorOptions opts)
+    : kernel_(kernel), opts_(opts) {
+  if (opts_.concurrent_slots <= 0) {
+    throw std::invalid_argument("AsyncExecutor: concurrent_slots must be > 0");
+  }
+  if (opts_.global_iteration_time <= 0.0) {
+    throw std::invalid_argument(
+        "AsyncExecutor: global_iteration_time must be > 0");
+  }
+}
+
+ExecutorResult AsyncExecutor::run(
+    Vector& x, const std::function<value_t(const Vector&)>& residual_fn) {
+  const index_t q = kernel_.num_blocks();
+  const index_t n = kernel_.num_rows();
+  if (static_cast<index_t>(x.size()) != n) {
+    throw std::invalid_argument("AsyncExecutor::run: x size mismatch");
+  }
+  ExecutorResult res;
+  res.block_executions.assign(static_cast<std::size_t>(q), 0);
+  res.residual_history.push_back(residual_fn(x));
+  res.time_history.push_back(0.0);
+  if (q == 0) {
+    res.converged = res.residual_history.back() <= opts_.tol;
+    return res;
+  }
+
+  Rng rng(opts_.seed);
+  const bool deterministic = opts_.policy == SchedulePolicy::kRoundRobin;
+  const index_t slots = std::min(opts_.concurrent_slots, q);
+  const value_t mean_duration = opts_.global_iteration_time *
+                                static_cast<value_t>(slots) /
+                                static_cast<value_t>(q);
+
+  // Fault mask management (Section 4.5 scenario).
+  std::vector<std::uint8_t> fault_mask;
+  bool fault_active = false;
+  const auto apply_fault_transitions = [&](index_t global_iter) {
+    if (!opts_.fault) return;
+    const FaultPlan& plan = *opts_.fault;
+    if (!fault_active && fault_mask.empty() && global_iter >= plan.fail_at) {
+      fault_mask.assign(static_cast<std::size_t>(n), 0);
+      Rng fault_rng(plan.seed);
+      const auto k = static_cast<index_t>(
+          plan.fraction * static_cast<value_t>(n) + 0.5);
+      for (index_t i : fault_rng.sample_without_replacement(n, k)) {
+        fault_mask[i] = 1;
+      }
+      fault_active = true;
+    }
+    if (fault_active && plan.recover_after &&
+        global_iter >= plan.fail_at + *plan.recover_after) {
+      fault_active = false;  // components reassigned to healthy cores
+    }
+  };
+
+  // Per-block halo snapshot captured at READ, consumed at WRITE.
+  std::vector<Vector> halo_snapshot(static_cast<std::size_t>(q));
+  std::vector<TraceEvent> pending_trace(
+      opts_.record_trace ? static_cast<std::size_t>(q) : 0);
+  // Generation bookkeeping for the staleness diagnostic.
+  std::vector<index_t> write_generation(static_cast<std::size_t>(q), 0);
+  std::vector<std::vector<index_t>> halo_sources(
+      static_cast<std::size_t>(q));
+  for (index_t b = 0; b < q; ++b) {
+    std::vector<index_t>& src = halo_sources[b];
+    index_t prev = -1;
+    for (index_t gi : kernel_.halo(b)) {
+      // Identify the owning block by scanning block ranges lazily; halos
+      // are sorted so consecutive indices usually share a block.
+      if (prev >= 0 && gi >= kernel_.rows(prev).first &&
+          gi < kernel_.rows(prev).second) {
+        continue;
+      }
+      index_t owner = -1;
+      for (index_t s = 0; s < q; ++s) {
+        const auto [lo, hi] = kernel_.rows(s);
+        if (gi >= lo && gi < hi) {
+          owner = s;
+          break;
+        }
+      }
+      if (owner >= 0 && owner != b &&
+          (src.empty() || src.back() != owner)) {
+        src.push_back(owner);
+      }
+      prev = owner;
+    }
+    std::sort(src.begin(), src.end());
+    src.erase(std::unique(src.begin(), src.end()), src.end());
+  }
+
+  Rng pattern_rng(opts_.pattern_seed.value_or(0));
+  const auto sample_duration = [&]() -> value_t {
+    if (deterministic) return mean_duration;
+    // Pattern mode: the jitter/straggler stream is shared by all runs;
+    // the per-run seed only perturbs durations slightly.
+    Rng& jitter_rng = opts_.pattern_seed ? pattern_rng : rng;
+    value_t d = mean_duration *
+                (1.0 + opts_.jitter * jitter_rng.uniform(-1.0, 1.0));
+    if (jitter_rng.uniform() < opts_.straggler_prob) {
+      d *= opts_.straggler_factor;
+    }
+    if (opts_.pattern_seed) {
+      d *= 1.0 + opts_.run_noise * rng.uniform(-1.0, 1.0);
+    }
+    return d;
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::uint64_t seq = 0;
+
+  // Ready queue and slot accounting. Blocks enter in scheduler order; a
+  // free slot starts the front of the queue immediately. After its
+  // WRITE a block re-enqueues itself (FIFO for kRoundRobin/kJittered;
+  // at a random position for kShuffled), so every block runs infinitely
+  // often with bounded skew — the Chazan-Miranker well-posedness
+  // conditions.
+  std::deque<index_t> ready;
+  {
+    std::vector<index_t> order(static_cast<std::size_t>(q));
+    for (index_t b = 0; b < q; ++b) order[b] = b;
+    if (opts_.policy == SchedulePolicy::kShuffled) rng.shuffle(order);
+    ready.assign(order.begin(), order.end());
+  }
+  const auto requeue = [&](index_t b) {
+    if (opts_.policy == SchedulePolicy::kShuffled && !ready.empty()) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<index_t>(ready.size())));
+      ready.insert(ready.begin() + static_cast<std::ptrdiff_t>(pos), b);
+    } else {
+      ready.push_back(b);
+    }
+  };
+
+  index_t busy_slots = 0;
+  value_t now = 0.0;
+  // Bounded-shift gate: blocks more than max_generation_skew ahead of
+  // the slowest block wait (their slot idles until the laggard writes).
+  const auto try_start = [&]() {
+    index_t min_gen = write_generation.empty() ? 0 : write_generation[0];
+    for (index_t g : write_generation) min_gen = std::min(min_gen, g);
+    std::deque<index_t> deferred;
+    while (busy_slots < slots && !ready.empty()) {
+      const index_t b = ready.front();
+      ready.pop_front();
+      if (write_generation[b] > min_gen + opts_.max_generation_skew) {
+        deferred.push_back(b);
+        continue;
+      }
+      ++busy_slots;
+      events.push({now, EventKind::kStart, b, seq++});
+    }
+    for (auto it = deferred.rbegin(); it != deferred.rend(); ++it) {
+      ready.push_front(*it);
+    }
+  };
+  try_start();
+
+  index_t total_writes = 0;
+  index_t global_iter = 0;
+  apply_fault_transitions(0);
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    const index_t b = ev.block;
+
+    if (ev.kind == EventKind::kStart) {
+      const value_t duration = sample_duration();
+      const value_t frac =
+          std::clamp(opts_.read_fraction, value_t{0.0}, value_t{1.0});
+      if (opts_.record_trace) {
+        pending_trace[b] = TraceEvent{b, write_generation[b], now,
+                                      now + frac * duration,
+                                      now + duration};
+      }
+      events.push({now + frac * duration, EventKind::kRead, b, seq++});
+      events.push({now + duration, EventKind::kWrite, b, seq++});
+      continue;
+    }
+
+    if (ev.kind == EventKind::kRead) {
+      // Snapshot halo values at virtual time `now` (mid-execution).
+      const auto halo = kernel_.halo(b);
+      Vector& snap = halo_snapshot[b];
+      snap.resize(halo.size());
+      for (std::size_t i = 0; i < halo.size(); ++i) snap[i] = x[halo[i]];
+      // Staleness diagnostic: generation gap to each halo source.
+      for (index_t s : halo_sources[b]) {
+        const index_t gap =
+            std::abs(write_generation[b] - write_generation[s]);
+        res.max_staleness = std::max(res.max_staleness, gap);
+      }
+      continue;
+    }
+
+    // WRITE: commit the block update.
+    ExecContext ctx;
+    ctx.virtual_time = now;
+    ctx.block_generation = res.block_executions[b];
+    ctx.failed_components = fault_active ? &fault_mask : nullptr;
+    kernel_.update(b, halo_snapshot[b], x, ctx);
+    if (opts_.record_trace) res.trace.record(pending_trace[b]);
+    ++res.block_executions[b];
+    ++write_generation[b];
+    ++total_writes;
+    --busy_slots;
+    requeue(b);
+
+    if (total_writes % q == 0) {
+      ++global_iter;
+      const value_t r = residual_fn(x);
+      res.residual_history.push_back(r);
+      res.time_history.push_back(now);
+      apply_fault_transitions(global_iter);
+      if (r <= opts_.tol) {
+        res.converged = true;
+        break;
+      }
+      if (!std::isfinite(r) || r > opts_.divergence_limit) {
+        res.diverged = true;
+        break;
+      }
+      if (global_iter >= opts_.max_global_iters) break;
+    }
+    try_start();
+  }
+
+  res.global_iterations = global_iter;
+  res.virtual_time = now;
+  return res;
+}
+
+}  // namespace bars::gpusim

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "gpusim/block_kernel.hpp"
+#include "gpusim/fault.hpp"
+#include "gpusim/trace.hpp"
+#include "sparse/types.hpp"
+
+/// \file async_executor.hpp
+/// Discrete-event simulator of one GPU running an asynchronous
+/// block-relaxation kernel (paper Section 3.3).
+///
+/// Execution model: the device has `concurrent_slots` multiprocessors.
+/// Ready blocks start in scheduler order as slots free up. A block
+/// execution is split into a START event (halo snapshot at virtual time
+/// t) and a WRITE event (commit at t + duration). Between a block's
+/// snapshot and its commit other blocks commit — exactly the chaotic
+/// staleness of Chazan-Miranker iterations, with the shift function
+/// realized by the seeded event interleaving. Durations carry seeded
+/// jitter and occasional stragglers, mimicking the non-deterministic
+/// GPU-internal scheduling the paper studies in Section 4.1.
+
+namespace bars::gpusim {
+
+/// How the device orders ready blocks.
+enum class SchedulePolicy {
+  /// Fixed order 0..q-1, no jitter: deterministic reference execution.
+  kRoundRobin,
+  /// Seeded duration jitter + stragglers with FIFO re-queue (default;
+  /// models the GPU's non-deterministic block scheduler).
+  kJittered,
+  /// Like kJittered, plus a fresh random block permutation each sweep.
+  kShuffled,
+};
+
+struct ExecutorOptions {
+  index_t max_global_iters = 1000;
+  /// Stop when residual_fn(x) <= tol (residual_fn decides the norm and
+  /// scaling; the paper uses the relative l2 residual).
+  value_t tol = 1e-14;
+  /// Stop and flag divergence when the residual exceeds this.
+  value_t divergence_limit = 1e30;
+
+  index_t concurrent_slots = 14;  ///< multiprocessors (C2070: 14)
+  /// Virtual seconds for one *global* iteration (all blocks once);
+  /// per-block duration is derived as global_iteration_time *
+  /// concurrent_slots / num_blocks (capped at num_blocks).
+  value_t global_iteration_time = 1.0e-2;
+  value_t jitter = 0.20;            ///< +- fraction on block durations
+  value_t straggler_prob = 0.05;    ///< chance a block is delayed...
+  value_t straggler_factor = 2.0;   ///< ...by this duration factor
+  /// Chazan-Miranker condition 2 (bounded shift): a block may not run
+  /// more than this many generations ahead of the slowest block. The
+  /// GPU's greedy block scheduler provides the same guarantee because
+  /// every queued block eventually gets a multiprocessor.
+  index_t max_generation_skew = 2;
+  /// Point within a block's execution at which the halo is read, as a
+  /// fraction of the execution duration. 0 = most pessimistic (read at
+  /// launch), 1 = freshest possible. A real kernel streams its inputs
+  /// while running; 0.5 reproduces the paper's observation that
+  /// async-(1) converges at essentially the synchronous Jacobi rate.
+  value_t read_fraction = 0.5;
+
+  SchedulePolicy policy = SchedulePolicy::kJittered;
+  std::uint64_t seed = 99;
+  /// When set, block durations follow a *recurring pattern* drawn from
+  /// this seed (identical across runs), and `seed` only contributes a
+  /// tiny multiplicative perturbation (`run_noise`). This models the
+  /// paper's Section 4.1 observation that the GPU's internal scheduling
+  /// appears to repeat a pattern, making run-to-run variation small and
+  /// structured rather than fully random.
+  std::optional<std::uint64_t> pattern_seed;
+  /// Relative magnitude of the per-run perturbation under pattern mode.
+  value_t run_noise = 2.0e-3;
+  /// Record one TraceEvent per block execution (memory ~ O(executions)).
+  bool record_trace = false;
+  std::optional<FaultPlan> fault;
+};
+
+struct ExecutorResult {
+  bool converged = false;
+  bool diverged = false;
+  index_t global_iterations = 0;
+  value_t virtual_time = 0.0;  ///< simulated seconds at stop
+  /// residual_history[k] = residual after k global iterations
+  /// (residual_history[0] is the initial residual).
+  std::vector<value_t> residual_history;
+  /// Virtual time at which each history entry was recorded.
+  std::vector<value_t> time_history;
+  /// Number of completed executions per block (Chazan-Miranker
+  /// condition 1: every block updated "infinitely often" — in practice,
+  /// counts stay within a bounded spread).
+  std::vector<index_t> block_executions;
+  /// Largest generation lag observed between a reader and the halo
+  /// source it read (bounded-shift condition 2); negative shifts (the
+  /// source is *ahead*) are folded in by absolute value.
+  index_t max_staleness = 0;
+  /// Execution trace (only populated when options.record_trace).
+  ExecutionTrace trace;
+};
+
+/// Runs the kernel to convergence (or max_global_iters) in virtual time.
+class AsyncExecutor {
+ public:
+  AsyncExecutor(const BlockKernel& kernel, ExecutorOptions opts);
+
+  /// Iterate on x in place. residual_fn is called once per global
+  /// iteration with the current iterate.
+  ExecutorResult run(Vector& x,
+                     const std::function<value_t(const Vector&)>& residual_fn);
+
+ private:
+  const BlockKernel& kernel_;
+  ExecutorOptions opts_;
+};
+
+}  // namespace bars::gpusim

@@ -1,0 +1,143 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace bars::gpusim {
+
+namespace {
+
+// Fallback formula constants fitted to the fv3 row of the paper's
+// Tables 4/5 (seconds): sequential CPU sweep cost per nonzero, GPU
+// kernel pipeline overhead per iteration, GPU cost per nonzero.
+constexpr value_t kHostGsPerNnz = 1.443e-6;
+constexpr value_t kGpuIterOverhead = 3.0e-4;
+constexpr value_t kGpuPerNnz = 2.38e-7;
+// Async marginal local sweep cost relative to the async-(1) base, from
+// Table 4 (fv3: 0.513 ms marginal vs 11.25 ms base).
+constexpr value_t kAsyncLocalFraction = 0.0456;
+// CG: SpMV plus synchronizing dot-product reductions per iteration.
+constexpr value_t kCgReductionOverhead = 2.5e-4;
+constexpr value_t kCgSpmvFactor = 1.3;
+// One-time CUDA context + allocation cost (paper Fig. 8 shows average
+// per-iteration GPU time decaying ~ setup/N on top of the asymptote).
+constexpr value_t kDeviceSetup = 0.30;
+
+CalibrationEntry scaled(const CalibrationEntry& base, value_t f) {
+  return CalibrationEntry{base.host_gauss_seidel * f, base.gpu_jacobi * f,
+                          base.async_base * f, base.async_local * f};
+}
+
+}  // namespace
+
+CostModel::CostModel(DeviceSpec device, HostSpec host,
+                     InterconnectSpec interconnect)
+    : device_(std::move(device)),
+      host_(std::move(host)),
+      interconnect_(std::move(interconnect)) {}
+
+CostModel CostModel::calibrated_to_paper() {
+  CostModel m(DeviceSpec::fermi_c2070(), HostSpec::xeon_e5540(),
+              InterconnectSpec::supermicro_x8dtg());
+  // Columns: GS-CPU and Jacobi-GPU from Table 5 verbatim. The async pair
+  // (base, marginal) comes from Table 4 for fv3 (async-(1) at 500
+  // iterations: 11.25 ms; marginal per local sweep: 0.513 ms) and is
+  // scaled to the other matrices by their Table-5 async-(5) ratio, which
+  // keeps both tables consistent within ~10%.
+  const value_t fv3_async5 = 0.014737;
+  const CalibrationEntry fv3{0.125577, 0.021009, 0.011250, 0.000513};
+  const auto derived = [&](value_t gs, value_t jac,
+                           value_t async5) -> CalibrationEntry {
+    const value_t f = async5 / fv3_async5;
+    CalibrationEntry e = scaled(fv3, f);
+    e.host_gauss_seidel = gs;
+    e.gpu_jacobi = jac;
+    return e;
+  };
+  m.set_calibration("Chem97ZtZ", derived(0.008448, 0.002051, 0.001742));
+  m.set_calibration("fv1", derived(0.120191, 0.019449, 0.012964));
+  m.set_calibration("fv2", derived(0.125572, 0.020997, 0.014729));
+  m.set_calibration("fv3", fv3);
+  m.set_calibration("s1rmt3m1", derived(0.039530, 0.006442, 0.004967));
+  m.set_calibration("Trefethen_2000", derived(0.007603, 0.001494, 0.001305));
+  // Trefethen_20000 is not in Table 5 (it only appears in the multi-GPU
+  // experiment); extrapolate from Trefethen_2000 by the nnz ratio.
+  const value_t tref_ratio = 554466.0 / 41906.0;
+  m.set_calibration("Trefethen_20000",
+                    scaled(derived(0.007603, 0.001494, 0.001305), tref_ratio));
+  return m;
+}
+
+void CostModel::set_calibration(const std::string& name,
+                                CalibrationEntry entry) {
+  for (auto& [n, e] : table_) {
+    if (n == name) {
+      e = entry;
+      return;
+    }
+  }
+  table_.emplace_back(name, entry);
+}
+
+std::optional<CalibrationEntry> CostModel::calibration(
+    const std::string& name) const {
+  for (const auto& [n, e] : table_) {
+    if (n == name) return e;
+  }
+  return std::nullopt;
+}
+
+CalibrationEntry CostModel::resolve(const MatrixShape& m) const {
+  if (auto e = calibration(m.name)) return *e;
+  CalibrationEntry e;
+  const auto nnz = static_cast<value_t>(std::max<index_t>(m.nnz, 1));
+  e.host_gauss_seidel = kHostGsPerNnz * nnz;
+  e.gpu_jacobi = kGpuIterOverhead + kGpuPerNnz * nnz;
+  // Fallback heuristic: async-(1) costs ~55% of a synchronous Jacobi
+  // iteration (no global barrier), and each extra local sweep adds
+  // kAsyncLocalFraction of that base.
+  e.async_base = 0.55 * e.gpu_jacobi;
+  e.async_local = kAsyncLocalFraction * e.async_base;
+  return e;
+}
+
+value_t CostModel::host_gauss_seidel_iteration(const MatrixShape& m) const {
+  return resolve(m).host_gauss_seidel;
+}
+
+value_t CostModel::gpu_jacobi_iteration(const MatrixShape& m) const {
+  return resolve(m).gpu_jacobi;
+}
+
+value_t CostModel::gpu_block_async_iteration(const MatrixShape& m,
+                                             index_t local_iters) const {
+  const CalibrationEntry e = resolve(m);
+  const index_t k = std::max<index_t>(local_iters, 1);
+  return e.async_base + static_cast<value_t>(k - 1) * e.async_local;
+}
+
+value_t CostModel::gpu_cg_iteration(const MatrixShape& m) const {
+  return kCgSpmvFactor * gpu_jacobi_iteration(m) + kCgReductionOverhead;
+}
+
+value_t CostModel::device_setup_overhead(const MatrixShape& m) const {
+  // Context/alloc plus the one-time matrix upload (12 bytes per stored
+  // entry for CSR value+index, 8 bytes per row pointer/vector entry).
+  const value_t bytes =
+      12.0 * static_cast<value_t>(m.nnz) + 16.0 * static_cast<value_t>(m.n);
+  return kDeviceSetup + pcie_transfer(bytes);
+}
+
+value_t CostModel::pcie_transfer(value_t bytes) const {
+  return interconnect_.pcie_latency_s +
+         bytes / (interconnect_.pcie_bandwidth_gbs * 1.0e9);
+}
+
+value_t CostModel::p2p_transfer(value_t bytes, bool crosses_qpi) const {
+  const value_t bw = interconnect_.pcie_bandwidth_gbs *
+                     (crosses_qpi ? interconnect_.qpi_derate : 1.0) * 1.0e9;
+  const value_t lat = interconnect_.pcie_latency_s +
+                      (crosses_qpi ? interconnect_.qpi_latency_s : 0.0);
+  return lat + bytes / bw;
+}
+
+}  // namespace bars::gpusim

@@ -1,0 +1,30 @@
+#include "gpusim/device_spec.hpp"
+
+namespace bars::gpusim {
+
+DeviceSpec DeviceSpec::fermi_c2070() {
+  DeviceSpec d;
+  d.name = "Fermi C2070";
+  d.multiprocessors = 14;
+  d.cores_per_mp = 32;
+  d.clock_ghz = 1.15;
+  d.mem_bandwidth_gbs = 144.0;
+  d.kernel_launch_overhead_s = 7.0e-6;
+  d.max_threads_per_block = 1024;
+  return d;
+}
+
+HostSpec HostSpec::xeon_e5540() {
+  HostSpec h;
+  h.name = "Xeon E5540";
+  h.cores = 4;
+  h.clock_ghz = 2.53;
+  h.mem_bandwidth_gbs = 25.6;
+  return h;
+}
+
+InterconnectSpec InterconnectSpec::supermicro_x8dtg() {
+  return InterconnectSpec{};
+}
+
+}  // namespace bars::gpusim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+
+#include "sparse/types.hpp"
+
+/// \file device_spec.hpp
+/// Hardware descriptions for the virtual-time GPU model. The presets
+/// mirror the paper's testbed (Section 3.2): a Supermicro node with two
+/// Intel Xeon E5540 sockets and four NVIDIA Fermi C2070 GPUs on
+/// PCIe x16, pairs of GPUs per socket, sockets joined by QPI.
+
+namespace bars::gpusim {
+
+/// One GPU accelerator.
+struct DeviceSpec {
+  std::string name = "generic-gpu";
+  index_t multiprocessors = 14;     ///< SMs
+  index_t cores_per_mp = 32;        ///< CUDA cores per SM
+  value_t clock_ghz = 1.15;
+  value_t mem_bandwidth_gbs = 144.0;  ///< device memory bandwidth
+  value_t kernel_launch_overhead_s = 7.0e-6;
+  index_t max_threads_per_block = 1024;
+
+  /// NVIDIA Tesla/Fermi C2070 (the paper's GPU).
+  static DeviceSpec fermi_c2070();
+};
+
+/// The host CPU (runs the Gauss-Seidel baseline).
+struct HostSpec {
+  std::string name = "generic-cpu";
+  index_t cores = 4;
+  value_t clock_ghz = 2.53;
+  value_t mem_bandwidth_gbs = 25.6;
+
+  /// Intel Xeon E5540 @ 2.53 GHz (the paper's CPU).
+  static HostSpec xeon_e5540();
+};
+
+/// Interconnect characteristics of the node.
+struct InterconnectSpec {
+  value_t pcie_bandwidth_gbs = 8.0;   ///< per-GPU PCIe x16 (gen2) effective
+  value_t pcie_latency_s = 10.0e-6;
+  value_t qpi_bandwidth_gbs = 12.8;   ///< socket-to-socket QPI
+  value_t qpi_latency_s = 0.4e-6;
+  /// Effective bandwidth derating when a P2P path crosses QPI (the
+  /// paper observes inter-socket transfers limit performance, §4.6).
+  value_t qpi_derate = 0.4;
+
+  static InterconnectSpec supermicro_x8dtg();
+};
+
+}  // namespace bars::gpusim

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sparse/types.hpp"
+
+/// \file fault.hpp
+/// Hardware-failure scenario of the paper's Section 4.5: at global
+/// iteration `fail_at`, a random fraction of components stops being
+/// updated (their cores "break"); if `recover_after` is set, the
+/// components are reassigned to healthy cores after that many further
+/// global iterations and resume updating.
+
+namespace bars::gpusim {
+
+struct FaultPlan {
+  index_t fail_at = 10;          ///< global iteration of the breakdown
+  value_t fraction = 0.25;       ///< fraction of components that fail
+  /// Recovery delay t_r in global iterations; nullopt = never recover
+  /// (the paper's "no recovery" curve).
+  std::optional<index_t> recover_after = {};
+  std::uint64_t seed = 1234;     ///< which components fail
+};
+
+}  // namespace bars::gpusim

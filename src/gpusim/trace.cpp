@@ -1,0 +1,46 @@
+#include "gpusim/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace bars::gpusim {
+
+value_t ExecutionTrace::makespan() const {
+  value_t m = 0.0;
+  for (const auto& ev : events_) m = std::max(m, ev.write);
+  return m;
+}
+
+value_t ExecutionTrace::average_concurrency() const {
+  const value_t span = makespan();
+  if (span <= 0.0) return 0.0;
+  value_t busy = 0.0;
+  for (const auto& ev : events_) busy += ev.write - ev.start;
+  return busy / span;
+}
+
+value_t ExecutionTrace::occupancy(index_t slots) const {
+  return slots > 0 ? average_concurrency() / static_cast<value_t>(slots)
+                   : 0.0;
+}
+
+std::vector<index_t> ExecutionTrace::staleness_histogram() const {
+  std::vector<index_t> hist;
+  // For each execution, compare its generation with the generation of
+  // every other block whose execution window contains this read time.
+  // O(n^2) over trace events — traces are short by construction.
+  for (const auto& ev : events_) {
+    for (const auto& other : events_) {
+      if (other.block == ev.block) continue;
+      if (other.start <= ev.read && ev.read <= other.write) {
+        const auto gap = static_cast<std::size_t>(
+            std::abs(ev.generation - other.generation));
+        if (hist.size() <= gap) hist.resize(gap + 1, 0);
+        ++hist[gap];
+      }
+    }
+  }
+  return hist;
+}
+
+}  // namespace bars::gpusim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+/// \file trace.hpp
+/// Optional execution trace of the simulated device: one record per
+/// block execution, plus summary analyses (occupancy, staleness). Used
+/// by the executor tests and the trace_occupancy example.
+
+namespace bars::gpusim {
+
+/// One completed block execution.
+struct TraceEvent {
+  index_t block = 0;
+  index_t generation = 0;  ///< how many times this block ran before
+  value_t start = 0.0;     ///< virtual time the block began
+  value_t read = 0.0;      ///< halo snapshot time
+  value_t write = 0.0;     ///< commit time
+};
+
+/// Trace of a whole run with derived statistics.
+class ExecutionTrace {
+ public:
+  void record(const TraceEvent& ev) { events_.push_back(ev); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Virtual time of the last commit.
+  [[nodiscard]] value_t makespan() const;
+
+  /// Mean number of concurrently executing blocks: total busy time
+  /// divided by the makespan.
+  [[nodiscard]] value_t average_concurrency() const;
+
+  /// Fraction of slot capacity used: average_concurrency / slots.
+  [[nodiscard]] value_t occupancy(index_t slots) const;
+
+  /// Histogram of |generation gap| between each execution and the
+  /// executions of other blocks overlapping its read time (index =
+  /// gap, value = count). Bounded support demonstrates the
+  /// Chazan-Miranker shift bound empirically.
+  [[nodiscard]] std::vector<index_t> staleness_histogram() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace bars::gpusim

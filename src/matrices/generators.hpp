@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+/// \file generators.hpp
+/// Generators for the paper's test-matrix suite (Table 1). Trefethen
+/// matrices are generated exactly; the UFMC matrices we cannot download
+/// are replaced by spectrally calibrated surrogates (see DESIGN.md §3).
+
+namespace bars {
+
+/// Trefethen combinatorial matrix (exact reproduction of UFMC
+/// Trefethen_<n>): A(i,i) = (i+1)-th prime; A(i,j) = 1 for
+/// |i-j| in {1, 2, 4, 8, ...}. SPD and strictly diagonally dominant is
+/// not guaranteed, but rho(|B|) < 1 holds (measured 0.86 as in Table 1).
+[[nodiscard]] Csr trefethen(index_t n);
+
+/// 5-point finite-difference Laplacian on an m x m grid with Dirichlet
+/// boundary plus reaction term c*I: the fv1/fv2/fv3 surrogate family
+/// ("2D/3D problem"). Diagonal = 4 + c, off-diagonals = -1.
+/// rho(B) = 4 cos(pi/(m+1)) / (4 + c) in closed form.
+[[nodiscard]] Csr fv_like(index_t m, value_t c);
+
+/// Reaction coefficient c so that fv_like(m, c) has exactly the target
+/// Jacobi spectral radius rho(B) = target_rho (closed form).
+[[nodiscard]] value_t fv_reaction_for_rho(index_t m, value_t target_rho);
+
+/// Tensor-product "plate" matrix T (x) T with T = tridiag(1, a, 1) on an
+/// m x m grid: the s1rmt3m1 surrogate ("structural problem"). SPD for
+/// a > 2 cos(pi/(m+1)), but NOT diagonally dominant: choosing `a` via
+/// structural_diag_for_rho gives rho(B) = target > 1, so Jacobi-type
+/// methods diverge exactly as the paper observes.
+[[nodiscard]] Csr structural_like(index_t m, value_t a);
+
+/// Diagonal value a so that structural_like(m, a) has Jacobi spectral
+/// radius target_rho: rho(B) = (1 + 2 cos(pi/(m+1))/a)^2 - 1.
+[[nodiscard]] value_t structural_diag_for_rho(index_t m, value_t target_rho);
+
+/// Chem97ZtZ surrogate ("statistical problem", normal-equations-like):
+/// couplings far away from the diagonal (anti-diagonal pairing plus a
+/// long stride), scaled so rho(B) = target_rho, then symmetrically
+/// rescaled by a seeded log-uniform diagonal in [1, diag_spread] —
+/// mimicking the wildly varying column scales of normal equations.
+/// The rescaling is a similarity transform of the Jacobi iteration
+/// matrix, so rho(B) and rho(|B|) are preserved exactly while cond(A)
+/// rises to the paper's ~1e3 class. Key reproduced properties:
+/// diagonal blocks of size >= 64 are essentially diagonal (so local
+/// iterations cannot accelerate convergence, Section 4.3) and
+/// unpreconditioned CG is no longer trivially fast (Section 4.4).
+[[nodiscard]] Csr chem97ztz_like(index_t n, value_t target_rho,
+                                 value_t diag_spread = 1.0e3,
+                                 std::uint64_t seed = 97);
+
+/// Random sparse SPD matrix: symmetric pattern with `row_degree`
+/// off-diagonals per row, entries U(-1,1), diagonal = (sum of row
+/// |off-diag|) * dominance. dominance > 1 gives strict diagonal
+/// dominance (and hence rho(|B|) < 1). Used by property tests.
+[[nodiscard]] Csr random_spd(index_t n, index_t row_degree, value_t dominance,
+                             std::uint64_t seed);
+
+/// Anisotropic 5-point Laplacian (eps * d_xx + d_yy) + c*I on an m x m
+/// grid — used in block-size ablations: small eps concentrates coupling
+/// inside contiguous row blocks.
+[[nodiscard]] Csr anisotropic_laplacian(index_t m, value_t eps, value_t c);
+
+/// 1D Poisson matrix tridiag(-1, 2, -1) of size n (multigrid example).
+[[nodiscard]] Csr poisson1d(index_t n);
+
+}  // namespace bars

@@ -1,0 +1,110 @@
+#include "matrices/paper_suite.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "matrices/generators.hpp"
+#include "sparse/matrix_market.hpp"
+
+namespace bars {
+
+namespace {
+
+struct SuiteEntry {
+  PaperMatrix id;
+  const char* name;
+  const char* description;
+  PaperReference paper;
+};
+
+// Reference values transcribed from the paper's Table 1.
+constexpr SuiteEntry kSuite[] = {
+    {PaperMatrix::kChem97ZtZ, "Chem97ZtZ", "statistical problem",
+     {2541, 7361, 1.3e3, 7.2e3, 0.7889}},
+    {PaperMatrix::kFv1, "fv1", "2D/3D problem",
+     {9604, 85264, 9.3e4, 12.76, 0.8541}},
+    {PaperMatrix::kFv2, "fv2", "2D/3D problem",
+     {9801, 87025, 9.5e4, 12.76, 0.8541}},
+    {PaperMatrix::kFv3, "fv3", "2D/3D problem",
+     {9801, 87025, 3.6e7, 4.4e3, 0.9993}},
+    {PaperMatrix::kS1rmt3m1, "s1rmt3m1", "structural problem",
+     {5489, 262411, 2.2e6, 7.2e6, 2.65}},
+    {PaperMatrix::kTrefethen2000, "Trefethen_2000", "combinatorial problem",
+     {2000, 41906, 5.1e4, 6.1579, 0.8601}},
+    {PaperMatrix::kTrefethen20000, "Trefethen_20000", "combinatorial problem",
+     {20000, 554466, 5.1e4, 6.1579, 0.8601}},
+};
+
+const SuiteEntry& entry(PaperMatrix which) {
+  for (const auto& e : kSuite) {
+    if (e.id == which) return e;
+  }
+  throw std::invalid_argument("unknown PaperMatrix");
+}
+
+Csr build_surrogate(PaperMatrix which) {
+  switch (which) {
+    case PaperMatrix::kChem97ZtZ:
+      return chem97ztz_like(2541, 0.7889);
+    case PaperMatrix::kFv1:
+      return fv_like(98, fv_reaction_for_rho(98, 0.8541));
+    case PaperMatrix::kFv2:
+      return fv_like(99, fv_reaction_for_rho(99, 0.8541));
+    case PaperMatrix::kFv3:
+      return fv_like(99, fv_reaction_for_rho(99, 0.9993));
+    case PaperMatrix::kS1rmt3m1:
+      return structural_like(74, structural_diag_for_rho(74, 2.65));
+    case PaperMatrix::kTrefethen2000:
+      return trefethen(2000);
+    case PaperMatrix::kTrefethen20000:
+      return trefethen(20000);
+  }
+  throw std::invalid_argument("unknown PaperMatrix");
+}
+
+}  // namespace
+
+const std::vector<PaperMatrix>& all_paper_matrices() {
+  static const std::vector<PaperMatrix> all = {
+      PaperMatrix::kChem97ZtZ,      PaperMatrix::kFv1,
+      PaperMatrix::kFv2,            PaperMatrix::kFv3,
+      PaperMatrix::kS1rmt3m1,       PaperMatrix::kTrefethen2000,
+      PaperMatrix::kTrefethen20000,
+  };
+  return all;
+}
+
+std::string paper_matrix_name(PaperMatrix which) { return entry(which).name; }
+
+TestProblem make_paper_problem(PaperMatrix which,
+                               const std::optional<std::string>& ufmc_dir) {
+  const SuiteEntry& e = entry(which);
+  TestProblem p;
+  p.name = e.name;
+  p.description = e.description;
+  p.paper = e.paper;
+  if (ufmc_dir) {
+    const std::filesystem::path path =
+        std::filesystem::path(*ufmc_dir) / (std::string(e.name) + ".mtx");
+    if (std::filesystem::exists(path)) {
+      p.matrix = read_matrix_market_file(path.string());
+      p.surrogate = false;
+      return p;
+    }
+  }
+  p.matrix = build_surrogate(which);
+  p.surrogate = true;
+  return p;
+}
+
+std::vector<TestProblem> make_paper_suite(
+    const std::optional<std::string>& ufmc_dir) {
+  std::vector<TestProblem> suite;
+  suite.reserve(all_paper_matrices().size());
+  for (PaperMatrix m : all_paper_matrices()) {
+    suite.push_back(make_paper_problem(m, ufmc_dir));
+  }
+  return suite;
+}
+
+}  // namespace bars

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+/// \file paper_suite.hpp
+/// The seven test problems of the paper's Table 1, assembled from the
+/// generators (or, when a directory with the original UFMC .mtx files is
+/// supplied, loaded verbatim).
+
+namespace bars {
+
+/// Reference values copied from the paper's Table 1 for side-by-side
+/// reporting in bench/table1_matrices.
+struct PaperReference {
+  index_t n = 0;
+  index_t nnz = 0;
+  value_t cond_a = 0.0;
+  value_t cond_scaled = 0.0;  ///< cond(D^{-1}A)
+  value_t rho = 0.0;          ///< rho(M), Jacobi iteration matrix
+};
+
+/// One named test problem.
+struct TestProblem {
+  std::string name;         ///< paper's matrix name
+  std::string description;  ///< paper's "Description" column
+  Csr matrix;
+  PaperReference paper;     ///< the numbers printed in Table 1
+  bool surrogate = true;    ///< false when loaded from a real UFMC file
+};
+
+/// Identifiers for the suite, in the paper's Table 1 order.
+enum class PaperMatrix {
+  kChem97ZtZ,
+  kFv1,
+  kFv2,
+  kFv3,
+  kS1rmt3m1,
+  kTrefethen2000,
+  kTrefethen20000,
+};
+
+/// All seven identifiers in table order.
+[[nodiscard]] const std::vector<PaperMatrix>& all_paper_matrices();
+
+/// Generate one problem. If `ufmc_dir` is given and contains
+/// "<name>.mtx", that file is loaded instead of the surrogate.
+[[nodiscard]] TestProblem make_paper_problem(
+    PaperMatrix which, const std::optional<std::string>& ufmc_dir = {});
+
+/// Generate the full suite (in table order).
+[[nodiscard]] std::vector<TestProblem> make_paper_suite(
+    const std::optional<std::string>& ufmc_dir = {});
+
+/// Matrix name as printed in the paper.
+[[nodiscard]] std::string paper_matrix_name(PaperMatrix which);
+
+}  // namespace bars

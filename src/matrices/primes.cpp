@@ -1,0 +1,34 @@
+#include "matrices/primes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bars {
+
+std::vector<index_t> first_primes(index_t count) {
+  if (count < 0) throw std::invalid_argument("first_primes: negative count");
+  std::vector<index_t> primes;
+  primes.reserve(static_cast<std::size_t>(count));
+  if (count == 0) return primes;
+
+  // Upper bound on the count-th prime: p_n < n (ln n + ln ln n) for
+  // n >= 6 (Rosser); small cases handled by the constant floor.
+  const auto nd = static_cast<double>(std::max<index_t>(count, 6));
+  const auto limit = static_cast<std::size_t>(
+      nd * (std::log(nd) + std::log(std::log(nd))) + 16.0);
+
+  std::vector<bool> composite(limit + 1, false);
+  for (std::size_t p = 2; p <= limit && primes.size() <
+                                            static_cast<std::size_t>(count);
+       ++p) {
+    if (composite[p]) continue;
+    primes.push_back(static_cast<index_t>(p));
+    for (std::size_t q = p * p; q <= limit; q += p) composite[q] = true;
+  }
+  if (primes.size() != static_cast<std::size_t>(count)) {
+    throw std::logic_error("first_primes: sieve bound too small");
+  }
+  return primes;
+}
+
+}  // namespace bars

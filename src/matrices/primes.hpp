@@ -1,0 +1,15 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+/// \file primes.hpp
+/// Prime generation for the Trefethen matrices (diagonal = primes).
+
+namespace bars {
+
+/// First `count` primes (2, 3, 5, ...). Throws for count < 0.
+[[nodiscard]] std::vector<index_t> first_primes(index_t count);
+
+}  // namespace bars

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/solver_types.hpp"
+#include "sparse/csr.hpp"
+
+/// \file multigrid.hpp
+/// Geometric two-/multi-grid for the 2D Poisson problem with a
+/// pluggable smoother — the paper's Section 5 "future work": using
+/// component-wise (block-asynchronous) relaxation as a multigrid
+/// smoother. Grids are m x m with Dirichlet boundary, coarsened by
+/// factor 2 with full-weighting restriction and bilinear prolongation.
+
+namespace bars::mg {
+
+/// A smoother applies `sweeps` relaxation passes to A x = b in place.
+using Smoother = std::function<void(const Csr& a, const Vector& b, Vector& x,
+                                    index_t sweeps)>;
+
+/// Cycle shape: V visits each coarse level once per cycle, W twice.
+enum class CycleType { kV, kW };
+
+struct MgOptions {
+  CycleType cycle = CycleType::kV;
+  index_t pre_smooth = 2;
+  index_t post_smooth = 2;
+  index_t max_cycles = 100;
+  value_t tol = 1e-10;          ///< relative residual on the fine grid
+  index_t coarsest_size = 7;    ///< direct-solve when m <= this
+};
+
+struct MgResult {
+  Vector x;
+  bool converged = false;
+  index_t cycles = 0;
+  value_t final_residual = 0.0;
+  std::vector<value_t> residual_history;  ///< per V-cycle
+};
+
+/// Multigrid hierarchy for the 5-point Laplacian (+ c*I) on m x m
+/// grids, m = 2^k - 1 so coarsening is exact.
+class PoissonMultigrid {
+ public:
+  /// Throws unless m is 2^k - 1 for some k >= 2.
+  PoissonMultigrid(index_t m, value_t c, Smoother smoother);
+
+  [[nodiscard]] MgResult solve(const Vector& b,
+                               const MgOptions& opts = {}) const;
+
+  [[nodiscard]] const Csr& fine_matrix() const { return levels_.front(); }
+  [[nodiscard]] index_t num_levels() const {
+    return static_cast<index_t>(levels_.size());
+  }
+
+ private:
+  void vcycle(index_t level, const Vector& b, Vector& x,
+              const MgOptions& opts) const;
+
+  std::vector<Csr> levels_;       ///< level 0 = finest
+  std::vector<index_t> sizes_;    ///< grid edge m per level
+  Smoother smoother_;
+};
+
+/// Gauss-Seidel smoother (reference).
+[[nodiscard]] Smoother gauss_seidel_smoother();
+/// Damped Jacobi smoother (omega, default 4/5 optimal for Poisson).
+[[nodiscard]] Smoother jacobi_smoother(value_t omega = 0.8);
+/// Block-asynchronous smoother: async-(local_iters) sweeps on the
+/// simulated GPU (paper Section 5 future-work scenario).
+[[nodiscard]] Smoother block_async_smoother(index_t block_size = 64,
+                                            index_t local_iters = 2,
+                                            std::uint64_t seed = 99);
+
+}  // namespace bars::mg

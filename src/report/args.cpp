@@ -1,0 +1,54 @@
+#include "report/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bars::report {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_.emplace_back(arg, "");
+    } else {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+}
+
+const std::string* Args::find(const std::string& key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  const std::string* v = find(key);
+  return v && !v->empty() ? std::stoll(*v) : fallback;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const std::string* v = find(key);
+  return v && !v->empty() ? std::stod(*v) : fallback;
+}
+
+std::string Args::get_string(const std::string& key,
+                             std::string fallback) const {
+  const std::string* v = find(key);
+  return v ? *v : fallback;
+}
+
+bool Args::has(const std::string& key) const { return find(key) != nullptr; }
+
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, v] : kv_) out.push_back(k);
+  return out;
+}
+
+}  // namespace bars::report

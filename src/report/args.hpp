@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file args.hpp
+/// Minimal `--key=value` CLI parsing shared by the bench harnesses.
+
+namespace bars::report {
+
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Keys that were supplied but never queried (typo detection).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+  [[nodiscard]] const std::string* find(const std::string& key) const;
+};
+
+}  // namespace bars::report

@@ -1,0 +1,54 @@
+#include "report/spy.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace bars::report {
+
+void spy(std::ostream& out, const Csr& a, const SpyOptions& opts) {
+  if (opts.width <= 0 || opts.height <= 0 || opts.ramp == nullptr ||
+      std::strlen(opts.ramp) < 2) {
+    throw std::invalid_argument("spy: bad options");
+  }
+  const index_t rows = std::max<index_t>(a.rows(), 1);
+  const index_t cols = std::max<index_t>(a.cols(), 1);
+  const index_t h = std::min(opts.height, rows);
+  const index_t w = std::min(opts.width, cols);
+
+  std::vector<index_t> bins(static_cast<std::size_t>(h * w), 0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const index_t bi = i * h / rows;
+    for (index_t j : a.row_cols(i)) {
+      const index_t bj = j * w / cols;
+      ++bins[bi * w + bj];
+    }
+  }
+  // Cell capacity: matrix entries represented by one character cell.
+  const value_t capacity = (static_cast<value_t>(rows) / h) *
+                           (static_cast<value_t>(cols) / w);
+  const auto levels = static_cast<index_t>(std::strlen(opts.ramp));
+
+  out << '+' << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  for (index_t bi = 0; bi < h; ++bi) {
+    out << '|';
+    for (index_t bj = 0; bj < w; ++bj) {
+      const value_t density =
+          static_cast<value_t>(bins[bi * w + bj]) / capacity;
+      index_t level = 0;
+      if (bins[bi * w + bj] > 0) {
+        level = 1 + static_cast<index_t>(
+                        std::min(density, value_t{1.0}) *
+                        static_cast<value_t>(levels - 2));
+        level = std::min(level, levels - 1);
+      }
+      out << opts.ramp[level];
+    }
+    out << "|\n";
+  }
+  out << '+' << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+}
+
+}  // namespace bars::report

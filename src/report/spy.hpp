@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "sparse/csr.hpp"
+
+/// \file spy.hpp
+/// ASCII sparsity plots ("spy" plots), reproducing the paper's Figure 1
+/// in terminal form: the matrix is downsampled onto a character grid
+/// and each cell is shaded by the fraction of stored entries it covers.
+
+namespace bars::report {
+
+struct SpyOptions {
+  index_t width = 60;   ///< character columns
+  index_t height = 30;  ///< character rows
+  /// Shade ramp from empty to dense; the default uses 5 levels.
+  const char* ramp = " .:*#";
+};
+
+/// Render the sparsity pattern of `a` to `out`.
+void spy(std::ostream& out, const Csr& a, const SpyOptions& opts = {});
+
+}  // namespace bars::report

@@ -1,0 +1,82 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace bars::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: wrong cell count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c];
+      for (std::size_t p = row[c].size(); p < width[c]; ++p) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += "  " + std::string(width[c], '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt_sci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", digits, v);
+  return buf;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+void write_csv(std::ostream& out, const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& columns) {
+  if (columns.size() != headers.size()) {
+    throw std::invalid_argument("write_csv: header/column mismatch");
+  }
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    out << headers[c] << (c + 1 < headers.size() ? ',' : '\n');
+  }
+  std::size_t rows = 0;
+  for (const auto& col : columns) rows = std::max(rows, col.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (r < columns[c].size()) out << columns[c][r];
+      out << (c + 1 < columns.size() ? ',' : '\n');
+    }
+  }
+}
+
+}  // namespace bars::report

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Fixed-width table formatting for the benchmark harnesses, so every
+/// bench prints rows that can be compared side by side with the
+/// paper's tables.
+
+namespace bars::report {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column padding to `out`.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+[[nodiscard]] std::string fmt_sci(double v, int digits = 4);
+[[nodiscard]] std::string fmt_fixed(double v, int digits = 6);
+[[nodiscard]] std::string fmt_int(long long v);
+
+/// Write series as CSV: first column x, then one column per series.
+void write_csv(std::ostream& out, const std::vector<std::string>& headers,
+               const std::vector<std::vector<double>>& columns);
+
+}  // namespace bars::report

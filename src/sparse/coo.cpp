@@ -1,0 +1,42 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bars {
+
+void Coo::add(index_t row, index_t col, value_t value) {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    throw std::out_of_range("Coo::add: index out of range");
+  }
+  entries_.push_back({row, col, value});
+}
+
+void Coo::add_symmetric(index_t row, index_t col, value_t value) {
+  add(row, col, value);
+  if (row != col) add(col, row, value);
+}
+
+Coo Coo::sorted(bool keep_zeros) const {
+  Coo out(rows_, cols_);
+  std::vector<Triplet> e = entries_;
+  std::sort(e.begin(), e.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  out.entries_.reserve(e.size());
+  for (const auto& t : e) {
+    if (!out.entries_.empty() && out.entries_.back().row == t.row &&
+        out.entries_.back().col == t.col) {
+      out.entries_.back().value += t.value;
+    } else {
+      out.entries_.push_back(t);
+    }
+  }
+  if (!keep_zeros) {
+    std::erase_if(out.entries_,
+                  [](const Triplet& t) { return t.value == 0.0; });
+  }
+  return out;
+}
+
+}  // namespace bars

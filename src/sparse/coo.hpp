@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+/// \file coo.hpp
+/// Coordinate-format sparse matrix used as the assembly format for
+/// generators and MatrixMarket I/O. Duplicate entries are summed on
+/// conversion to CSR.
+
+namespace bars {
+
+/// One (row, col, value) triplet.
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  value_t value = 0.0;
+};
+
+/// Coordinate-format sparse matrix builder.
+///
+/// Entries may be pushed in any order, with duplicates; `sorted()`
+/// canonicalizes (row-major order, duplicates summed, explicit zeros
+/// dropped unless `keep_zeros`).
+class Coo {
+ public:
+  Coo() = default;
+  Coo(index_t rows, index_t cols) : rows_(rows), cols_(cols) {}
+
+  /// Add a single entry. Indices must lie in [0, rows) x [0, cols).
+  void add(index_t row, index_t col, value_t value);
+
+  /// Add `value` at (row, col) and (col, row). For row == col the entry
+  /// is added once.
+  void add_symmetric(index_t row, index_t col, value_t value);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(entries_.size());
+  }
+  [[nodiscard]] const std::vector<Triplet>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Returns a canonical copy: entries sorted row-major, duplicates
+  /// summed, zero-valued entries dropped unless keep_zeros is true.
+  [[nodiscard]] Coo sorted(bool keep_zeros = false) const;
+
+  /// Reserve triplet storage.
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace bars

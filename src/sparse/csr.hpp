@@ -1,0 +1,93 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/types.hpp"
+
+/// \file csr.hpp
+/// Compressed-sparse-row matrix: the working format for all solvers.
+
+namespace bars {
+
+/// Immutable-ish CSR sparse matrix.
+///
+/// Invariants (checked on construction from COO):
+///   - row_ptr has rows()+1 monotone entries, row_ptr[0] == 0,
+///     row_ptr[rows()] == nnz();
+///   - column indices within each row are strictly increasing.
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from (already arbitrary-order) COO; duplicates are summed.
+  static Csr from_coo(const Coo& coo);
+
+  /// Build directly from raw arrays (validated).
+  Csr(index_t rows, index_t cols, std::vector<index_t> row_ptr,
+      std::vector<index_t> col_idx, std::vector<value_t> values);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(values_.size());
+  }
+
+  [[nodiscard]] std::span<const index_t> row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] std::span<const index_t> col_idx() const noexcept {
+    return col_idx_;
+  }
+  [[nodiscard]] std::span<const value_t> values() const noexcept {
+    return values_;
+  }
+
+  /// Column indices of row i.
+  [[nodiscard]] std::span<const index_t> row_cols(index_t i) const;
+  /// Values of row i.
+  [[nodiscard]] std::span<const value_t> row_vals(index_t i) const;
+
+  /// Entry (i, j); 0 if not stored. O(log nnz(row i)).
+  [[nodiscard]] value_t at(index_t i, index_t j) const;
+
+  /// y <- A * x.
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// y <- b - A * x (residual kernel).
+  void residual(std::span<const value_t> b, std::span<const value_t> x,
+                std::span<value_t> y) const;
+
+  /// Diagonal entries as a dense vector; missing diagonals are 0.
+  [[nodiscard]] Vector diagonal() const;
+
+  /// Structural + numeric symmetry check (|a_ij - a_ji| <= tol * max|a|).
+  [[nodiscard]] bool is_symmetric(value_t tol = 0.0) const;
+
+  /// Transposed copy.
+  [[nodiscard]] Csr transpose() const;
+
+  /// Copy with every value replaced by its absolute value (the |B|
+  /// matrix of the Strikwerda convergence condition).
+  [[nodiscard]] Csr abs() const;
+
+  /// Back-conversion for round-trip tests and MatrixMarket output.
+  [[nodiscard]] Coo to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> row_ptr_{0};
+  std::vector<index_t> col_idx_;
+  std::vector<value_t> values_;
+};
+
+/// Jacobi iteration matrix B = I - D^{-1} A as an explicit CSR matrix.
+/// Rows with zero diagonal throw std::invalid_argument.
+[[nodiscard]] Csr jacobi_iteration_matrix(const Csr& a);
+
+/// Weighted iteration matrix B = I - tau * D^{-1} A.
+[[nodiscard]] Csr scaled_jacobi_iteration_matrix(const Csr& a, value_t tau);
+
+}  // namespace bars

@@ -1,0 +1,127 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bars {
+
+Dense Dense::from_csr(const Csr& a) {
+  Dense d(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) d(i, cols[k]) = vals[k];
+  }
+  return d;
+}
+
+Dense Dense::identity(index_t n) {
+  Dense d(n, n);
+  for (index_t i = 0; i < n; ++i) d(i, i) = 1.0;
+  return d;
+}
+
+void Dense::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+  assert(static_cast<index_t>(x.size()) == cols_);
+  assert(static_cast<index_t>(y.size()) == rows_);
+  for (index_t i = 0; i < rows_; ++i) {
+    value_t s = 0.0;
+    for (index_t j = 0; j < cols_; ++j) s += (*this)(i, j) * x[j];
+    y[i] = s;
+  }
+}
+
+Vector Dense::solve(std::span<const value_t> b) const {
+  if (rows_ != cols_) throw std::invalid_argument("Dense::solve: not square");
+  if (static_cast<index_t>(b.size()) != rows_) {
+    throw std::invalid_argument("Dense::solve: size mismatch");
+  }
+  const index_t n = rows_;
+  Dense lu = *this;
+  Vector x(b.begin(), b.end());
+  std::vector<index_t> piv(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) piv[i] = i;
+
+  for (index_t k = 0; k < n; ++k) {
+    index_t p = k;
+    for (index_t i = k + 1; i < n; ++i) {
+      if (std::abs(lu(i, k)) > std::abs(lu(p, k))) p = i;
+    }
+    if (lu(p, k) == 0.0) throw std::runtime_error("Dense::solve: singular");
+    if (p != k) {
+      for (index_t j = 0; j < n; ++j) std::swap(lu(p, j), lu(k, j));
+      std::swap(x[p], x[k]);
+    }
+    for (index_t i = k + 1; i < n; ++i) {
+      const value_t m = lu(i, k) / lu(k, k);
+      lu(i, k) = m;
+      for (index_t j = k + 1; j < n; ++j) lu(i, j) -= m * lu(k, j);
+      x[i] -= m * x[k];
+    }
+  }
+  for (index_t i = n - 1; i >= 0; --i) {
+    value_t s = x[i];
+    for (index_t j = i + 1; j < n; ++j) s -= lu(i, j) * x[j];
+    x[i] = s / lu(i, i);
+  }
+  return x;
+}
+
+std::vector<value_t> Dense::symmetric_eigenvalues(value_t tol) const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("symmetric_eigenvalues: not square");
+  }
+  const index_t n = rows_;
+  Dense a = *this;
+  // Cyclic Jacobi eigenvalue iteration: annihilate off-diagonal entries
+  // with Givens rotations until the off-diagonal Frobenius mass is below
+  // tol * ||A||_F.
+  const value_t anorm = a.frobenius_norm();
+  const value_t threshold = tol * std::max(anorm, value_t{1e-300});
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    value_t off = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = i + 1; j < n; ++j) off += 2.0 * a(i, j) * a(i, j);
+    }
+    if (std::sqrt(off) <= threshold) break;
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) <= threshold / static_cast<value_t>(n * n)) {
+          continue;
+        }
+        const value_t theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const value_t t = (theta >= 0.0 ? 1.0 : -1.0) /
+                          (std::abs(theta) +
+                           std::sqrt(theta * theta + 1.0));
+        const value_t c = 1.0 / std::sqrt(t * t + 1.0);
+        const value_t s = t * c;
+        for (index_t k = 0; k < n; ++k) {
+          const value_t akp = a(k, p);
+          const value_t akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const value_t apk = a(p, k);
+          const value_t aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<value_t> eig(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) eig[i] = a(i, i);
+  std::sort(eig.begin(), eig.end());
+  return eig;
+}
+
+value_t Dense::frobenius_norm() const {
+  value_t s = 0.0;
+  for (auto v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace bars

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+/// \file dense.hpp
+/// Small dense matrix with direct factorizations. Used as the reference
+/// oracle in tests (exact solves, exact spectra for small systems) — not
+/// on the hot path of any solver.
+
+namespace bars {
+
+/// Row-major dense matrix.
+class Dense {
+ public:
+  Dense() = default;
+  Dense(index_t rows, index_t cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), 0.0) {}
+
+  static Dense from_csr(const Csr& a);
+  static Dense identity(index_t n);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] value_t& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  [[nodiscard]] value_t operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Solve A x = b by partial-pivoted LU. Throws on (numerical)
+  /// singularity.
+  [[nodiscard]] Vector solve(std::span<const value_t> b) const;
+
+  /// All eigenvalues of a symmetric matrix via cyclic Jacobi rotations.
+  /// Returned sorted ascending. Throws if matrix is not square.
+  [[nodiscard]] std::vector<value_t> symmetric_eigenvalues(
+      value_t tol = 1e-12) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] value_t frobenius_norm() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<value_t> data_;
+};
+
+}  // namespace bars

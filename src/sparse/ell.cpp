@@ -1,0 +1,69 @@
+#include "sparse/ell.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bars {
+
+Ell Ell::from_csr(const Csr& a, index_t max_row_nnz) {
+  Ell e;
+  e.rows_ = a.rows();
+  e.cols_ = a.cols();
+  e.nnz_ = a.nnz();
+  index_t width = 0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    width = std::max(width, static_cast<index_t>(a.row_cols(i).size()));
+  }
+  if (max_row_nnz > 0 && width > max_row_nnz) {
+    throw std::invalid_argument("Ell::from_csr: row width exceeds cap");
+  }
+  e.width_ = width;
+  e.col_idx_.assign(static_cast<std::size_t>(e.rows_ * width), -1);
+  e.values_.assign(static_cast<std::size_t>(e.rows_ * width), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const auto slot = static_cast<std::size_t>(
+          static_cast<index_t>(k) * e.rows_ + i);
+      e.col_idx_[slot] = cols[k];
+      e.values_[slot] = vals[k];
+    }
+  }
+  return e;
+}
+
+value_t Ell::padding_ratio() const noexcept {
+  return nnz_ > 0 ? static_cast<value_t>(padded_size()) /
+                        static_cast<value_t>(nnz_)
+                  : 0.0;
+}
+
+void Ell::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+  assert(static_cast<index_t>(x.size()) == cols_);
+  assert(static_cast<index_t>(y.size()) == rows_);
+  std::fill(y.begin(), y.end(), 0.0);
+  for (index_t k = 0; k < width_; ++k) {
+    const std::size_t base = static_cast<std::size_t>(k * rows_);
+    for (index_t i = 0; i < rows_; ++i) {
+      const index_t j = col_idx_[base + i];
+      if (j >= 0) y[i] += values_[base + i] * x[j];
+    }
+  }
+}
+
+Csr Ell::to_csr() const {
+  Coo coo(rows_, cols_);
+  coo.reserve(static_cast<std::size_t>(nnz_));
+  for (index_t k = 0; k < width_; ++k) {
+    const std::size_t base = static_cast<std::size_t>(k * rows_);
+    for (index_t i = 0; i < rows_; ++i) {
+      const index_t j = col_idx_[base + i];
+      if (j >= 0) coo.add(i, j, values_[base + i]);
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+}  // namespace bars

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+/// \file ell.hpp
+/// ELLPACK sparse format: every row padded to the same length, column
+/// indices and values stored column-major. This is the layout the
+/// Fermi-era GPU SpMV kernels (and the paper's MAGMA lineage) use for
+/// coalesced memory access; here it serves the CPU reference kernels
+/// and the cost model's bytes-per-iteration accounting.
+
+namespace bars {
+
+/// ELLPACK matrix with row-major logical shape, column-major storage.
+class Ell {
+ public:
+  Ell() = default;
+
+  /// Convert from CSR. Throws if any row exceeds `max_row_nnz` when the
+  /// cap is non-zero (guards against pathological padding blow-up).
+  static Ell from_csr(const Csr& a, index_t max_row_nnz = 0);
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  /// Padded row width.
+  [[nodiscard]] index_t row_width() const noexcept { return width_; }
+  /// Stored entries including padding.
+  [[nodiscard]] index_t padded_size() const noexcept {
+    return rows_ * width_;
+  }
+  /// Actual nonzeros (without padding).
+  [[nodiscard]] index_t nnz() const noexcept { return nnz_; }
+  /// Padding overhead ratio: padded_size / max(nnz, 1).
+  [[nodiscard]] value_t padding_ratio() const noexcept;
+
+  /// y <- A x.
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// Back-conversion (drops padding).
+  [[nodiscard]] Csr to_csr() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t width_ = 0;
+  index_t nnz_ = 0;
+  // Column-major: entry k of row i lives at [k * rows_ + i]. Padding
+  // uses column index -1 and value 0.
+  std::vector<index_t> col_idx_;
+  std::vector<value_t> values_;
+};
+
+}  // namespace bars

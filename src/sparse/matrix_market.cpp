@@ -1,0 +1,114 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bars {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("MatrixMarket: empty stream");
+  }
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") {
+    throw std::runtime_error("MatrixMarket: missing banner");
+  }
+  object = to_lower(object);
+  format = to_lower(format);
+  field = to_lower(field);
+  symmetry = to_lower(symmetry);
+  if (object != "matrix" || format != "coordinate") {
+    throw std::runtime_error("MatrixMarket: only coordinate matrices supported");
+  }
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern) {
+    throw std::runtime_error("MatrixMarket: unsupported field type: " + field);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    throw std::runtime_error("MatrixMarket: unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments and blank lines.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  index_t rows = 0, cols = 0, nnz = 0;
+  if (!(dims >> rows >> cols >> nnz)) {
+    throw std::runtime_error("MatrixMarket: malformed size line");
+  }
+
+  Coo coo(rows, cols);
+  coo.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  for (index_t k = 0; k < nnz; ++k) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("MatrixMarket: unexpected end of entries");
+    }
+    if (line.empty()) {
+      --k;
+      continue;
+    }
+    std::istringstream es(line);
+    index_t i = 0, j = 0;
+    value_t v = 1.0;
+    if (!(es >> i >> j)) {
+      throw std::runtime_error("MatrixMarket: malformed entry line");
+    }
+    if (!pattern && !(es >> v)) {
+      throw std::runtime_error("MatrixMarket: missing value");
+    }
+    --i;  // 1-based -> 0-based
+    --j;
+    if (symmetric) {
+      coo.add_symmetric(i, j, v);
+    } else {
+      coo.add(i, j, v);
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << i + 1 << ' ' << cols[k] + 1 << ' ' << vals[k] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& a) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace bars

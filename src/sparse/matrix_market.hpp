@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+/// \file matrix_market.hpp
+/// MatrixMarket (.mtx) reader/writer, so that the real UF Sparse Matrix
+/// Collection files the paper uses (Chem97ZtZ, fv1-3, s1rmt3m1,
+/// Trefethen_2000/20000) can be loaded verbatim when available. Supports
+/// `matrix coordinate real {general|symmetric}` and
+/// `matrix coordinate pattern {general|symmetric}` (pattern entries read
+/// as 1.0).
+
+namespace bars {
+
+/// Parse a MatrixMarket stream into CSR. Symmetric files are expanded to
+/// full storage. Throws std::runtime_error on malformed input.
+[[nodiscard]] Csr read_matrix_market(std::istream& in);
+
+/// Convenience overload: open and parse a file.
+[[nodiscard]] Csr read_matrix_market_file(const std::string& path);
+
+/// Write `a` as `matrix coordinate real general` with 1-based indices.
+void write_matrix_market(std::ostream& out, const Csr& a);
+
+/// Convenience overload: write to a file.
+void write_matrix_market_file(const std::string& path, const Csr& a);
+
+}  // namespace bars

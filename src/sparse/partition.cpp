@@ -1,0 +1,83 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bars {
+
+RowPartition RowPartition::uniform(index_t n, index_t block_size) {
+  if (n < 0 || block_size <= 0) {
+    throw std::invalid_argument("RowPartition::uniform: bad arguments");
+  }
+  std::vector<index_t> b{0};
+  for (index_t start = block_size; start < n; start += block_size) {
+    b.push_back(start);
+  }
+  if (n > 0) b.push_back(n);
+  return from_boundaries(std::move(b));
+}
+
+RowPartition RowPartition::balanced(index_t n, index_t parts) {
+  if (n < 0 || parts <= 0) {
+    throw std::invalid_argument("RowPartition::balanced: bad arguments");
+  }
+  parts = std::min(parts, std::max<index_t>(n, 1));
+  std::vector<index_t> b{0};
+  for (index_t p = 1; p <= parts; ++p) {
+    const index_t bound = n * p / parts;
+    if (bound > b.back()) b.push_back(bound);
+  }
+  if (b.size() == 1 && n == 0) return RowPartition{};
+  return from_boundaries(std::move(b));
+}
+
+RowPartition RowPartition::from_boundaries(std::vector<index_t> boundaries) {
+  if (boundaries.empty() || boundaries.front() != 0) {
+    throw std::invalid_argument(
+        "RowPartition::from_boundaries: must start at 0");
+  }
+  for (std::size_t i = 1; i < boundaries.size(); ++i) {
+    if (boundaries[i] <= boundaries[i - 1]) {
+      throw std::invalid_argument(
+          "RowPartition::from_boundaries: boundaries must be increasing");
+    }
+  }
+  RowPartition p;
+  p.boundaries_ = std::move(boundaries);
+  return p;
+}
+
+RowBlock RowPartition::block(index_t b) const {
+  if (b < 0 || b >= num_blocks()) {
+    throw std::out_of_range("RowPartition::block: index out of range");
+  }
+  return {boundaries_[b], boundaries_[b + 1]};
+}
+
+index_t RowPartition::block_of(index_t i) const {
+  if (i < 0 || i >= total_rows()) {
+    throw std::out_of_range("RowPartition::block_of: row out of range");
+  }
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), i);
+  return static_cast<index_t>(it - boundaries_.begin()) - 1;
+}
+
+std::vector<std::pair<index_t, index_t>> RowPartition::device_split(
+    index_t devices) const {
+  if (devices <= 0) {
+    throw std::invalid_argument("device_split: devices must be positive");
+  }
+  const index_t nb = num_blocks();
+  std::vector<std::pair<index_t, index_t>> out;
+  out.reserve(static_cast<std::size_t>(devices));
+  index_t prev = 0;
+  for (index_t d = 1; d <= devices; ++d) {
+    const index_t bound = nb * d / devices;
+    out.emplace_back(prev, bound);
+    prev = bound;
+  }
+  return out;
+}
+
+}  // namespace bars

@@ -1,0 +1,97 @@
+#include "sparse/properties.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bars {
+
+DiagonalDominance diagonal_dominance(const Csr& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("diagonal_dominance: not square");
+  }
+  DiagonalDominance out;
+  out.weakly_dominant = true;
+  out.strictly_dominant = true;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    value_t diag = 0.0, off = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i) {
+        diag = std::abs(vals[k]);
+      } else {
+        off += std::abs(vals[k]);
+      }
+    }
+    if (diag == 0.0) {
+      out.weakly_dominant = out.strictly_dominant = false;
+      out.max_offdiag_ratio = std::numeric_limits<value_t>::infinity();
+      continue;
+    }
+    const value_t ratio = off / diag;
+    out.max_offdiag_ratio = std::max(out.max_offdiag_ratio, ratio);
+    if (ratio > 1.0) out.weakly_dominant = false;
+    if (ratio >= 1.0) out.strictly_dominant = false;
+  }
+  return out;
+}
+
+std::pair<value_t, value_t> gershgorin_interval(const Csr& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("gershgorin_interval: not square");
+  }
+  value_t lo = std::numeric_limits<value_t>::infinity();
+  value_t hi = -std::numeric_limits<value_t>::infinity();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    value_t diag = 0.0, radius = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == i) {
+        diag = vals[k];
+      } else {
+        radius += std::abs(vals[k]);
+      }
+    }
+    lo = std::min(lo, diag - radius);
+    hi = std::max(hi, diag + radius);
+  }
+  return {lo, hi};
+}
+
+index_t bandwidth(const Csr& a) {
+  index_t bw = 0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row_cols(i)) bw = std::max(bw, std::abs(i - j));
+  }
+  return bw;
+}
+
+value_t off_block_mass(const Csr& a, index_t block_size) {
+  if (block_size <= 0) {
+    throw std::invalid_argument("off_block_mass: block_size must be positive");
+  }
+  value_t total = 0.0, off = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    const index_t block = i / block_size;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const value_t m = std::abs(vals[k]);
+      total += m;
+      if (cols[k] / block_size != block) off += m;
+    }
+  }
+  return total == 0.0 ? 0.0 : off / total;
+}
+
+bool has_positive_diagonal(const Csr& a) {
+  if (a.rows() != a.cols()) return false;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    if (a.at(i, i) <= 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace bars

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <utility>
+
+#include "sparse/csr.hpp"
+
+/// \file properties.hpp
+/// Cheap structural/numerical matrix diagnostics used to verify that a
+/// matrix meets the convergence prerequisites of Section 2 of the paper
+/// (diagonal dominance, Gershgorin bounds, off-block mass).
+
+namespace bars {
+
+/// Result of a diagonal-dominance scan.
+struct DiagonalDominance {
+  bool weakly_dominant = false;    ///< |a_ii| >= sum_j!=i |a_ij| for all i
+  bool strictly_dominant = false;  ///< strict inequality for all i
+  /// max over rows of (sum_j!=i |a_ij|) / |a_ii|; < 1 iff strictly
+  /// dominant. This also bounds rho(|B|) for the Jacobi iteration matrix.
+  value_t max_offdiag_ratio = 0.0;
+};
+
+[[nodiscard]] DiagonalDominance diagonal_dominance(const Csr& a);
+
+/// Gershgorin interval [lo, hi] containing all eigenvalues of `a`
+/// (meaningful for symmetric matrices).
+[[nodiscard]] std::pair<value_t, value_t> gershgorin_interval(const Csr& a);
+
+/// Structural bandwidth: max |i - j| over stored entries.
+[[nodiscard]] index_t bandwidth(const Csr& a);
+
+/// Fraction (by absolute value mass) of entries lying outside the
+/// diagonal blocks defined by `block_size` — the "off-block part" the
+/// paper blames for convergence variation (Section 4.1).
+[[nodiscard]] value_t off_block_mass(const Csr& a, index_t block_size);
+
+/// True if every diagonal entry is present and positive.
+[[nodiscard]] bool has_positive_diagonal(const Csr& a);
+
+}  // namespace bars

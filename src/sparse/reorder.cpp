@@ -1,0 +1,137 @@
+#include "sparse/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace bars {
+
+namespace {
+
+/// Undirected adjacency (pattern of A + A^T, diagonal dropped).
+std::vector<std::vector<index_t>> symmetric_adjacency(const Csr& a) {
+  const index_t n = a.rows();
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j : a.row_cols(i)) {
+      if (i == j) continue;
+      adj[i].push_back(j);
+      adj[j].push_back(i);
+    }
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+Permutation reverse_cuthill_mckee(const Csr& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("reverse_cuthill_mckee: not square");
+  }
+  const index_t n = a.rows();
+  const auto adj = symmetric_adjacency(a);
+  std::vector<index_t> degree(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    degree[i] = static_cast<index_t>(adj[i].size());
+  }
+
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  Permutation order;
+  order.reserve(static_cast<std::size_t>(n));
+
+  const auto degree_less = [&](index_t x, index_t y) {
+    return degree[x] != degree[y] ? degree[x] < degree[y] : x < y;
+  };
+
+  for (index_t comp_start = 0; comp_start < n;) {
+    // Pick the unvisited vertex of minimum degree as the component seed
+    // (a cheap pseudo-peripheral heuristic).
+    index_t seed = -1;
+    for (index_t i = 0; i < n; ++i) {
+      if (!visited[i] && (seed < 0 || degree_less(i, seed))) seed = i;
+    }
+    if (seed < 0) break;
+
+    std::queue<index_t> bfs;
+    bfs.push(seed);
+    visited[seed] = true;
+    while (!bfs.empty()) {
+      const index_t v = bfs.front();
+      bfs.pop();
+      order.push_back(v);
+      std::vector<index_t> next;
+      for (index_t w : adj[v]) {
+        if (!visited[w]) {
+          visited[w] = true;
+          next.push_back(w);
+        }
+      }
+      std::sort(next.begin(), next.end(), degree_less);
+      for (index_t w : next) bfs.push(w);
+    }
+    comp_start = static_cast<index_t>(order.size());
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Permutation identity_permutation(index_t n) {
+  Permutation p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  return p;
+}
+
+Permutation invert_permutation(const Permutation& p) {
+  Permutation q(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    q[static_cast<std::size_t>(p[i])] = static_cast<index_t>(i);
+  }
+  return q;
+}
+
+Csr permute_symmetric(const Csr& a, const Permutation& p) {
+  if (a.rows() != a.cols() ||
+      p.size() != static_cast<std::size_t>(a.rows())) {
+    throw std::invalid_argument("permute_symmetric: size mismatch");
+  }
+  const Permutation q = invert_permutation(p);
+  Coo coo(a.rows(), a.cols());
+  coo.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.add(q[i], q[cols[k]], vals[k]);
+    }
+  }
+  return Csr::from_coo(coo);
+}
+
+Vector permute_vector(const Vector& v, const Permutation& p) {
+  if (v.size() != p.size()) {
+    throw std::invalid_argument("permute_vector: size mismatch");
+  }
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = v[static_cast<std::size_t>(p[i])];
+  }
+  return out;
+}
+
+bool is_permutation(const Permutation& p) {
+  std::vector<bool> seen(p.size(), false);
+  for (index_t v : p) {
+    if (v < 0 || v >= static_cast<index_t>(p.size()) || seen[v]) {
+      return false;
+    }
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace bars

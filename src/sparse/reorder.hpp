@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+/// \file reorder.hpp
+/// Symmetric permutations. The paper (Section 4.3) notes that
+/// Chem97ZtZ's convergence under local iterations "could potentially be
+/// obtained by reordering" — Cuthill-McKee moves the far off-diagonal
+/// couplings into the diagonal blocks, which ablation_reordering
+/// quantifies.
+
+namespace bars {
+
+/// A permutation p maps new index -> old index: x_new[i] = x_old[p[i]].
+using Permutation = std::vector<index_t>;
+
+/// Reverse Cuthill-McKee ordering of the symmetrized adjacency of `a`.
+/// Deterministic: within a BFS level, neighbors are visited by
+/// ascending degree (ties by index). Handles disconnected graphs.
+[[nodiscard]] Permutation reverse_cuthill_mckee(const Csr& a);
+
+/// Identity permutation of size n.
+[[nodiscard]] Permutation identity_permutation(index_t n);
+
+/// Inverse permutation: q[p[i]] = i.
+[[nodiscard]] Permutation invert_permutation(const Permutation& p);
+
+/// Symmetric permutation: B = A(p, p), i.e. B(i, j) = A(p[i], p[j]).
+[[nodiscard]] Csr permute_symmetric(const Csr& a, const Permutation& p);
+
+/// Permute a vector: out[i] = v[p[i]].
+[[nodiscard]] Vector permute_vector(const Vector& v, const Permutation& p);
+
+/// Validate that p is a permutation of [0, n).
+[[nodiscard]] bool is_permutation(const Permutation& p);
+
+}  // namespace bars

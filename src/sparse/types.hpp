@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file types.hpp
+/// Fundamental index/value types shared by all BARS modules.
+
+namespace bars {
+
+/// Row/column index type. 32-bit is enough for the paper's matrices
+/// (n <= 20,000) but we use a signed 64-bit type so intermediate
+/// arithmetic (e.g. nnz offsets, n*n products in generators) cannot
+/// overflow.
+using index_t = std::int64_t;
+
+/// Floating point value type used throughout the library.
+using value_t = double;
+
+/// Dense vector of solution/right-hand-side values.
+using Vector = std::vector<value_t>;
+
+}  // namespace bars

@@ -1,0 +1,47 @@
+#include "sparse/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bars {
+
+void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(std::span<const value_t> x, value_t beta, std::span<value_t> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+void scale(value_t alpha, std::span<value_t> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+value_t dot(std::span<const value_t> x, std::span<const value_t> y) {
+  assert(x.size() == y.size());
+  value_t s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+value_t norm2(std::span<const value_t> x) { return std::sqrt(dot(x, x)); }
+
+value_t norm_inf(std::span<const value_t> x) {
+  value_t m = 0.0;
+  for (auto v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void subtract(std::span<const value_t> a, std::span<const value_t> b,
+              std::span<value_t> out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+void fill(std::span<value_t> x, value_t v) {
+  for (auto& e : x) e = v;
+}
+
+}  // namespace bars

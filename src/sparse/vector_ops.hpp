@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+
+#include "sparse/types.hpp"
+
+/// \file vector_ops.hpp
+/// BLAS-1 style kernels on dense vectors. All functions are free
+/// functions over std::span so they compose with any contiguous storage.
+
+namespace bars {
+
+/// y <- alpha * x + y. Sizes must match.
+void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y);
+
+/// y <- x + beta * y. Sizes must match.
+void xpby(std::span<const value_t> x, value_t beta, std::span<value_t> y);
+
+/// x <- alpha * x.
+void scale(value_t alpha, std::span<value_t> x);
+
+/// Euclidean inner product <x, y>.
+[[nodiscard]] value_t dot(std::span<const value_t> x,
+                          std::span<const value_t> y);
+
+/// l2 norm ||x||_2.
+[[nodiscard]] value_t norm2(std::span<const value_t> x);
+
+/// Max norm ||x||_inf.
+[[nodiscard]] value_t norm_inf(std::span<const value_t> x);
+
+/// out <- a - b (element-wise difference).
+void subtract(std::span<const value_t> a, std::span<const value_t> b,
+              std::span<value_t> out);
+
+/// Fill x with a constant.
+void fill(std::span<value_t> x, value_t v);
+
+}  // namespace bars

@@ -1,0 +1,49 @@
+#include "stats/convergence.hpp"
+
+#include <cmath>
+
+namespace bars {
+
+value_t contraction_factor(const std::vector<value_t>& history,
+                           std::size_t window, value_t floor) {
+  // Use the trailing `window` ratios above the rounding floor.
+  std::vector<value_t> usable;
+  for (value_t v : history) {
+    if (v > floor && std::isfinite(v)) {
+      usable.push_back(v);
+    } else if (!usable.empty()) {
+      break;  // hit the plateau: stop collecting
+    }
+  }
+  if (usable.size() < 2) return 0.0;
+  const std::size_t last = usable.size() - 1;
+  const std::size_t first =
+      last > window ? last - window : std::size_t{0};
+  if (usable[first] <= 0.0 || usable[last] <= 0.0) return 0.0;
+  const double steps = static_cast<double>(last - first);
+  if (steps <= 0.0) return 0.0;
+  return std::pow(usable[last] / usable[first], 1.0 / steps);
+}
+
+index_t iterations_to(const std::vector<value_t>& history, value_t tol) {
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (history[i] <= tol) return static_cast<index_t>(i);
+  }
+  return -1;
+}
+
+index_t extrapolate_iterations(const std::vector<value_t>& history,
+                               value_t tol, std::size_t window) {
+  const index_t direct = iterations_to(history, tol);
+  if (direct >= 0) return direct;
+  if (history.empty()) return -1;
+  const value_t rho = contraction_factor(history, window);
+  if (rho <= 0.0 || rho >= 1.0) return -1;
+  const value_t last = history.back();
+  if (last <= 0.0) return -1;
+  const double extra = std::log(tol / last) / std::log(rho);
+  return static_cast<index_t>(history.size()) - 1 +
+         static_cast<index_t>(std::ceil(extra));
+}
+
+}  // namespace bars

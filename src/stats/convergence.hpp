@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+/// \file convergence.hpp
+/// Residual-history analysis: asymptotic contraction factors and
+/// iteration-count extrapolation, used to compare measured convergence
+/// rates against the spectral predictions (rho(B), etc.).
+
+namespace bars {
+
+/// Geometric-mean contraction factor of the last `window` steps of a
+/// residual history (ratio r_{k+1}/r_k), ignoring entries at/below
+/// `floor` (rounding plateau). Returns 0 when fewer than 2 usable
+/// entries exist.
+[[nodiscard]] value_t contraction_factor(const std::vector<value_t>& history,
+                                         std::size_t window = 20,
+                                         value_t floor = 1e-14);
+
+/// First index with history[i] <= tol, or -1 if never reached.
+[[nodiscard]] index_t iterations_to(const std::vector<value_t>& history,
+                                    value_t tol);
+
+/// Extrapolated iterations to reach `tol` from the last usable residual
+/// at the measured contraction factor; -1 when the history does not
+/// contract. Exact histories that already reach tol return
+/// iterations_to().
+[[nodiscard]] index_t extrapolate_iterations(
+    const std::vector<value_t>& history, value_t tol,
+    std::size_t window = 20);
+
+}  // namespace bars

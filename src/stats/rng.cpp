@@ -1,0 +1,22 @@
+#include "stats/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace bars {
+
+std::vector<index_t> Rng::sample_without_replacement(index_t n, index_t k) {
+  if (k < 0 || k > n) {
+    throw std::invalid_argument("sample_without_replacement: k out of range");
+  }
+  std::vector<index_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), index_t{0});
+  for (index_t i = 0; i < k; ++i) {
+    const index_t j = uniform_int(i, n - 1);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+}  // namespace bars

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+/// \file rng.hpp
+/// Seeded random-number utilities. Every stochastic component in BARS
+/// receives its randomness through an explicit Rng so that benches and
+/// tests are reproducible bit-for-bit given the seed.
+
+namespace bars {
+
+/// Thin deterministic wrapper around std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] index_t uniform_int(index_t lo, index_t hi) {
+    std::uniform_int_distribution<index_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] value_t uniform(value_t lo = 0.0, value_t hi = 1.0) {
+    std::uniform_real_distribution<value_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal sample.
+  [[nodiscard]] value_t normal(value_t mean = 0.0, value_t stddev = 1.0) {
+    std::normal_distribution<value_t> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<index_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n) (partial
+  /// Fisher-Yates; O(n) memory, O(n) time).
+  [[nodiscard]] std::vector<index_t> sample_without_replacement(index_t n,
+                                                                index_t k);
+
+  /// Derive an independent child seed (for per-run / per-thread streams).
+  [[nodiscard]] std::uint64_t fork_seed() { return engine_(); }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bars

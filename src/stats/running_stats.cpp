@@ -1,0 +1,58 @@
+#include "stats/running_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bars {
+
+void RunningStats::add(value_t x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const value_t delta = x - mean_;
+  mean_ += delta / static_cast<value_t>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+value_t RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<value_t>(n_ - 1) : 0.0;
+}
+
+value_t RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+value_t RunningStats::standard_error() const noexcept {
+  return n_ ? stddev() / std::sqrt(static_cast<value_t>(n_)) : 0.0;
+}
+
+value_t RunningStats::absolute_variation() const noexcept {
+  return n_ ? max_ - min_ : 0.0;
+}
+
+value_t RunningStats::relative_variation() const noexcept {
+  return (n_ && mean_ != 0.0) ? (max_ - min_) / mean_ : 0.0;
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const value_t delta = other.mean_ - mean_;
+  const auto na = static_cast<value_t>(n_);
+  const auto nb = static_cast<value_t>(other.n_);
+  const value_t nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace bars

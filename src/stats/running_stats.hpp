@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sparse/types.hpp"
+
+/// \file running_stats.hpp
+/// Welford-style online statistics, used to aggregate the 1000-run
+/// convergence-variation experiments (paper Tables 2 and 3).
+
+namespace bars {
+
+/// Online mean/variance/min/max accumulator (numerically stable Welford
+/// update).
+class RunningStats {
+ public:
+  void add(value_t x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] value_t mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (divides by n-1); 0 for fewer than two samples.
+  [[nodiscard]] value_t variance() const noexcept;
+  [[nodiscard]] value_t stddev() const noexcept;
+  /// Standard error of the mean: stddev / sqrt(n).
+  [[nodiscard]] value_t standard_error() const noexcept;
+  [[nodiscard]] value_t min() const noexcept { return min_; }
+  [[nodiscard]] value_t max() const noexcept { return max_; }
+  /// max - min (the paper's "absolute variation").
+  [[nodiscard]] value_t absolute_variation() const noexcept;
+  /// (max - min) / mean (the paper's "relative variation"); 0 if mean==0.
+  [[nodiscard]] value_t relative_variation() const noexcept;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  value_t mean_ = 0.0;
+  value_t m2_ = 0.0;
+  value_t min_ = 0.0;
+  value_t max_ = 0.0;
+};
+
+}  // namespace bars

@@ -1,0 +1,194 @@
+#include "core/block_async.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gauss_seidel.hpp"
+#include "core/jacobi.hpp"
+#include "matrices/generators.hpp"
+#include "sparse/dense.hpp"
+
+namespace bars {
+namespace {
+
+TEST(BlockAsync, ConvergesOnFvLike) {
+  const Csr a = fv_like(16, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o;
+  o.block_size = 32;
+  o.solve.max_iters = 2000;
+  o.solve.tol = 1e-12;
+  const BlockAsyncResult r = block_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.converged);
+  EXPECT_LE(relative_residual(a, b, r.solve.x), 1e-12);
+}
+
+TEST(BlockAsync, SolutionMatchesDirectSolve) {
+  const Csr a = fv_like(10, 0.6);
+  Vector b(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = std::sin(0.3 * double(i));
+  BlockAsyncOptions o;
+  o.block_size = 25;
+  o.local_iters = 3;
+  o.solve.max_iters = 3000;
+  o.solve.tol = 1e-13;
+  const BlockAsyncResult r = block_async_solve(a, b, o);
+  ASSERT_TRUE(r.solve.converged);
+  const Vector xd = Dense::from_csr(a).solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(r.solve.x[i], xd[i], 1e-9);
+  }
+}
+
+TEST(BlockAsync, Async1RateSimilarToJacobi) {
+  // Paper Fig. 6: async-(1) converges at roughly the Jacobi rate.
+  const Csr a = fv_like(24, 0.3);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  SolveOptions so;
+  so.max_iters = 5000;
+  so.tol = 1e-10;
+  const SolveResult jac = jacobi_solve(a, b, so);
+  BlockAsyncOptions o;
+  o.solve = so;
+  o.block_size = 64;
+  o.local_iters = 1;
+  const BlockAsyncResult as = block_async_solve(a, b, o);
+  ASSERT_TRUE(jac.converged);
+  ASSERT_TRUE(as.solve.converged);
+  const double ratio = static_cast<double>(as.solve.iterations) /
+                       static_cast<double>(jac.iterations);
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST(BlockAsync, Async5BeatsGaussSeidelPerGlobalIteration) {
+  // Paper Fig. 7b-d: on fv-type systems async-(5) converges in fewer
+  // global iterations than Gauss-Seidel.
+  const Csr a = fv_like(31, 0.25);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  SolveOptions so;
+  so.max_iters = 10000;
+  so.tol = 1e-10;
+  const SolveResult gs = gauss_seidel_solve(a, b, so);
+  BlockAsyncOptions o;
+  o.solve = so;
+  o.block_size = 128;
+  o.local_iters = 5;
+  const BlockAsyncResult as = block_async_solve(a, b, o);
+  ASSERT_TRUE(gs.converged);
+  ASSERT_TRUE(as.solve.converged);
+  EXPECT_LT(as.solve.iterations, gs.iterations);
+}
+
+TEST(BlockAsync, MoreLocalItersFewerGlobalIters) {
+  const Csr a = fv_like(20, 0.4);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o;
+  o.solve.max_iters = 5000;
+  o.solve.tol = 1e-10;
+  o.block_size = 100;
+  index_t prev = 0;
+  for (index_t k : {1, 3, 5}) {
+    o.local_iters = k;
+    const BlockAsyncResult r = block_async_solve(a, b, o);
+    ASSERT_TRUE(r.solve.converged) << "k=" << k;
+    if (prev > 0) EXPECT_LT(r.solve.iterations, prev) << "k=" << k;
+    prev = r.solve.iterations;
+  }
+}
+
+TEST(BlockAsync, DivergesOnStructuralLike) {
+  const index_t m = 12;
+  const Csr a = structural_like(m, structural_diag_for_rho(m, 2.65));
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o;
+  o.block_size = 36;
+  o.solve.max_iters = 3000;
+  o.solve.divergence_limit = 1e10;
+  const BlockAsyncResult r = block_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.diverged);
+}
+
+TEST(BlockAsync, VirtualTimeUsesCalibration) {
+  const Csr a = fv_like(16, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o;
+  o.matrix_name = "fv1";
+  o.local_iters = 5;
+  o.block_size = 64;
+  o.solve.max_iters = 20;
+  o.solve.tol = 0.0;
+  const BlockAsyncResult r = block_async_solve(a, b, o);
+  ASSERT_GE(r.solve.time_history.size(), 2u);
+  // Global iteration time for fv1 async-(5) is ~13 ms (Table 4/5 scale).
+  const value_t per_iter =
+      r.solve.time_history.back() /
+      static_cast<value_t>(r.solve.time_history.size() - 1);
+  EXPECT_NEAR(per_iter, 0.0129, 0.005);
+}
+
+TEST(BlockAsync, SeedReproducibility) {
+  const Csr a = trefethen(200);
+  const Vector b(200, 1.0);
+  BlockAsyncOptions o;
+  o.block_size = 32;
+  o.seed = 4242;
+  o.solve.max_iters = 30;
+  o.solve.tol = 0.0;
+  const auto r1 = block_async_solve(a, b, o);
+  const auto r2 = block_async_solve(a, b, o);
+  EXPECT_EQ(r1.solve.x, r2.solve.x);
+}
+
+TEST(BlockAsync, VariationAcrossSeedsLargerForOffBlockHeavyMatrix) {
+  // Paper Section 4.1: run-to-run variation is much larger for
+  // Trefethen-type (large off-block mass) than fv-type matrices.
+  const auto spread = [](const Csr& a, index_t iters) {
+    const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+    value_t lo = 1e300, hi = 0.0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      BlockAsyncOptions o;
+      o.block_size = 400;
+      o.local_iters = 5;
+      o.seed = seed;
+      o.solve.max_iters = iters;
+      o.solve.tol = 0.0;
+      const auto r = block_async_solve(a, b, o);
+      const value_t res = r.solve.final_residual;
+      lo = std::min(lo, res);
+      hi = std::max(hi, res);
+    }
+    return (hi - lo) / hi;
+  };
+  // Larger instances so the block decomposition is representative: for
+  // the fv grid almost everything is inside the 400-row blocks, for
+  // Trefethen the power-of-two couplings always cross blocks.
+  const value_t fv_spread =
+      spread(fv_like(40, fv_reaction_for_rho(40, 0.8541)), 10);
+  const value_t tref_spread = spread(trefethen(800), 10);
+  EXPECT_GT(tref_spread, fv_spread);
+}
+
+TEST(BlockAsync, RejectsBadBlockSize) {
+  const Csr a = poisson1d(8);
+  const Vector b(8, 1.0);
+  BlockAsyncOptions o;
+  o.block_size = 0;
+  EXPECT_THROW((void)block_async_solve(a, b, o), std::invalid_argument);
+}
+
+TEST(BlockAsync, BlockExecutionCountsReturned) {
+  const Csr a = poisson1d(64);
+  const Vector b(64, 1.0);
+  BlockAsyncOptions o;
+  o.block_size = 16;
+  o.solve.max_iters = 10;
+  o.solve.tol = 0.0;
+  const auto r = block_async_solve(a, b, o);
+  ASSERT_EQ(r.block_executions.size(), 4u);
+  for (index_t c : r.block_executions) EXPECT_GT(c, 0);
+}
+
+}  // namespace
+}  // namespace bars

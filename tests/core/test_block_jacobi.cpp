@@ -1,0 +1,123 @@
+#include "core/block_jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/block_async.hpp"
+#include "core/jacobi.hpp"
+#include "matrices/generators.hpp"
+#include "sparse/dense.hpp"
+
+namespace bars {
+namespace {
+
+TEST(BlockJacobi, OneBlockOneSweepIsPlainJacobi) {
+  const Csr a = fv_like(8, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockJacobiOptions o;
+  o.block_size = a.rows();
+  o.local_iters = 1;
+  o.solve.max_iters = 30;
+  o.solve.tol = 0.0;
+  const SolveResult blk = block_jacobi_solve(a, b, o);
+  SolveOptions so;
+  so.max_iters = 30;
+  so.tol = 0.0;
+  const SolveResult jac = jacobi_solve(a, b, so);
+  ASSERT_EQ(blk.residual_history.size(), jac.residual_history.size());
+  for (std::size_t i = 0; i < blk.residual_history.size(); ++i) {
+    EXPECT_NEAR(blk.residual_history[i], jac.residual_history[i], 1e-14);
+  }
+}
+
+TEST(BlockJacobi, Deterministic) {
+  const Csr a = trefethen(120);
+  const Vector b(120, 1.0);
+  BlockJacobiOptions o;
+  o.block_size = 32;
+  o.local_iters = 3;
+  o.solve.max_iters = 20;
+  o.solve.tol = 0.0;
+  const SolveResult r1 = block_jacobi_solve(a, b, o);
+  const SolveResult r2 = block_jacobi_solve(a, b, o);
+  EXPECT_EQ(r1.x, r2.x);
+}
+
+TEST(BlockJacobi, MatchesDirectSolve) {
+  const Csr a = fv_like(10, 0.6);
+  Vector b(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 0.3 + 0.02 * double(i);
+  BlockJacobiOptions o;
+  o.block_size = 25;
+  o.local_iters = 4;
+  o.solve.max_iters = 2000;
+  o.solve.tol = 1e-12;
+  const SolveResult r = block_jacobi_solve(a, b, o);
+  ASSERT_TRUE(r.converged);
+  const Vector xd = Dense::from_csr(a).solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(r.x[i], xd[i], 1e-9);
+}
+
+TEST(BlockJacobi, LocalItersAccelerate) {
+  const Csr a = fv_like(16, 0.4);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  index_t prev = 1 << 30;
+  for (index_t k : {1, 2, 5}) {
+    BlockJacobiOptions o;
+    o.block_size = 64;
+    o.local_iters = k;
+    o.solve.max_iters = 5000;
+    o.solve.tol = 1e-10;
+    const SolveResult r = block_jacobi_solve(a, b, o);
+    ASSERT_TRUE(r.converged) << k;
+    EXPECT_LT(r.iterations, prev) << k;
+    prev = r.iterations;
+  }
+}
+
+TEST(BlockJacobi, AsyncConvergesComparablyToSyncTwoStage) {
+  // The asynchrony-cost question: async-(5) should need a comparable
+  // number of global iterations to synchronous block-Jacobi-(5) —
+  // that's the claim that chaos costs little when rho(|B|) < 1.
+  const Csr a = fv_like(20, 0.4);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockJacobiOptions so;
+  so.block_size = 100;
+  so.local_iters = 5;
+  so.solve.max_iters = 3000;
+  so.solve.tol = 1e-10;
+  const SolveResult sync = block_jacobi_solve(a, b, so);
+
+  BlockAsyncOptions ao;
+  ao.block_size = 100;
+  ao.local_iters = 5;
+  ao.solve = so.solve;
+  const BlockAsyncResult async = block_async_solve(a, b, ao);
+
+  ASSERT_TRUE(sync.converged);
+  ASSERT_TRUE(async.solve.converged);
+  const double ratio = static_cast<double>(async.solve.iterations) /
+                       static_cast<double>(sync.iterations);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(BlockJacobi, DivergesOnStructural) {
+  const index_t m = 12;
+  const Csr a = structural_like(m, structural_diag_for_rho(m, 2.65));
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockJacobiOptions o;
+  o.block_size = 36;
+  o.solve.max_iters = 2000;
+  o.solve.divergence_limit = 1e10;
+  const SolveResult r = block_jacobi_solve(a, b, o);
+  EXPECT_TRUE(r.diverged);
+}
+
+TEST(BlockJacobi, RejectsDimensionMismatch) {
+  const Csr a = poisson1d(4);
+  const Vector b(5, 1.0);
+  EXPECT_THROW((void)block_jacobi_solve(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bars

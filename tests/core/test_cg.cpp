@@ -1,0 +1,120 @@
+#include "core/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gauss_seidel.hpp"
+#include "matrices/generators.hpp"
+#include "sparse/dense.hpp"
+
+namespace bars {
+namespace {
+
+TEST(Cg, ExactInAtMostNIterations) {
+  const index_t n = 12;
+  const Csr a = poisson1d(n);
+  Vector b(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 / (1.0 + double(i));
+  CgOptions o;
+  o.solve.max_iters = n;
+  o.solve.tol = 1e-12;
+  const SolveResult r = cg_solve(a, b, o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, n);
+}
+
+TEST(Cg, MatchesDirectSolve) {
+  const Csr a = fv_like(10, 0.3);
+  Vector b(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = std::cos(0.2 * double(i));
+  CgOptions o;
+  o.solve.max_iters = 500;
+  o.solve.tol = 1e-13;
+  const SolveResult r = cg_solve(a, b, o);
+  ASSERT_TRUE(r.converged);
+  const Vector xd = Dense::from_csr(a).solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(r.x[i], xd[i], 1e-8);
+}
+
+TEST(Cg, FarFewerIterationsThanGaussSeidelOnIllConditioned) {
+  // The paper's Fig. 9c observation: for fv3-like conditioning CG needs
+  // a small fraction of the relaxation iterations.
+  const Csr a = fv_like(30, 0.001);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  SolveOptions so;
+  so.max_iters = 50000;
+  so.tol = 1e-10;
+  CgOptions co;
+  co.solve = so;
+  const SolveResult cg = cg_solve(a, b, co);
+  const SolveResult gs = gauss_seidel_solve(a, b, so);
+  ASSERT_TRUE(cg.converged);
+  ASSERT_TRUE(gs.converged);
+  EXPECT_LT(cg.iterations * 10, gs.iterations);
+}
+
+TEST(Cg, JacobiPreconditionerHelpsOnTrefethen) {
+  // Trefethen matrices have wildly varying diagonal (primes), so
+  // diagonal preconditioning cuts the iteration count.
+  const Csr a = trefethen(400);
+  const Vector b(400, 1.0);
+  CgOptions plain;
+  plain.solve.max_iters = 2000;
+  plain.solve.tol = 1e-12;
+  CgOptions pre = plain;
+  pre.jacobi_preconditioner = true;
+  const SolveResult r0 = cg_solve(a, b, plain);
+  const SolveResult r1 = cg_solve(a, b, pre);
+  ASSERT_TRUE(r0.converged);
+  ASSERT_TRUE(r1.converged);
+  EXPECT_LT(r1.iterations, r0.iterations);
+}
+
+TEST(Cg, IndefiniteMatrixFlagsDivergence) {
+  Coo c(2, 2);
+  c.add(0, 0, 1.0);
+  c.add(1, 1, -1.0);
+  const Csr a = Csr::from_coo(c);
+  const Vector b{1.0, 1.0};
+  const SolveResult r = cg_solve(a, b);
+  EXPECT_TRUE(r.diverged);
+}
+
+TEST(Cg, ResidualRecomputationKeepsTrueResidual) {
+  const Csr a = fv_like(12, 0.1);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  CgOptions o;
+  o.solve.max_iters = 300;
+  o.solve.tol = 1e-13;
+  o.recompute_every = 10;
+  const SolveResult r = cg_solve(a, b, o);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(relative_residual(a, b, r.x), r.final_residual, 1e-12);
+}
+
+TEST(Cg, ZeroRhsImmediatelyConverged) {
+  const Csr a = poisson1d(5);
+  const Vector b(5, 0.0);
+  const SolveResult r = cg_solve(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Cg, InitialGuessRespected) {
+  const Csr a = poisson1d(8);
+  const Vector b(8, 1.0);
+  const Vector x0 = Dense::from_csr(a).solve(b);
+  const SolveResult r = cg_solve(a, b, {}, &x0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Cg, RejectsDimensionMismatch) {
+  const Csr a = poisson1d(4);
+  const Vector b(5, 1.0);
+  EXPECT_THROW((void)cg_solve(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,116 @@
+#include "core/gmres.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrices/generators.hpp"
+#include "sparse/dense.hpp"
+#include "stats/rng.hpp"
+
+namespace bars {
+namespace {
+
+/// Nonsymmetric test matrix: fv stencil plus a convection-like skew
+/// perturbation (keeps the diagonal dominant).
+Csr convection_diffusion(index_t m, value_t skew) {
+  const Csr sym = fv_like(m, 0.5);
+  Coo coo = sym.to_coo();
+  const index_t n = sym.rows();
+  for (index_t i = 0; i + 1 < n; ++i) {
+    coo.add(i, i + 1, -skew);
+    coo.add(i + 1, i, skew);
+  }
+  return Csr::from_coo(coo);
+}
+
+TEST(Gmres, SolvesSpdSystem) {
+  const Csr a = fv_like(10, 0.5);
+  Vector b(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = std::sin(0.2 * double(i));
+  GmresOptions o;
+  o.solve.max_iters = 500;
+  o.solve.tol = 1e-11;
+  const SolveResult r = gmres_solve(a, b, o);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(relative_residual(a, b, r.x), 1e-10);
+}
+
+TEST(Gmres, SolvesNonsymmetricSystem) {
+  const Csr a = convection_diffusion(10, 0.3);
+  ASSERT_FALSE(a.is_symmetric(1e-14));
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  GmresOptions o;
+  o.solve.max_iters = 1000;
+  o.solve.tol = 1e-11;
+  const SolveResult r = gmres_solve(a, b, o);
+  ASSERT_TRUE(r.converged);
+  const Vector xd = Dense::from_csr(a).solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(r.x[i], xd[i], 1e-8);
+}
+
+TEST(Gmres, FullKrylovIsExactInNSteps) {
+  const index_t n = 15;
+  const Csr m = random_spd(n, 4, 1.5, 321);
+  const Vector b(static_cast<std::size_t>(n), 1.0);
+  GmresOptions o;
+  o.restart = n;  // no restart: exact after <= n steps
+  o.solve.max_iters = n;
+  o.solve.tol = 1e-12;
+  const SolveResult r = gmres_solve(m, b, o);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, n);
+}
+
+TEST(Gmres, RestartedConvergesEventuallyOnDominantSystem) {
+  const Csr a = trefethen(200);
+  const Vector b(200, 1.0);
+  GmresOptions o;
+  o.restart = 10;
+  o.solve.max_iters = 2000;
+  o.solve.tol = 1e-10;
+  const SolveResult r = gmres_solve(a, b, o);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Gmres, HistoryTracksInnerIterations) {
+  const Csr a = fv_like(8, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  GmresOptions o;
+  o.restart = 5;
+  o.solve.max_iters = 37;
+  o.solve.tol = 0.0;
+  const SolveResult r = gmres_solve(a, b, o);
+  EXPECT_EQ(r.iterations, 37);
+  EXPECT_EQ(r.residual_history.size(), 38u);
+}
+
+TEST(Gmres, ZeroRhsConvergedImmediately) {
+  const Csr a = poisson1d(6);
+  const Vector b(6, 0.0);
+  const SolveResult r = gmres_solve(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Gmres, InitialGuessRespected) {
+  const Csr a = poisson1d(8);
+  const Vector b(8, 1.0);
+  const Vector x0 = Dense::from_csr(a).solve(b);
+  const SolveResult r = gmres_solve(a, b, {}, &x0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Gmres, RejectsBadOptions) {
+  const Csr a = poisson1d(4);
+  const Vector b(4, 1.0);
+  GmresOptions o;
+  o.restart = 0;
+  EXPECT_THROW((void)gmres_solve(a, b, o), std::invalid_argument);
+  const Vector bad(3, 1.0);
+  EXPECT_THROW((void)gmres_solve(a, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bars

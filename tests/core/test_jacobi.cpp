@@ -1,0 +1,131 @@
+#include "core/jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eigen/condition.hpp"
+#include "matrices/generators.hpp"
+#include "sparse/dense.hpp"
+
+namespace bars {
+namespace {
+
+TEST(Jacobi, SolvesDiagonalSystemInOneIteration) {
+  Coo c(3, 3);
+  c.add(0, 0, 2.0);
+  c.add(1, 1, 4.0);
+  c.add(2, 2, 8.0);
+  const Csr a = Csr::from_coo(c);
+  const Vector b{2.0, 8.0, 24.0};
+  const SolveResult r = jacobi_solve(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-14);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-14);
+  EXPECT_NEAR(r.x[2], 3.0, 1e-14);
+}
+
+TEST(Jacobi, MatchesDirectSolveOnPoisson) {
+  const Csr a = poisson1d(20);
+  Vector b(20);
+  for (std::size_t i = 0; i < 20; ++i) b[i] = 1.0 + 0.1 * double(i);
+  SolveOptions o;
+  o.max_iters = 20000;
+  o.tol = 1e-13;
+  const SolveResult r = jacobi_solve(a, b, o);
+  ASSERT_TRUE(r.converged);
+  const Vector xd = Dense::from_csr(a).solve(b);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(r.x[i], xd[i], 1e-9);
+}
+
+TEST(Jacobi, ResidualHistoryMonotoneForSpd) {
+  const Csr a = fv_like(12, 0.8);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  SolveOptions o;
+  o.max_iters = 100;
+  o.tol = 0.0;
+  const SolveResult r = jacobi_solve(a, b, o);
+  ASSERT_GT(r.residual_history.size(), 10u);
+  for (std::size_t i = 1; i < r.residual_history.size(); ++i) {
+    EXPECT_LE(r.residual_history[i], r.residual_history[i - 1] * 1.0001);
+  }
+}
+
+TEST(Jacobi, DivergesWhenRhoExceedsOne) {
+  const index_t m = 12;
+  const Csr a = structural_like(m, structural_diag_for_rho(m, 2.65));
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  SolveOptions o;
+  o.max_iters = 2000;
+  o.divergence_limit = 1e10;
+  const SolveResult r = jacobi_solve(a, b, o);
+  EXPECT_TRUE(r.diverged);
+}
+
+TEST(ScaledJacobi, TauRestoresConvergenceOnStructural) {
+  // The paper's Section 4.2 remedy: tau = 2/(l1+ln) makes Jacobi-type
+  // methods converge even for rho(B) = 2.65.
+  const index_t m = 12;
+  const Csr a = structural_like(m, structural_diag_for_rho(m, 2.65));
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  const value_t tau = optimal_jacobi_tau(a);
+  SolveOptions o;
+  o.max_iters = 50000;
+  o.tol = 1e-10;
+  const SolveResult r = scaled_jacobi_solve(a, b, tau, o);
+  EXPECT_TRUE(r.converged) << "tau=" << tau;
+}
+
+TEST(ScaledJacobi, TauOneEqualsPlainJacobi) {
+  const Csr a = poisson1d(10);
+  const Vector b(10, 1.0);
+  SolveOptions o;
+  o.max_iters = 25;
+  o.tol = 0.0;
+  const SolveResult r1 = jacobi_solve(a, b, o);
+  const SolveResult r2 = scaled_jacobi_solve(a, b, 1.0, o);
+  ASSERT_EQ(r1.residual_history.size(), r2.residual_history.size());
+  for (std::size_t i = 0; i < r1.residual_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.residual_history[i], r2.residual_history[i]);
+  }
+}
+
+TEST(Jacobi, InitialGuessRespected) {
+  const Csr a = poisson1d(8);
+  Vector b(8, 1.0);
+  const Vector x0 = Dense::from_csr(a).solve(b);
+  const SolveResult r = jacobi_solve(a, b, {}, &x0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Jacobi, RejectsZeroDiagonal) {
+  Coo c(2, 2);
+  c.add(0, 1, 1.0);
+  c.add(1, 0, 1.0);
+  const Vector b{1.0, 1.0};
+  EXPECT_THROW((void)jacobi_solve(Csr::from_coo(c), b),
+               std::invalid_argument);
+}
+
+TEST(Jacobi, RejectsDimensionMismatch) {
+  const Csr a = poisson1d(4);
+  const Vector b(3, 1.0);
+  EXPECT_THROW((void)jacobi_solve(a, b), std::invalid_argument);
+}
+
+TEST(ScaledJacobi, RejectsNonPositiveTau) {
+  const Csr a = poisson1d(4);
+  const Vector b(4, 1.0);
+  EXPECT_THROW((void)scaled_jacobi_solve(a, b, 0.0), std::invalid_argument);
+}
+
+TEST(Jacobi, ZeroRhsConvergesToZero) {
+  const Csr a = poisson1d(6);
+  const Vector b(6, 0.0);
+  const SolveResult r = jacobi_solve(a, b);
+  EXPECT_TRUE(r.converged);
+  for (value_t v : r.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,93 @@
+/// Multi-GPU fault tolerance (extension of the paper's Section 4.5 to
+/// the Section 3.4 setting): component failures during a multi-device
+/// asynchronous solve.
+
+#include <gtest/gtest.h>
+
+#include "core/multi_gpu_solver.hpp"
+#include "matrices/generators.hpp"
+
+namespace bars {
+namespace {
+
+MultiGpuOptions base(index_t devices, gpusim::TransferScheme scheme) {
+  MultiGpuOptions o;
+  o.num_devices = devices;
+  o.scheme = scheme;
+  o.block_size = 32;
+  o.local_iters = 3;
+  o.solve.max_iters = 600;
+  o.solve.tol = 1e-11;
+  o.seed = 5;
+  return o;
+}
+
+TEST(MultiGpuFault, NoRecoveryStagnatesOnTwoDevices) {
+  const Csr a = fv_like(12, 0.6);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  MultiGpuOptions o = base(2, gpusim::TransferScheme::kAMC);
+  gpusim::FaultPlan plan;
+  plan.fail_at = 5;
+  plan.fraction = 0.25;
+  plan.recover_after = std::nullopt;
+  o.fault = plan;
+  const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
+  EXPECT_FALSE(r.solve.converged);
+  EXPECT_GT(r.solve.final_residual, 1e-8);
+}
+
+TEST(MultiGpuFault, RecoveryRestoresConvergenceAcrossSchemes) {
+  const Csr a = fv_like(12, 0.6);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  for (auto scheme :
+       {gpusim::TransferScheme::kAMC, gpusim::TransferScheme::kDC,
+        gpusim::TransferScheme::kDK}) {
+    MultiGpuOptions o = base(3, scheme);
+    gpusim::FaultPlan plan;
+    plan.fail_at = 5;
+    plan.fraction = 0.25;
+    plan.recover_after = 10;
+    o.fault = plan;
+    const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
+    EXPECT_TRUE(r.solve.converged) << to_string(scheme);
+  }
+}
+
+TEST(MultiGpuFault, RecoveredSolutionMatchesCleanRun) {
+  const Csr a = fv_like(12, 0.6);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  MultiGpuOptions clean = base(2, gpusim::TransferScheme::kAMC);
+  const MultiGpuResult rc = multi_gpu_block_async_solve(a, b, clean);
+  MultiGpuOptions faulty = clean;
+  gpusim::FaultPlan plan;
+  plan.fail_at = 4;
+  plan.fraction = 0.3;
+  plan.recover_after = 8;
+  faulty.fault = plan;
+  const MultiGpuResult rf = multi_gpu_block_async_solve(a, b, faulty);
+  ASSERT_TRUE(rc.solve.converged);
+  ASSERT_TRUE(rf.solve.converged);
+  for (std::size_t i = 0; i < rc.solve.x.size(); ++i) {
+    EXPECT_NEAR(rf.solve.x[i], rc.solve.x[i], 1e-9);
+  }
+}
+
+TEST(MultiGpuFault, FaultDelaysConvergence) {
+  const Csr a = fv_like(12, 0.6);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  MultiGpuOptions clean = base(2, gpusim::TransferScheme::kAMC);
+  const MultiGpuResult rc = multi_gpu_block_async_solve(a, b, clean);
+  MultiGpuOptions faulty = clean;
+  gpusim::FaultPlan plan;
+  plan.fail_at = 4;
+  plan.fraction = 0.3;
+  plan.recover_after = 12;
+  faulty.fault = plan;
+  const MultiGpuResult rf = multi_gpu_block_async_solve(a, b, faulty);
+  ASSERT_TRUE(rc.solve.converged);
+  ASSERT_TRUE(rf.solve.converged);
+  EXPECT_GT(rf.solve.iterations, rc.solve.iterations);
+}
+
+}  // namespace
+}  // namespace bars

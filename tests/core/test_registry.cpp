@@ -1,0 +1,75 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrices/generators.hpp"
+#include "sparse/dense.hpp"
+
+namespace bars {
+namespace {
+
+class RegistrySolvers : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistrySolvers, SolvesWellConditionedSpdSystem) {
+  const Csr a = fv_like(10, 0.8);
+  Vector b(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 + 0.01 * double(i);
+
+  RegistrySolveOptions o;
+  o.solve.max_iters = 20000;
+  o.solve.tol = 1e-11;
+  o.block_size = 32;
+  o.local_iters = 2;
+  o.num_threads = 2;
+  const SolveResult r = find_solver(GetParam())(a, b, o);
+  ASSERT_TRUE(r.converged) << GetParam();
+
+  const Vector xd = Dense::from_csr(a).solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(r.x[i], xd[i], 1e-7) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolvers, RegistrySolvers,
+    ::testing::Values("jacobi", "scaled-jacobi", "gauss-seidel",
+                      "symmetric-gs", "sor", "cg", "gmres", "pcg-jacobi",
+                      "fcg-async", "block-jacobi", "block-async",
+                      "thread-async"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(Registry, NamesListsAllSolvers) {
+  const auto names = solver_names();
+  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.front(), "jacobi");
+}
+
+TEST(Registry, UnknownNameThrowsWithSuggestions) {
+  try {
+    (void)find_solver("nope");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("block-async"), std::string::npos);
+  }
+}
+
+TEST(Registry, ScaledJacobiHandlesDivergentSystem) {
+  // The one solver that must survive rho(B) > 1.
+  const index_t m = 12;
+  const Csr a = structural_like(m, structural_diag_for_rho(m, 2.65));
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  RegistrySolveOptions o;
+  o.solve.max_iters = 100000;
+  o.solve.tol = 1e-8;
+  const SolveResult r = find_solver("scaled-jacobi")(a, b, o);
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,148 @@
+#include "core/silent_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eigen/power_iteration.hpp"
+#include "matrices/generators.hpp"
+#include "stats/convergence.hpp"
+
+namespace bars {
+namespace {
+
+std::vector<value_t> geometric(value_t start, value_t ratio, int n) {
+  std::vector<value_t> h;
+  value_t v = start;
+  for (int i = 0; i < n; ++i) {
+    h.push_back(v);
+    v *= ratio;
+  }
+  return h;
+}
+
+TEST(Detector, CleanGeometricHistoryNotFlagged) {
+  const auto rep = detect_silent_error(geometric(1.0, 0.5, 40));
+  EXPECT_FALSE(rep.detected);
+}
+
+TEST(Detector, JumpFlagged) {
+  auto h = geometric(1.0, 0.5, 20);
+  h.push_back(h.back() * 1e5);  // corruption spike
+  for (int i = 0; i < 5; ++i) h.push_back(h.back() * 0.5);
+  const auto rep = detect_silent_error(h);
+  ASSERT_TRUE(rep.detected);
+  EXPECT_EQ(rep.at_iteration, 20);
+  EXPECT_GT(rep.jump_ratio, 1e4);
+}
+
+TEST(Detector, StallFlagged) {
+  auto h = geometric(1.0, 0.5, 15);
+  for (int i = 0; i < 15; ++i) h.push_back(h.back());  // stagnation
+  const auto rep = detect_silent_error(h);
+  EXPECT_TRUE(rep.detected);
+}
+
+TEST(Detector, NanFlagged) {
+  auto h = geometric(1.0, 0.5, 8);
+  h.push_back(std::nan(""));
+  EXPECT_TRUE(detect_silent_error(h).detected);
+}
+
+TEST(Detector, RoundingFloorNotFlagged) {
+  auto h = geometric(1.0, 0.1, 16);        // down to 1e-15
+  for (int i = 0; i < 20; ++i) h.push_back(8e-16);  // plateau at floor
+  EXPECT_FALSE(detect_silent_error(h).detected);
+}
+
+TEST(Detector, ShortHistoryNotFlagged) {
+  EXPECT_FALSE(detect_silent_error({1.0}).detected);
+  EXPECT_FALSE(detect_silent_error({}).detected);
+}
+
+TEST(SdcRun, CleanRunNotFlaggedAndConverges) {
+  const Csr a = fv_like(16, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o;
+  o.block_size = 64;
+  o.local_iters = 5;
+  o.solve.max_iters = 500;
+  o.solve.tol = 1e-12;
+  const SdcRunResult r = block_async_solve_with_sdc(a, b, o, std::nullopt);
+  EXPECT_TRUE(r.solve.solve.converged);
+  EXPECT_FALSE(r.report.detected);
+}
+
+TEST(SdcRun, CorruptionDetectedAsJump) {
+  const Csr a = fv_like(16, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o;
+  o.block_size = 64;
+  o.local_iters = 5;
+  o.solve.max_iters = 500;
+  o.solve.tol = 1e-12;
+  SilentErrorPlan sdc;
+  sdc.at = 8;
+  sdc.magnitude = 1e8;
+  const SdcRunResult r = block_async_solve_with_sdc(a, b, o, sdc);
+  ASSERT_TRUE(r.report.detected);
+  EXPECT_NEAR(static_cast<double>(r.report.at_iteration), 9.0, 2.0);
+  EXPECT_GT(r.report.jump_ratio, 100.0);
+}
+
+TEST(SdcRun, SolverHealsAfterCorruption) {
+  // The asynchronous iteration is self-stabilizing: once corrupted
+  // values are relaxed away, it still converges to the true solution
+  // (this is *why* silent errors need detection — they only cost time).
+  const Csr a = fv_like(16, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o;
+  o.block_size = 64;
+  o.local_iters = 5;
+  o.solve.max_iters = 1000;
+  o.solve.tol = 1e-12;
+  SilentErrorPlan sdc;
+  sdc.at = 8;
+  sdc.magnitude = 1e8;
+  const SdcRunResult r = block_async_solve_with_sdc(a, b, o, sdc);
+  EXPECT_TRUE(r.solve.solve.converged);
+  EXPECT_LE(relative_residual(a, b, r.solve.solve.x), 1e-11);
+}
+
+TEST(SdcRun, RejectsBadComponent) {
+  const Csr a = poisson1d(8);
+  const Vector b(8, 1.0);
+  SilentErrorPlan sdc;
+  sdc.component = 99;
+  EXPECT_THROW((void)block_async_solve_with_sdc(a, b, {}, sdc),
+               std::invalid_argument);
+}
+
+TEST(AsyncRateBound, MeasuredRateBeatsWorstCase) {
+  // Chazan-Miranker envelope: any schedule with bounded shift s
+  // contracts at least as fast as rho(|B|)^{1/(1+s)} asymptotically.
+  const Csr a = trefethen(300);
+  const Vector b(300, 1.0);
+  const value_t rho_abs = async_spectral_radius(a).value;
+  BlockAsyncOptions o;
+  o.block_size = 64;
+  o.local_iters = 1;
+  o.solve.max_iters = 200;
+  o.solve.tol = 0.0;
+  const BlockAsyncResult r = block_async_solve(a, b, o);
+  const value_t measured = contraction_factor(r.solve.residual_history, 80);
+  const value_t bound =
+      async_worst_case_rate(rho_abs, r.max_staleness);
+  EXPECT_GT(measured, 0.0);
+  EXPECT_LE(measured, bound + 0.02);
+}
+
+TEST(AsyncRateBound, Formula) {
+  EXPECT_DOUBLE_EQ(async_worst_case_rate(0.81, 0), 0.81);
+  EXPECT_NEAR(async_worst_case_rate(0.64, 1), 0.8, 1e-12);
+  EXPECT_THROW((void)async_worst_case_rate(-0.1, 0), std::invalid_argument);
+  EXPECT_THROW((void)async_worst_case_rate(0.5, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,95 @@
+#include "core/thread_async.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrices/generators.hpp"
+#include "sparse/dense.hpp"
+
+namespace bars {
+namespace {
+
+TEST(ThreadAsync, ConvergesOnStrictlyDominantSystem) {
+  const Csr a = random_spd(200, 4, 2.0, 321);
+  const Vector b(200, 1.0);
+  ThreadAsyncOptions o;
+  o.block_size = 32;
+  o.num_threads = 4;
+  o.solve.max_iters = 5000;
+  o.solve.tol = 1e-11;
+  const ThreadAsyncResult r = thread_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.converged);
+  EXPECT_LE(relative_residual(a, b, r.solve.x), 1e-10);
+}
+
+TEST(ThreadAsync, SolutionMatchesDirectSolve) {
+  const Csr a = fv_like(8, 0.8);
+  Vector b(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 - 0.02 * double(i);
+  ThreadAsyncOptions o;
+  o.block_size = 16;
+  o.num_threads = 3;
+  o.solve.max_iters = 10000;
+  o.solve.tol = 1e-12;
+  const ThreadAsyncResult r = thread_async_solve(a, b, o);
+  ASSERT_TRUE(r.solve.converged);
+  const Vector xd = Dense::from_csr(a).solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(r.solve.x[i], xd[i], 1e-8);
+  }
+}
+
+TEST(ThreadAsync, LocalItersAccelerateConvergence) {
+  const Csr a = fv_like(12, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  ThreadAsyncOptions o1;
+  o1.block_size = 36;
+  o1.num_threads = 2;
+  o1.local_iters = 1;
+  o1.solve.max_iters = 4000;
+  o1.solve.tol = 1e-10;
+  ThreadAsyncOptions o5 = o1;
+  o5.local_iters = 5;
+  const auto r1 = thread_async_solve(a, b, o1);
+  const auto r5 = thread_async_solve(a, b, o5);
+  ASSERT_TRUE(r1.solve.converged);
+  ASSERT_TRUE(r5.solve.converged);
+  EXPECT_LT(r5.solve.iterations, r1.solve.iterations);
+}
+
+TEST(ThreadAsync, SingleThreadStillWorks) {
+  const Csr a = poisson1d(50);
+  const Vector b(50, 1.0);
+  ThreadAsyncOptions o;
+  o.block_size = 10;
+  o.num_threads = 1;
+  o.solve.max_iters = 20000;
+  o.solve.tol = 1e-11;
+  const auto r = thread_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.converged);
+}
+
+TEST(ThreadAsync, EveryBlockExecutes) {
+  const Csr a = poisson1d(64);
+  const Vector b(64, 1.0);
+  ThreadAsyncOptions o;
+  o.block_size = 8;
+  o.num_threads = 4;
+  o.solve.max_iters = 50;
+  o.solve.tol = 0.0;
+  const auto r = thread_async_solve(a, b, o);
+  for (index_t c : r.block_executions) EXPECT_GT(c, 0);
+  index_t sum = 0;
+  for (index_t c : r.block_executions) sum += c;
+  EXPECT_EQ(sum, r.total_block_executions);
+}
+
+TEST(ThreadAsync, RejectsDimensionMismatch) {
+  const Csr a = poisson1d(4);
+  const Vector b(5, 1.0);
+  EXPECT_THROW((void)thread_async_solve(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bars

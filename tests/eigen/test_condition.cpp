@@ -1,0 +1,71 @@
+#include "eigen/condition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "matrices/generators.hpp"
+#include "sparse/dense.hpp"
+
+namespace bars {
+namespace {
+
+TEST(Condition, Poisson1dConditionNumber) {
+  const index_t n = 60;
+  const auto est = spd_condition_number(poisson1d(n));
+  const double c1 = std::cos(std::numbers::pi / static_cast<double>(n + 1));
+  const double expect = (2.0 + 2.0 * c1) / (2.0 - 2.0 * c1);
+  EXPECT_NEAR(est.condition, expect, 1e-3 * expect);
+}
+
+TEST(Condition, DiagonalScalingNormalizesDiagonal) {
+  const Csr a = trefethen(50);
+  const Csr s = symmetric_diagonal_scaling(a);
+  for (index_t i = 0; i < s.rows(); ++i) {
+    EXPECT_NEAR(s.at(i, i), 1.0, 1e-14);
+  }
+  EXPECT_TRUE(s.is_symmetric(1e-12));
+}
+
+TEST(Condition, DiagonalScalingRejectsNonPositiveDiagonal) {
+  Coo c(2, 2);
+  c.add(0, 0, -1.0);
+  c.add(1, 1, 1.0);
+  EXPECT_THROW((void)symmetric_diagonal_scaling(Csr::from_coo(c)),
+               std::invalid_argument);
+}
+
+TEST(Condition, ScaledConditionMuchSmallerForTrefethen) {
+  // Paper Table 1: cond(A) = 5.1e4 but cond(D^{-1}A) = 6.16 — diagonal
+  // scaling nearly equilibrates the Trefethen matrix.
+  const Csr a = trefethen(300);
+  const auto plain = spd_condition_number(a);
+  const auto scaled = jacobi_scaled_condition_number(a);
+  EXPECT_GT(plain.condition, 100.0);
+  EXPECT_LT(scaled.condition, 10.0);
+}
+
+TEST(Condition, OptimalTauDampsDivergentJacobi) {
+  const Csr a = structural_like(12, structural_diag_for_rho(12, 2.65));
+  const value_t tau = optimal_jacobi_tau(a);
+  EXPECT_GT(tau, 0.0);
+  EXPECT_LT(tau, 1.0);
+  // With tau = 2/(l1+ln), rho(I - tau D^{-1}A) < 1.
+  const auto est = jacobi_scaled_condition_number(a);
+  const double rho_scaled =
+      std::max(std::abs(1.0 - tau * est.lambda_min),
+               std::abs(1.0 - tau * est.lambda_max));
+  EXPECT_LT(rho_scaled, 1.0);
+}
+
+TEST(Condition, MatchesDenseOnSmallRandomSpd) {
+  const Csr a = random_spd(40, 3, 2.0, 77);
+  const auto est = spd_condition_number(a);
+  const auto eig = Dense::from_csr(a).symmetric_eigenvalues();
+  const double expect = eig.back() / eig.front();
+  EXPECT_NEAR(est.condition, expect, 0.01 * expect);
+}
+
+}  // namespace
+}  // namespace bars

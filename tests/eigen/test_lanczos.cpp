@@ -1,0 +1,71 @@
+#include "eigen/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "matrices/generators.hpp"
+#include "sparse/dense.hpp"
+
+namespace bars {
+namespace {
+
+TEST(TridiagEigen, DiagonalMatrix) {
+  const auto eig = tridiag_eigenvalues({3.0, 1.0, 2.0}, {0.0, 0.0});
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig[2], 3.0, 1e-10);
+}
+
+TEST(TridiagEigen, Poisson1dClosedForm) {
+  const std::size_t n = 12;
+  std::vector<value_t> alpha(n, 2.0), beta(n - 1, -1.0);
+  const auto eig = tridiag_eigenvalues(alpha, beta);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double expect =
+        2.0 - 2.0 * std::cos(static_cast<double>(k) * std::numbers::pi /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(eig[k - 1], expect, 1e-9);
+  }
+}
+
+TEST(TridiagEigen, EmptyInput) {
+  EXPECT_TRUE(tridiag_eigenvalues({}, {}).empty());
+}
+
+TEST(Lanczos, ExtremalEigenvaluesOfPoisson1d) {
+  const index_t n = 100;
+  const auto r = lanczos_extremal(poisson1d(n));
+  const double lmax =
+      2.0 + 2.0 * std::cos(std::numbers::pi / static_cast<double>(n + 1));
+  const double lmin =
+      2.0 - 2.0 * std::cos(std::numbers::pi / static_cast<double>(n + 1));
+  EXPECT_NEAR(r.lambda_max, lmax, 1e-6 * lmax);
+  EXPECT_NEAR(r.lambda_min, lmin, 1e-4);
+}
+
+TEST(Lanczos, AgreesWithDenseEigenvaluesOnRandomSpd) {
+  const Csr a = random_spd(60, 4, 1.5, 123);
+  const auto lz = lanczos_extremal(a);
+  const auto dense = Dense::from_csr(a).symmetric_eigenvalues();
+  EXPECT_NEAR(lz.lambda_max, dense.back(), 1e-6 * dense.back());
+  EXPECT_NEAR(lz.lambda_min, dense.front(), 1e-5 * dense.back());
+}
+
+TEST(Lanczos, ExactAfterNStepsOnTinyMatrix) {
+  const Csr a = poisson1d(6);
+  LanczosOptions o;
+  o.max_steps = 6;
+  const auto r = lanczos_extremal(a, o);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Lanczos, EmptyMatrix) {
+  const auto r = lanczos_extremal(Csr::from_coo(Coo(0, 0)));
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace bars

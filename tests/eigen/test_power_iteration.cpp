@@ -1,0 +1,74 @@
+#include "eigen/power_iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "matrices/generators.hpp"
+
+namespace bars {
+namespace {
+
+TEST(PowerIteration, DiagonalMatrixDominantEigenvalue) {
+  Coo c(3, 3);
+  c.add(0, 0, 1.0);
+  c.add(1, 1, -5.0);
+  c.add(2, 2, 2.0);
+  const auto r = spectral_radius(Csr::from_coo(c));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 5.0, 1e-8);
+}
+
+TEST(PowerIteration, Poisson1dSpectralRadiusClosedForm) {
+  const index_t n = 50;
+  const auto r = spectral_radius(poisson1d(n));
+  const double expect =
+      2.0 + 2.0 * std::cos(std::numbers::pi / static_cast<double>(n + 1));
+  EXPECT_NEAR(r.value, expect, 1e-6);
+}
+
+TEST(PowerIteration, JacobiRadiusOfPoisson1d) {
+  const index_t n = 40;
+  const auto r = jacobi_spectral_radius(poisson1d(n));
+  const double expect =
+      std::cos(std::numbers::pi / static_cast<double>(n + 1));
+  EXPECT_NEAR(r.value, expect, 1e-6);
+}
+
+TEST(PowerIteration, FvLikeMatchesCalibrationTarget) {
+  const value_t target = 0.8541;
+  const Csr a = fv_like(20, fv_reaction_for_rho(20, target));
+  const auto r = jacobi_spectral_radius(a);
+  EXPECT_NEAR(r.value, target, 1e-5);
+}
+
+TEST(PowerIteration, AsyncRadiusEqualsJacobiForNonnegativeStencil) {
+  // The fv stencil has all off-diagonal entries of one sign, so
+  // rho(|B|) == rho(B).
+  const Csr a = fv_like(15, 0.5);
+  const auto rj = jacobi_spectral_radius(a);
+  const auto ra = async_spectral_radius(a);
+  EXPECT_NEAR(rj.value, ra.value, 1e-6);
+}
+
+TEST(PowerIteration, StructuralLikeExceedsOne) {
+  const Csr a = structural_like(20, structural_diag_for_rho(20, 2.65));
+  const auto r = jacobi_spectral_radius(a);
+  EXPECT_NEAR(r.value, 2.65, 1e-4);
+}
+
+TEST(PowerIteration, EmptyMatrixConverges) {
+  const auto r = spectral_radius(Csr::from_coo(Coo(0, 0)));
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(PowerIteration, ZeroMatrixGivesZero) {
+  const auto r = spectral_radius(Csr::from_coo(Coo(4, 4)),
+                                 {.max_iters = 50});
+  EXPECT_NEAR(r.value, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,89 @@
+#include "eigen/two_stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/block_jacobi.hpp"
+#include "eigen/power_iteration.hpp"
+#include "matrices/generators.hpp"
+#include "stats/convergence.hpp"
+
+namespace bars {
+namespace {
+
+TEST(TwoStage, K1EqualsJacobiIterationMatrix) {
+  // With one local sweep P = D^{-1}, so T_1 = I - D^{-1}A regardless of
+  // the partition.
+  const Csr a = fv_like(6, 0.5);
+  const Dense t =
+      two_stage_iteration_matrix(a, RowPartition::uniform(a.rows(), 9), 1);
+  const Csr bj = jacobi_iteration_matrix(a);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.rows(); ++j) {
+      EXPECT_NEAR(t(i, j), bj.at(i, j), 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(TwoStage, SpectralRadiusDecreasesWithLocalIters) {
+  const Csr a = fv_like(8, 0.3);
+  const RowPartition part = RowPartition::uniform(a.rows(), 16);
+  value_t prev = 1.0;
+  for (index_t k : {1, 2, 4, 8}) {
+    const value_t rho = two_stage_spectral_radius(a, part, k);
+    EXPECT_LT(rho, prev) << k;
+    prev = rho;
+  }
+}
+
+TEST(TwoStage, SingleBlockManySweepsApproachesDirectSolve) {
+  // One block covering A with k -> infinity is an exact solve:
+  // rho(T_k) = rho(L^k) = rho(B)^k -> 0.
+  const Csr a = fv_like(5, 0.8);
+  const RowPartition part = RowPartition::uniform(a.rows(), a.rows());
+  const value_t rho_b = jacobi_spectral_radius(a).value;
+  const value_t rho_t3 = two_stage_spectral_radius(a, part, 3);
+  EXPECT_NEAR(rho_t3, std::pow(rho_b, 3.0), 1e-6);
+}
+
+TEST(TwoStage, PredictsMeasuredBlockJacobiRate) {
+  // The measured contraction of block_jacobi_solve must equal rho(T_k).
+  const Csr a = fv_like(8, 0.4);
+  const RowPartition part = RowPartition::uniform(a.rows(), 16);
+  const index_t k = 3;
+  const value_t rho = two_stage_spectral_radius(a, part, k);
+
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockJacobiOptions o;
+  o.block_size = 16;
+  o.local_iters = k;
+  o.solve.max_iters = 300;
+  o.solve.tol = 0.0;
+  const SolveResult r = block_jacobi_solve(a, b, o);
+  const value_t measured = contraction_factor(r.residual_history, 100);
+  EXPECT_NEAR(measured, rho, 0.02);
+}
+
+TEST(TwoStage, ChemLikeGainsNothingFromLocalIters) {
+  // The Section 4.3 structure argument in operator form: with diagonal
+  // local blocks, L_b = 0 after one sweep and T_k == T_1 for all k.
+  const Csr a = chem97ztz_like(96, 0.6, /*diag_spread=*/1.0);
+  const RowPartition part = RowPartition::uniform(a.rows(), 24);
+  const value_t r1 = two_stage_spectral_radius(a, part, 1);
+  const value_t r5 = two_stage_spectral_radius(a, part, 5);
+  EXPECT_NEAR(r1, r5, 1e-9);
+}
+
+TEST(TwoStage, RejectsBadArguments) {
+  const Csr a = poisson1d(6);
+  EXPECT_THROW((void)two_stage_iteration_matrix(
+                   a, RowPartition::uniform(5, 2), 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)two_stage_iteration_matrix(
+                   a, RowPartition::uniform(6, 2), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bars

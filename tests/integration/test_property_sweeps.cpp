@@ -1,0 +1,178 @@
+/// Parameterized property sweeps: invariants that must hold across the
+/// whole (matrix family x seed x configuration) space.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/block_async.hpp"
+#include "core/gauss_seidel.hpp"
+#include "core/jacobi.hpp"
+#include "eigen/power_iteration.hpp"
+#include "matrices/generators.hpp"
+#include "sparse/reorder.hpp"
+#include "stats/convergence.hpp"
+
+namespace bars {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property 1: for rho(|B|) < 1, async-(k) converges for EVERY seed,
+// block size, local-iteration count and jitter level (Strikwerda).
+struct AsyncConfig {
+  index_t block_size;
+  index_t local_iters;
+  std::uint64_t seed;
+  value_t jitter;
+};
+
+class AsyncAlwaysConverges : public ::testing::TestWithParam<AsyncConfig> {};
+
+TEST_P(AsyncAlwaysConverges, OnDominantSystem) {
+  const AsyncConfig& c = GetParam();
+  const Csr a = trefethen(250);
+  ASSERT_LT(async_spectral_radius(a).value, 1.0);
+  const Vector b(250, 1.0);
+  BlockAsyncOptions o;
+  o.block_size = c.block_size;
+  o.local_iters = c.local_iters;
+  o.seed = c.seed;
+  o.jitter = c.jitter;
+  o.straggler_prob = 0.1;
+  o.solve.max_iters = 3000;
+  o.solve.tol = 1e-11;
+  const BlockAsyncResult r = block_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.converged)
+      << "block=" << c.block_size << " k=" << c.local_iters
+      << " seed=" << c.seed << " jitter=" << c.jitter;
+  EXPECT_LE(relative_residual(a, b, r.solve.x), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AsyncAlwaysConverges,
+    ::testing::Values(AsyncConfig{16, 1, 1, 0.1}, AsyncConfig{16, 5, 2, 0.5},
+                      AsyncConfig{64, 1, 3, 0.9}, AsyncConfig{64, 3, 4, 0.2},
+                      AsyncConfig{128, 5, 5, 0.4}, AsyncConfig{250, 2, 6, 0.3},
+                      AsyncConfig{37, 4, 7, 0.6},
+                      AsyncConfig{300, 8, 8, 0.2}));
+
+// ---------------------------------------------------------------------
+// Property 2: solving a symmetrically permuted system gives the
+// permuted solution, for relaxation and async solvers alike.
+class PermutationEquivariance
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PermutationEquivariance, SolutionMapsThroughPermutation) {
+  const Csr a = fv_like(9, 0.7);
+  const index_t n = a.rows();
+  Vector b(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = std::sin(0.3 * double(i));
+
+  Permutation p(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) p[i] = (i * 29) % n;  // gcd(29, 81) = 1
+  ASSERT_TRUE(is_permutation(p));
+  const Csr ap = permute_symmetric(a, p);
+  const Vector bp = permute_vector(b, p);
+
+  SolveOptions so;
+  so.max_iters = 20000;
+  so.tol = 1e-12;
+
+  Vector x, xp;
+  const std::string solver = GetParam();
+  if (solver == "jacobi") {
+    x = jacobi_solve(a, b, so).x;
+    xp = jacobi_solve(ap, bp, so).x;
+  } else if (solver == "gauss-seidel") {
+    x = gauss_seidel_solve(a, b, so).x;
+    xp = gauss_seidel_solve(ap, bp, so).x;
+  } else {
+    BlockAsyncOptions o;
+    o.solve = so;
+    o.block_size = 27;
+    x = block_async_solve(a, b, o).solve.x;
+    xp = block_async_solve(ap, bp, o).solve.x;
+  }
+  const Vector x_mapped = permute_vector(x, p);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(xp[i], x_mapped[i], 1e-8) << solver;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, PermutationEquivariance,
+                         ::testing::Values("jacobi", "gauss-seidel",
+                                           "block-async"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------
+// Property 3: measured asymptotic contraction of synchronous Jacobi
+// matches rho(B) across the generator family.
+class JacobiRateMatchesSpectrum : public ::testing::TestWithParam<double> {};
+
+TEST_P(JacobiRateMatchesSpectrum, OnFvFamily) {
+  const value_t target_rho = GetParam();
+  const index_t m = 20;
+  const Csr a = fv_like(m, fv_reaction_for_rho(m, target_rho));
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  SolveOptions o;
+  o.max_iters = 400;
+  o.tol = 0.0;
+  const SolveResult r = jacobi_solve(a, b, o);
+  EXPECT_NEAR(contraction_factor(r.residual_history, 100), target_rho,
+              0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rho, JacobiRateMatchesSpectrum,
+                         ::testing::Values(0.5, 0.7, 0.8541, 0.95));
+
+// ---------------------------------------------------------------------
+// Property 4: async-(k) residual histories are monotone after the
+// first few iterations on strongly dominant systems (no transient
+// blow-up from the chaos), for any seed.
+TEST(AsyncHistoryShape, EventuallyMonotoneOnDominantSystem) {
+  const Csr a = random_spd(300, 5, 2.5, 11);
+  const Vector b(300, 1.0);
+  for (std::uint64_t seed : {10ull, 20ull, 30ull, 40ull}) {
+    BlockAsyncOptions o;
+    o.block_size = 50;
+    o.local_iters = 2;
+    o.seed = seed;
+    o.solve.max_iters = 60;
+    o.solve.tol = 0.0;
+    const BlockAsyncResult r = block_async_solve(a, b, o);
+    const auto& h = r.solve.residual_history;
+    for (std::size_t i = 3; i < h.size(); ++i) {
+      if (h[i - 1] < 1e-15) break;
+      EXPECT_LT(h[i], h[i - 1] * 1.05) << "seed " << seed << " iter " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Property 5: increasing diagonal dominance accelerates async
+// convergence monotonically (sanity of the whole pipeline).
+TEST(AsyncRate, ImprovesWithDominance) {
+  index_t prev_iters = 1 << 30;
+  for (const value_t c : {0.2, 0.8, 2.0, 6.0}) {
+    const Csr a = fv_like(16, c);
+    const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+    BlockAsyncOptions o;
+    o.block_size = 64;
+    o.local_iters = 1;
+    o.solve.max_iters = 5000;
+    o.solve.tol = 1e-10;
+    const BlockAsyncResult r = block_async_solve(a, b, o);
+    ASSERT_TRUE(r.solve.converged) << "c=" << c;
+    EXPECT_LT(r.solve.iterations, prev_iters) << "c=" << c;
+    prev_iters = r.solve.iterations;
+  }
+}
+
+}  // namespace
+}  // namespace bars

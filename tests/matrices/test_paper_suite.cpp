@@ -1,0 +1,95 @@
+#include "matrices/paper_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eigen/power_iteration.hpp"
+#include "sparse/matrix_market.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace bars {
+namespace {
+
+TEST(PaperSuite, AllSevenInTableOrder) {
+  const auto& all = all_paper_matrices();
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(paper_matrix_name(all.front()), "Chem97ZtZ");
+  EXPECT_EQ(paper_matrix_name(all.back()), "Trefethen_20000");
+}
+
+TEST(PaperSuite, TrefethenProblemsAreExact) {
+  const TestProblem p = make_paper_problem(PaperMatrix::kTrefethen2000);
+  EXPECT_EQ(p.matrix.rows(), 2000);
+  EXPECT_EQ(p.matrix.nnz(), 41906);
+  EXPECT_EQ(p.paper.nnz, 41906);
+  EXPECT_TRUE(p.surrogate);  // generated, not loaded — still exact
+}
+
+TEST(PaperSuite, FvSurrogatesMatchDimensions) {
+  EXPECT_EQ(make_paper_problem(PaperMatrix::kFv1).matrix.rows(), 9604);
+  EXPECT_EQ(make_paper_problem(PaperMatrix::kFv2).matrix.rows(), 9801);
+  EXPECT_EQ(make_paper_problem(PaperMatrix::kFv3).matrix.rows(), 9801);
+}
+
+TEST(PaperSuite, SurrogateRhoMatchesPaperTable) {
+  struct Case {
+    PaperMatrix id;
+    value_t rho;
+    value_t tol;
+  };
+  const Case cases[] = {
+      {PaperMatrix::kChem97ZtZ, 0.7889, 2e-3},
+      {PaperMatrix::kFv1, 0.8541, 2e-3},
+      {PaperMatrix::kFv3, 0.9993, 2e-3},
+      {PaperMatrix::kS1rmt3m1, 2.65, 2e-2},
+  };
+  for (const auto& c : cases) {
+    const TestProblem p = make_paper_problem(c.id);
+    EXPECT_NEAR(jacobi_spectral_radius(p.matrix).value, c.rho, c.tol)
+        << p.name;
+  }
+}
+
+TEST(PaperSuite, AllMatricesSymmetric) {
+  for (PaperMatrix id : all_paper_matrices()) {
+    if (id == PaperMatrix::kTrefethen20000) continue;  // slow; covered above
+    const TestProblem p = make_paper_problem(id);
+    EXPECT_TRUE(p.matrix.is_symmetric(1e-12)) << p.name;
+  }
+}
+
+TEST(PaperSuite, LoadsUfmcFileWhenPresent) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "bars_ufmc_test";
+  fs::create_directories(dir);
+  // Fake "fv1.mtx" — the loader must prefer it over the surrogate.
+  {
+    std::ofstream out(dir / "fv1.mtx");
+    out << "%%MatrixMarket matrix coordinate real general\n"
+        << "2 2 2\n1 1 3.0\n2 2 4.0\n";
+  }
+  const TestProblem p =
+      make_paper_problem(PaperMatrix::kFv1, dir.string());
+  EXPECT_FALSE(p.surrogate);
+  EXPECT_EQ(p.matrix.rows(), 2);
+  fs::remove_all(dir);
+}
+
+TEST(PaperSuite, MissingUfmcFileFallsBackToSurrogate) {
+  const TestProblem p =
+      make_paper_problem(PaperMatrix::kFv1, std::string("/nonexistent"));
+  EXPECT_TRUE(p.surrogate);
+  EXPECT_EQ(p.matrix.rows(), 9604);
+}
+
+TEST(PaperSuite, PaperReferenceValuesTranscribed) {
+  const TestProblem p = make_paper_problem(PaperMatrix::kS1rmt3m1);
+  EXPECT_EQ(p.paper.n, 5489);
+  EXPECT_EQ(p.paper.nnz, 262411);
+  EXPECT_DOUBLE_EQ(p.paper.rho, 2.65);
+}
+
+}  // namespace
+}  // namespace bars

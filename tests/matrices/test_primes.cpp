@@ -1,0 +1,42 @@
+#include "matrices/primes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bars {
+namespace {
+
+TEST(Primes, FirstFew) {
+  const auto p = first_primes(10);
+  const std::vector<index_t> expect{2, 3, 5, 7, 11, 13, 17, 19, 23, 29};
+  EXPECT_EQ(p, expect);
+}
+
+TEST(Primes, EmptyAndSingle) {
+  EXPECT_TRUE(first_primes(0).empty());
+  EXPECT_EQ(first_primes(1), std::vector<index_t>{2});
+}
+
+TEST(Primes, NegativeThrows) {
+  EXPECT_THROW((void)first_primes(-1), std::invalid_argument);
+}
+
+TEST(Primes, KnownLargePrime) {
+  // p_2000 = 17389 (used as the largest Trefethen_2000 diagonal entry).
+  const auto p = first_primes(2000);
+  EXPECT_EQ(p.back(), 17389);
+}
+
+TEST(Primes, TwentyThousandth) {
+  // p_20000 = 224737 (Trefethen_20000 diagonal).
+  const auto p = first_primes(20000);
+  ASSERT_EQ(p.size(), 20000u);
+  EXPECT_EQ(p.back(), 224737);
+}
+
+TEST(Primes, StrictlyIncreasing) {
+  const auto p = first_primes(500);
+  for (std::size_t i = 1; i < p.size(); ++i) EXPECT_LT(p[i - 1], p[i]);
+}
+
+}  // namespace
+}  // namespace bars

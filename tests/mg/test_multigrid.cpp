@@ -1,0 +1,106 @@
+#include "mg/multigrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver_types.hpp"
+#include "matrices/generators.hpp"
+
+namespace bars::mg {
+namespace {
+
+Vector smooth_rhs(index_t n) {
+  Vector b(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = std::sin(0.01 * static_cast<double>(i));
+  }
+  return b;
+}
+
+TEST(Multigrid, ConstructsHierarchy) {
+  const PoissonMultigrid mg(31, 0.0, gauss_seidel_smoother());
+  EXPECT_GE(mg.num_levels(), 3);
+  EXPECT_EQ(mg.fine_matrix().rows(), 31 * 31);
+}
+
+TEST(Multigrid, RejectsNonPow2Minus1Grid) {
+  EXPECT_THROW(PoissonMultigrid(30, 0.0, gauss_seidel_smoother()),
+               std::invalid_argument);
+  EXPECT_THROW(PoissonMultigrid(31, 0.0, nullptr), std::invalid_argument);
+}
+
+TEST(Multigrid, GaussSeidelSmootherConvergesGridIndependent) {
+  // Multigrid's defining property: cycle count roughly independent of
+  // the grid size.
+  index_t cycles_small = 0, cycles_large = 0;
+  {
+    const PoissonMultigrid mg(15, 0.0, gauss_seidel_smoother());
+    const auto r = mg.solve(smooth_rhs(15 * 15), {.tol = 1e-9});
+    ASSERT_TRUE(r.converged);
+    cycles_small = r.cycles;
+  }
+  {
+    const PoissonMultigrid mg(63, 0.0, gauss_seidel_smoother());
+    const auto r = mg.solve(smooth_rhs(63 * 63), {.tol = 1e-9});
+    ASSERT_TRUE(r.converged);
+    cycles_large = r.cycles;
+  }
+  EXPECT_LE(cycles_large, cycles_small + 5);
+  EXPECT_LE(cycles_large, 25);
+}
+
+TEST(Multigrid, JacobiSmootherConverges) {
+  const PoissonMultigrid mg(31, 0.0, jacobi_smoother(0.8));
+  const auto r = mg.solve(smooth_rhs(31 * 31), {.tol = 1e-9});
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Multigrid, BlockAsyncSmootherConverges) {
+  // The paper's future-work scenario: block-asynchronous relaxation as
+  // a multigrid smoother.
+  const PoissonMultigrid mg(31, 0.0, block_async_smoother(64, 2, 5));
+  const auto r = mg.solve(smooth_rhs(31 * 31), {.tol = 1e-9});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.cycles, 40);
+}
+
+TEST(Multigrid, SolutionSolvesSystem) {
+  const PoissonMultigrid mg(31, 0.5, gauss_seidel_smoother());
+  const Vector b = smooth_rhs(31 * 31);
+  const auto r = mg.solve(b, {.tol = 1e-10});
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(relative_residual(mg.fine_matrix(), b, r.x), 1e-10);
+}
+
+TEST(Multigrid, ResidualHistoryContracts) {
+  const PoissonMultigrid mg(31, 0.0, gauss_seidel_smoother());
+  const auto r = mg.solve(smooth_rhs(31 * 31), {.max_cycles = 8, .tol = 0.0});
+  ASSERT_GE(r.residual_history.size(), 3u);
+  // Each V-cycle must contract the residual substantially.
+  for (std::size_t i = 2; i < r.residual_history.size(); ++i) {
+    if (r.residual_history[i - 1] < 1e-14) break;
+    EXPECT_LT(r.residual_history[i], 0.5 * r.residual_history[i - 1]);
+  }
+}
+
+TEST(Multigrid, WCycleConvergesInFewerCyclesThanV) {
+  const PoissonMultigrid mg(31, 0.0, jacobi_smoother(0.8));
+  MgOptions v;
+  v.tol = 1e-9;
+  MgOptions w = v;
+  w.cycle = CycleType::kW;
+  const auto rv = mg.solve(smooth_rhs(31 * 31), v);
+  const auto rw = mg.solve(smooth_rhs(31 * 31), w);
+  ASSERT_TRUE(rv.converged);
+  ASSERT_TRUE(rw.converged);
+  EXPECT_LE(rw.cycles, rv.cycles);
+}
+
+TEST(Multigrid, SizeMismatchThrows) {
+  const PoissonMultigrid mg(15, 0.0, gauss_seidel_smoother());
+  EXPECT_THROW((void)mg.solve(Vector(10, 1.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bars::mg

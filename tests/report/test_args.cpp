@@ -1,0 +1,53 @@
+#include "report/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bars::report {
+namespace {
+
+Args make_args(std::vector<std::string> raw) {
+  std::vector<char*> ptrs;
+  static std::vector<std::string> storage;
+  storage = std::move(raw);
+  ptrs.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return Args(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(Args, ParsesKeyValue) {
+  const Args a = make_args({"--runs=100", "--tol=1e-8", "--name=fv1"});
+  EXPECT_EQ(a.get_int("runs", 0), 100);
+  EXPECT_DOUBLE_EQ(a.get_double("tol", 0.0), 1e-8);
+  EXPECT_EQ(a.get_string("name", ""), "fv1");
+}
+
+TEST(Args, FallbacksWhenMissing) {
+  const Args a = make_args({});
+  EXPECT_EQ(a.get_int("runs", 42), 42);
+  EXPECT_DOUBLE_EQ(a.get_double("tol", 0.5), 0.5);
+  EXPECT_EQ(a.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(a.has("runs"));
+}
+
+TEST(Args, FlagWithoutValue) {
+  const Args a = make_args({"--verbose"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.get_string("verbose", "x"), "");
+}
+
+TEST(Args, IgnoresNonDashArguments) {
+  const Args a = make_args({"positional", "--k=1"});
+  EXPECT_EQ(a.keys().size(), 1u);
+  EXPECT_EQ(a.get_int("k", 0), 1);
+}
+
+TEST(Args, KeysListsAll) {
+  const Args a = make_args({"--a=1", "--b=2"});
+  const auto keys = a.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+}  // namespace
+}  // namespace bars::report

@@ -1,0 +1,79 @@
+#include "report/spy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrices/generators.hpp"
+
+namespace bars::report {
+namespace {
+
+TEST(Spy, TridiagonalShowsDiagonalBand) {
+  std::ostringstream out;
+  SpyOptions o;
+  o.width = 10;
+  o.height = 10;
+  spy(out, poisson1d(10), o);
+  const std::string s = out.str();
+  // 10 rows + 2 border lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 12);
+  // Row i of the plot must mark column i (diagonal) and leave the far
+  // corner empty.
+  std::istringstream lines(s);
+  std::string line;
+  std::getline(lines, line);  // top border
+  std::getline(lines, line);  // first matrix row
+  EXPECT_NE(line[1], ' ');    // (0,0) occupied
+  EXPECT_EQ(line[9], ' ');    // (0,8) empty
+}
+
+TEST(Spy, AntiDiagonalStructureVisible) {
+  const Csr a = chem97ztz_like(200, 0.5);
+  std::ostringstream out;
+  SpyOptions o;
+  o.width = 20;
+  o.height = 20;
+  spy(out, a, o);
+  const std::string s = out.str();
+  // The anti-diagonal coupling puts a mark in the top-right cell region.
+  std::istringstream lines(s);
+  std::string line;
+  std::getline(lines, line);
+  std::getline(lines, line);  // first row
+  EXPECT_NE(line[20], ' ');   // col 19 (+1 border offset): anti corner
+}
+
+TEST(Spy, DownsamplesLargeMatrices) {
+  std::ostringstream out;
+  SpyOptions o;
+  o.width = 30;
+  o.height = 15;
+  spy(out, trefethen(2000), o);
+  const std::string s = out.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 17);
+}
+
+TEST(Spy, RejectsBadOptions) {
+  std::ostringstream out;
+  SpyOptions o;
+  o.width = 0;
+  EXPECT_THROW(spy(out, poisson1d(4), o), std::invalid_argument);
+  SpyOptions o2;
+  o2.ramp = "x";
+  EXPECT_THROW(spy(out, poisson1d(4), o2), std::invalid_argument);
+}
+
+TEST(Spy, EmptyMatrixAllBlank) {
+  std::ostringstream out;
+  SpyOptions o;
+  o.width = 5;
+  o.height = 5;
+  spy(out, Csr::from_coo(Coo(5, 5)), o);
+  const std::string s = out.str();
+  EXPECT_EQ(s.find('#'), std::string::npos);
+  EXPECT_EQ(s.find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bars::report

@@ -1,0 +1,65 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bars::report {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(fmt_sci(12345.678, 2), "1.23e+04");
+  EXPECT_EQ(fmt_sci(0.5e-9, 1), "5.0e-10");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_fixed(-0.5, 3), "-0.500");
+}
+
+TEST(Format, Int) { EXPECT_EQ(fmt_int(1234567), "1234567"); }
+
+TEST(Csv, WritesHeaderAndColumns) {
+  std::ostringstream out;
+  write_csv(out, {"x", "y"}, {{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(out.str(), "x,y\n1,3\n2,4\n");
+}
+
+TEST(Csv, HandlesRaggedColumns) {
+  std::ostringstream out;
+  write_csv(out, {"x", "y"}, {{1.0}, {3.0, 4.0}});
+  EXPECT_EQ(out.str(), "x,y\n1,3\n,4\n");
+}
+
+TEST(Csv, RejectsMismatch) {
+  std::ostringstream out;
+  EXPECT_THROW(write_csv(out, {"x"}, {{1.0}, {2.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bars::report

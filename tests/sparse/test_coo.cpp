@@ -1,0 +1,75 @@
+#include "sparse/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bars {
+namespace {
+
+TEST(Coo, AddStoresTriplet) {
+  Coo c(3, 3);
+  c.add(0, 1, 2.5);
+  ASSERT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.entries()[0].row, 0);
+  EXPECT_EQ(c.entries()[0].col, 1);
+  EXPECT_DOUBLE_EQ(c.entries()[0].value, 2.5);
+}
+
+TEST(Coo, AddOutOfRangeThrows) {
+  Coo c(2, 2);
+  EXPECT_THROW(c.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(c.add(0, -1, 1.0), std::out_of_range);
+  EXPECT_THROW(c.add(-1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(c.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(Coo, AddSymmetricAddsMirrorEntry) {
+  Coo c(3, 3);
+  c.add_symmetric(0, 2, 4.0);
+  EXPECT_EQ(c.nnz(), 2);
+}
+
+TEST(Coo, AddSymmetricOnDiagonalAddsOnce) {
+  Coo c(3, 3);
+  c.add_symmetric(1, 1, 4.0);
+  EXPECT_EQ(c.nnz(), 1);
+}
+
+TEST(Coo, SortedOrdersRowMajor) {
+  Coo c(3, 3);
+  c.add(2, 0, 1.0);
+  c.add(0, 2, 2.0);
+  c.add(0, 0, 3.0);
+  const Coo s = c.sorted();
+  ASSERT_EQ(s.nnz(), 3);
+  EXPECT_EQ(s.entries()[0].row, 0);
+  EXPECT_EQ(s.entries()[0].col, 0);
+  EXPECT_EQ(s.entries()[1].col, 2);
+  EXPECT_EQ(s.entries()[2].row, 2);
+}
+
+TEST(Coo, SortedSumsDuplicates) {
+  Coo c(2, 2);
+  c.add(0, 1, 1.5);
+  c.add(0, 1, 2.5);
+  const Coo s = c.sorted();
+  ASSERT_EQ(s.nnz(), 1);
+  EXPECT_DOUBLE_EQ(s.entries()[0].value, 4.0);
+}
+
+TEST(Coo, SortedDropsZeroSums) {
+  Coo c(2, 2);
+  c.add(0, 1, 1.0);
+  c.add(0, 1, -1.0);
+  EXPECT_EQ(c.sorted().nnz(), 0);
+  EXPECT_EQ(c.sorted(/*keep_zeros=*/true).nnz(), 1);
+}
+
+TEST(Coo, EmptyMatrixSortsToEmpty) {
+  Coo c(5, 5);
+  EXPECT_EQ(c.sorted().nnz(), 0);
+}
+
+}  // namespace
+}  // namespace bars

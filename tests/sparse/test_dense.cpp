@@ -1,0 +1,106 @@
+#include "sparse/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "matrices/generators.hpp"
+
+namespace bars {
+namespace {
+
+TEST(Dense, IdentitySolveReturnsRhs) {
+  const Dense i = Dense::identity(4);
+  const Vector b{1.0, 2.0, 3.0, 4.0};
+  const Vector x = i.solve(b);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_DOUBLE_EQ(x[k], b[k]);
+}
+
+TEST(Dense, SolveMatchesKnownSolution) {
+  Dense a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const Vector b{5.0, 10.0};
+  const Vector x = a.solve(b);  // x = (1, 3)
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+}
+
+TEST(Dense, SolveWithPivotingHandlesZeroLeadingEntry) {
+  Dense a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const Vector b{2.0, 3.0};
+  const Vector x = a.solve(b);  // swap: x = (3, 2)
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Dense, SolveSingularThrows) {
+  Dense a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  const Vector b{1.0, 2.0};
+  EXPECT_THROW((void)a.solve(b), std::runtime_error);
+}
+
+TEST(Dense, FromCsrPreservesEntries) {
+  const Csr p = poisson1d(4);
+  const Dense d = Dense::from_csr(p);
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 0.0);
+}
+
+TEST(Dense, SymmetricEigenvaluesOfDiagonalMatrix) {
+  Dense a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const auto eig = a.symmetric_eigenvalues();
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig[2], 3.0, 1e-12);
+}
+
+TEST(Dense, SymmetricEigenvaluesOfPoisson1dMatchClosedForm) {
+  const index_t n = 8;
+  const Dense a = Dense::from_csr(poisson1d(n));
+  const auto eig = a.symmetric_eigenvalues();
+  // lambda_k = 2 - 2 cos(k pi / (n+1)), k = 1..n.
+  for (index_t k = 1; k <= n; ++k) {
+    const double expect =
+        2.0 - 2.0 * std::cos(static_cast<double>(k) * std::numbers::pi /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(eig[k - 1], expect, 1e-10);
+  }
+}
+
+TEST(Dense, SpmvMatchesCsr) {
+  const Csr p = poisson1d(5);
+  const Dense d = Dense::from_csr(p);
+  const Vector x{1.0, -1.0, 2.0, 0.5, 3.0};
+  Vector ys(5), yd(5);
+  p.spmv(x, ys);
+  d.spmv(x, yd);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(ys[i], yd[i]);
+}
+
+TEST(Dense, FrobeniusNorm) {
+  Dense a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,77 @@
+#include "sparse/ell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrices/generators.hpp"
+
+namespace bars {
+namespace {
+
+TEST(Ell, RoundTripPreservesEntries) {
+  const Csr a = trefethen(50);
+  const Ell e = Ell::from_csr(a);
+  const Csr back = e.to_csr();
+  ASSERT_EQ(back.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(back.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(Ell, SpmvMatchesCsr) {
+  const Csr a = fv_like(9, 0.4);
+  const Ell e = Ell::from_csr(a);
+  Vector x(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.5 - 0.01 * double(i);
+  Vector y1(x.size()), y2(x.size());
+  a.spmv(x, y1);
+  e.spmv(x, y2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y1[i], y2[i], 1e-14);
+  }
+}
+
+TEST(Ell, RowWidthIsMaxRowNnz) {
+  const Csr a = poisson1d(6);  // rows of 2 or 3 entries
+  const Ell e = Ell::from_csr(a);
+  EXPECT_EQ(e.row_width(), 3);
+  EXPECT_EQ(e.padded_size(), 18);
+  EXPECT_EQ(e.nnz(), a.nnz());
+  EXPECT_GT(e.padding_ratio(), 1.0);
+}
+
+TEST(Ell, UniformRowsHaveNoPadding) {
+  Coo c(3, 3);
+  for (index_t i = 0; i < 3; ++i) {
+    c.add(i, i, 2.0);
+    c.add(i, (i + 1) % 3, -1.0);
+  }
+  const Ell e = Ell::from_csr(Csr::from_coo(c));
+  EXPECT_DOUBLE_EQ(e.padding_ratio(), 1.0);
+}
+
+TEST(Ell, WidthCapEnforced) {
+  const Csr a = trefethen(100);  // widest row has ~13 entries
+  EXPECT_NO_THROW((void)Ell::from_csr(a, 20));
+  EXPECT_THROW((void)Ell::from_csr(a, 4), std::invalid_argument);
+}
+
+TEST(Ell, EmptyMatrix) {
+  const Ell e = Ell::from_csr(Csr::from_coo(Coo(3, 3)));
+  EXPECT_EQ(e.row_width(), 0);
+  EXPECT_EQ(e.nnz(), 0);
+  Vector x(3, 1.0), y(3, 7.0);
+  e.spmv(x, y);
+  for (value_t v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Ell, TrefethenPaddingModest) {
+  // Trefethen rows vary from ~12 to ~22 entries; ELL padding should
+  // stay below 2x (sanity on the GPU-format viability).
+  const Ell e = Ell::from_csr(trefethen(2000));
+  EXPECT_LT(e.padding_ratio(), 2.0);
+}
+
+}  // namespace
+}  // namespace bars

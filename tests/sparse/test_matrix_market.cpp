@@ -1,0 +1,91 @@
+#include "sparse/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "matrices/generators.hpp"
+
+namespace bars {
+namespace {
+
+TEST(MatrixMarket, ParsesGeneralRealCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "2 3 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "1 2 4.0\n");
+  const Csr a = read_matrix_market(in);
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), -2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 4.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetricStorage) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "1 1 2.0\n"
+      "3 1 -1.0\n");
+  const Csr a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), -1.0);
+}
+
+TEST(MatrixMarket, ParsesPatternAsOnes) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const Csr a = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::istringstream in("not a matrix\n1 1 0\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const Csr a = trefethen(30);
+  std::stringstream buf;
+  write_matrix_market(buf, a);
+  const Csr b = read_matrix_market(buf);
+  ASSERT_EQ(b.rows(), a.rows());
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(b.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW((void)read_matrix_market_file("/nonexistent/x.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,91 @@
+#include "sparse/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bars {
+namespace {
+
+TEST(RowPartition, UniformCoversAllRows) {
+  const auto p = RowPartition::uniform(10, 3);
+  EXPECT_EQ(p.num_blocks(), 4);
+  EXPECT_EQ(p.total_rows(), 10);
+  EXPECT_EQ(p.block(0), (RowBlock{0, 3}));
+  EXPECT_EQ(p.block(3), (RowBlock{9, 10}));
+}
+
+TEST(RowPartition, UniformExactDivision) {
+  const auto p = RowPartition::uniform(12, 4);
+  EXPECT_EQ(p.num_blocks(), 3);
+  for (index_t b = 0; b < 3; ++b) EXPECT_EQ(p.block(b).size(), 4);
+}
+
+TEST(RowPartition, UniformBlockLargerThanMatrix) {
+  const auto p = RowPartition::uniform(5, 100);
+  EXPECT_EQ(p.num_blocks(), 1);
+  EXPECT_EQ(p.block(0).size(), 5);
+}
+
+TEST(RowPartition, UniformRejectsBadArgs) {
+  EXPECT_THROW((void)RowPartition::uniform(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)RowPartition::uniform(-1, 2), std::invalid_argument);
+}
+
+TEST(RowPartition, BalancedSplitsEvenly) {
+  const auto p = RowPartition::balanced(10, 3);
+  EXPECT_EQ(p.num_blocks(), 3);
+  EXPECT_EQ(p.total_rows(), 10);
+  index_t total = 0;
+  for (index_t b = 0; b < p.num_blocks(); ++b) {
+    const index_t s = p.block(b).size();
+    EXPECT_GE(s, 3);
+    EXPECT_LE(s, 4);
+    total += s;
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(RowPartition, BalancedMorePartsThanRows) {
+  const auto p = RowPartition::balanced(3, 10);
+  EXPECT_EQ(p.num_blocks(), 3);
+}
+
+TEST(RowPartition, BlockOfFindsOwner) {
+  const auto p = RowPartition::uniform(10, 3);
+  EXPECT_EQ(p.block_of(0), 0);
+  EXPECT_EQ(p.block_of(2), 0);
+  EXPECT_EQ(p.block_of(3), 1);
+  EXPECT_EQ(p.block_of(9), 3);
+  EXPECT_THROW((void)p.block_of(10), std::out_of_range);
+  EXPECT_THROW((void)p.block_of(-1), std::out_of_range);
+}
+
+TEST(RowPartition, FromBoundariesValidates) {
+  EXPECT_THROW((void)RowPartition::from_boundaries({1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)RowPartition::from_boundaries({0, 2, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)RowPartition::from_boundaries({}),
+               std::invalid_argument);
+}
+
+TEST(RowPartition, DeviceSplitPartitionsBlocks) {
+  const auto p = RowPartition::uniform(100, 10);  // 10 blocks
+  const auto split = p.device_split(4);
+  ASSERT_EQ(split.size(), 4u);
+  EXPECT_EQ(split.front().first, 0);
+  EXPECT_EQ(split.back().second, 10);
+  for (std::size_t d = 1; d < split.size(); ++d) {
+    EXPECT_EQ(split[d].first, split[d - 1].second);
+  }
+}
+
+TEST(RowPartition, BlockOutOfRangeThrows) {
+  const auto p = RowPartition::uniform(10, 3);
+  EXPECT_THROW((void)p.block(4), std::out_of_range);
+  EXPECT_THROW((void)p.block(-1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bars

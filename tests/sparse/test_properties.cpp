@@ -1,0 +1,82 @@
+#include "sparse/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrices/generators.hpp"
+
+namespace bars {
+namespace {
+
+TEST(Properties, Poisson1dIsWeaklyDominant) {
+  const auto dd = diagonal_dominance(poisson1d(10));
+  EXPECT_TRUE(dd.weakly_dominant);
+  EXPECT_FALSE(dd.strictly_dominant);  // interior rows: 2 == 1 + 1
+  EXPECT_DOUBLE_EQ(dd.max_offdiag_ratio, 1.0);
+}
+
+TEST(Properties, FvLikeWithReactionIsStrictlyDominant) {
+  const auto dd = diagonal_dominance(fv_like(10, 0.5));
+  EXPECT_TRUE(dd.strictly_dominant);
+  EXPECT_LT(dd.max_offdiag_ratio, 1.0);
+}
+
+TEST(Properties, StructuralLikeIsNotDominant) {
+  const Csr a = structural_like(10, structural_diag_for_rho(10, 2.65));
+  const auto dd = diagonal_dominance(a);
+  EXPECT_FALSE(dd.weakly_dominant);
+  EXPECT_GT(dd.max_offdiag_ratio, 1.0);
+}
+
+TEST(Properties, ZeroDiagonalGivesInfiniteRatio) {
+  Coo c(2, 2);
+  c.add(0, 1, 1.0);
+  c.add(1, 1, 1.0);
+  c.add(1, 0, 0.5);
+  const auto dd = diagonal_dominance(Csr::from_coo(c));
+  EXPECT_FALSE(dd.weakly_dominant);
+  EXPECT_TRUE(std::isinf(dd.max_offdiag_ratio));
+}
+
+TEST(Properties, GershgorinContainsPoissonSpectrum) {
+  const auto [lo, hi] = gershgorin_interval(poisson1d(20));
+  EXPECT_DOUBLE_EQ(lo, 0.0);   // 2 - 2
+  EXPECT_DOUBLE_EQ(hi, 4.0);   // 2 + 2
+}
+
+TEST(Properties, BandwidthOfTridiagonalIsOne) {
+  EXPECT_EQ(bandwidth(poisson1d(10)), 1);
+}
+
+TEST(Properties, BandwidthOfTrefethenIsPowerOfTwo) {
+  // Trefethen(100): couplings at offsets 1,2,4,...,64.
+  EXPECT_EQ(bandwidth(trefethen(100)), 64);
+}
+
+TEST(Properties, OffBlockMassZeroWhenBlockCoversMatrix) {
+  EXPECT_DOUBLE_EQ(off_block_mass(poisson1d(16), 16), 0.0);
+}
+
+TEST(Properties, OffBlockMassGrowsWithSmallerBlocks) {
+  const Csr t = trefethen(256);
+  const value_t m64 = off_block_mass(t, 64);
+  const value_t m16 = off_block_mass(t, 16);
+  EXPECT_GT(m16, m64);
+  EXPECT_GT(m64, 0.0);
+}
+
+TEST(Properties, OffBlockMassRejectsBadBlockSize) {
+  EXPECT_THROW((void)off_block_mass(poisson1d(4), 0), std::invalid_argument);
+}
+
+TEST(Properties, HasPositiveDiagonal) {
+  EXPECT_TRUE(has_positive_diagonal(poisson1d(5)));
+  Coo c(2, 2);
+  c.add(0, 0, 1.0);
+  c.add(1, 1, -2.0);
+  EXPECT_FALSE(has_positive_diagonal(Csr::from_coo(c)));
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,120 @@
+#include "sparse/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrices/generators.hpp"
+#include "sparse/properties.hpp"
+
+namespace bars {
+namespace {
+
+TEST(Permutation, IdentityAndInverse) {
+  const Permutation id = identity_permutation(5);
+  EXPECT_TRUE(is_permutation(id));
+  EXPECT_EQ(invert_permutation(id), id);
+
+  const Permutation p{2, 0, 1};
+  const Permutation q = invert_permutation(p);
+  EXPECT_EQ(q, (Permutation{1, 2, 0}));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(q[static_cast<std::size_t>(p[i])], static_cast<index_t>(i));
+  }
+}
+
+TEST(Permutation, Validation) {
+  EXPECT_TRUE(is_permutation({0, 1, 2}));
+  EXPECT_FALSE(is_permutation({0, 0, 2}));
+  EXPECT_FALSE(is_permutation({0, 3, 1}));
+  EXPECT_FALSE(is_permutation({-1, 0, 1}));
+}
+
+TEST(PermuteSymmetric, MovesEntriesConsistently) {
+  const Csr a = poisson1d(4);
+  const Permutation p{3, 2, 1, 0};  // full reversal
+  const Csr b = permute_symmetric(a, p);
+  // B(i,j) = A(p[i], p[j]); tridiagonal reversed is tridiagonal.
+  EXPECT_EQ(b.nnz(), a.nnz());
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(b.at(invert_permutation(p)[i],
+                            invert_permutation(p)[j]),
+                       a.at(i, j));
+    }
+  }
+}
+
+TEST(PermuteSymmetric, PreservesSpectrumViaSolution) {
+  // Permuted system solves must map back: A x = b <=> (PAP^T)(Px) = Pb.
+  const Csr a = trefethen(40);
+  Vector b(40);
+  for (std::size_t i = 0; i < 40; ++i) b[i] = 1.0 + 0.1 * double(i);
+  const Permutation p = reverse_cuthill_mckee(a);
+  const Csr ap = permute_symmetric(a, p);
+  const Vector bp = permute_vector(b, p);
+  Vector y(40);
+  // Verify consistency of A(p,p) x(p) vs (A x)(p) on a test vector.
+  Vector ax(40), apxp(40);
+  a.spmv(b, ax);
+  ap.spmv(bp, apxp);
+  const Vector axp = permute_vector(ax, p);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_NEAR(apxp[i], axp[i], 1e-12 * std::abs(axp[i]) + 1e-12);
+  }
+  (void)y;
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledPoisson) {
+  // Scramble a banded matrix, then RCM must substantially recover it.
+  const Csr a = poisson1d(100);
+  Permutation shuffle(100);
+  for (index_t i = 0; i < 100; ++i) shuffle[i] = (i * 37) % 100;
+  ASSERT_TRUE(is_permutation(shuffle));
+  const Csr scrambled = permute_symmetric(a, shuffle);
+  ASSERT_GT(bandwidth(scrambled), 10);
+  const Csr restored =
+      permute_symmetric(scrambled, reverse_cuthill_mckee(scrambled));
+  EXPECT_LE(bandwidth(restored), 2);
+}
+
+TEST(Rcm, ReducesOffBlockMassOfChemSurrogate) {
+  // The paper's Section 4.3 remark: reordering can move Chem97ZtZ's
+  // far couplings into the diagonal blocks.
+  const Csr a = chem97ztz_like(400, 0.7);
+  const Csr r = permute_symmetric(a, reverse_cuthill_mckee(a));
+  EXPECT_LT(off_block_mass(r, 64), off_block_mass(a, 64));
+  EXPECT_LT(bandwidth(r), bandwidth(a));
+}
+
+TEST(Rcm, PermutationIsValidOnDisconnectedGraph) {
+  Coo c(6, 6);
+  for (index_t i = 0; i < 6; ++i) c.add(i, i, 1.0);
+  c.add_symmetric(0, 1, -1.0);  // component {0,1}
+  c.add_symmetric(3, 4, -1.0);  // component {3,4}; 2 and 5 isolated
+  const Permutation p = reverse_cuthill_mckee(Csr::from_coo(c));
+  EXPECT_TRUE(is_permutation(p));
+  EXPECT_EQ(p.size(), 6u);
+}
+
+TEST(Rcm, DeterministicAcrossCalls) {
+  const Csr a = trefethen(60);
+  EXPECT_EQ(reverse_cuthill_mckee(a), reverse_cuthill_mckee(a));
+}
+
+TEST(PermuteVector, AppliesMapping) {
+  const Vector v{10.0, 20.0, 30.0};
+  const Permutation p{2, 0, 1};
+  const Vector out = permute_vector(v, p);
+  EXPECT_DOUBLE_EQ(out[0], 30.0);
+  EXPECT_DOUBLE_EQ(out[1], 10.0);
+  EXPECT_DOUBLE_EQ(out[2], 20.0);
+}
+
+TEST(PermuteSymmetric, RejectsBadSizes) {
+  const Csr a = poisson1d(4);
+  EXPECT_THROW((void)permute_symmetric(a, {0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)permute_vector(Vector(3, 0.0), {0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bars

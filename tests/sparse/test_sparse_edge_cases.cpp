@@ -1,0 +1,160 @@
+/// Edge-case coverage for the sparse substrate beyond the main tests.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrices/generators.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/partition.hpp"
+#include "stats/rng.hpp"
+
+namespace bars {
+namespace {
+
+TEST(CsrEdge, EmptyRowsHandled) {
+  Coo c(4, 4);
+  c.add(0, 0, 1.0);
+  c.add(3, 3, 2.0);  // rows 1 and 2 empty
+  const Csr a = Csr::from_coo(c);
+  EXPECT_EQ(a.row_cols(1).size(), 0u);
+  EXPECT_EQ(a.row_cols(2).size(), 0u);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+  Vector x(4, 1.0), y(4);
+  a.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[3], 2.0);
+}
+
+TEST(CsrEdge, RectangularSpmv) {
+  Coo c(2, 3);
+  c.add(0, 0, 1.0);
+  c.add(0, 2, 2.0);
+  c.add(1, 1, 3.0);
+  const Csr a = Csr::from_coo(c);
+  const Vector x{1.0, 2.0, 3.0};
+  Vector y(2);
+  a.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_FALSE(a.is_symmetric());
+}
+
+TEST(CsrEdge, RoundTripRandomMatrices) {
+  // Property: COO -> CSR -> COO -> CSR is the identity for random
+  // sparse matrices of many shapes.
+  Rng rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    const index_t rows = rng.uniform_int(1, 40);
+    const index_t cols = rng.uniform_int(1, 40);
+    Coo c(rows, cols);
+    const index_t entries = rng.uniform_int(0, rows * cols / 2);
+    for (index_t e = 0; e < entries; ++e) {
+      c.add(rng.uniform_int(0, rows - 1), rng.uniform_int(0, cols - 1),
+            rng.uniform(-5.0, 5.0));
+    }
+    const Csr a = Csr::from_coo(c);
+    const Csr b = Csr::from_coo(a.to_coo());
+    ASSERT_EQ(a.nnz(), b.nnz()) << trial;
+    for (index_t i = 0; i < rows; ++i) {
+      const auto ac = a.row_cols(i);
+      const auto bc = b.row_cols(i);
+      ASSERT_EQ(ac.size(), bc.size());
+      for (std::size_t k = 0; k < ac.size(); ++k) {
+        EXPECT_EQ(ac[k], bc[k]);
+        EXPECT_DOUBLE_EQ(a.row_vals(i)[k], b.row_vals(i)[k]);
+      }
+    }
+  }
+}
+
+TEST(CsrEdge, TransposeTwiceIsIdentityRandom) {
+  Rng rng(7);
+  Coo c(25, 25);
+  for (int e = 0; e < 120; ++e) {
+    c.add(rng.uniform_int(0, 24), rng.uniform_int(0, 24),
+          rng.uniform(-1.0, 1.0));
+  }
+  const Csr a = Csr::from_coo(c);
+  const Csr att = a.transpose().transpose();
+  ASSERT_EQ(att.nnz(), a.nnz());
+  for (index_t i = 0; i < 25; ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(att.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(MatrixMarketEdge, IntegerFieldParsed) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 2\n"
+      "1 1 3\n"
+      "2 2 -4\n");
+  const Csr a = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), -4.0);
+}
+
+TEST(MatrixMarketEdge, BlankLinesBetweenEntriesTolerated) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "\n"
+      "2 2 2.0\n");
+  const Csr a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 2);
+}
+
+TEST(MatrixMarketEdge, CaseInsensitiveHeader) {
+  std::istringstream in(
+      "%%MatrixMarket matrix COORDINATE Real GENERAL\n"
+      "1 1 1\n"
+      "1 1 5.0\n");
+  const Csr a = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 5.0);
+}
+
+TEST(MatrixMarketEdge, ScientificNotationValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1 2 2\n"
+      "1 1 1.5e-3\n"
+      "1 2 -2E+2\n");
+  const Csr a = read_matrix_market(in);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.5e-3);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -200.0);
+}
+
+TEST(PartitionEdge, SingleRowMatrix) {
+  const auto p = RowPartition::uniform(1, 448);
+  EXPECT_EQ(p.num_blocks(), 1);
+  EXPECT_EQ(p.block(0).size(), 1);
+  EXPECT_EQ(p.block_of(0), 0);
+}
+
+TEST(PartitionEdge, DeviceSplitMoreDevicesThanBlocks) {
+  const auto p = RowPartition::uniform(10, 5);  // 2 blocks
+  const auto split = p.device_split(4);
+  ASSERT_EQ(split.size(), 4u);
+  index_t covered = 0;
+  for (const auto& [lo, hi] : split) covered += hi - lo;
+  EXPECT_EQ(covered, 2);
+}
+
+TEST(GeneratorEdge, TrefethenSize1) {
+  const Csr a = trefethen(1);
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+}
+
+TEST(GeneratorEdge, FvLikeSize1) {
+  const Csr a = fv_like(1, 0.5);
+  EXPECT_EQ(a.rows(), 1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.5);
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,86 @@
+#include "sparse/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bars {
+namespace {
+
+TEST(VectorOps, AxpyAddsScaledVector) {
+  Vector x{1.0, 2.0, 3.0};
+  Vector y{10.0, 20.0, 30.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(VectorOps, AxpyWithZeroAlphaIsIdentity) {
+  Vector x{5.0, -1.0};
+  Vector y{1.0, 2.0};
+  axpy(0.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(VectorOps, XpbyComputesXPlusBetaY) {
+  Vector x{1.0, 2.0};
+  Vector y{3.0, 4.0};
+  xpby(x, 0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+}
+
+TEST(VectorOps, ScaleMultipliesInPlace) {
+  Vector x{1.0, -2.0, 4.0};
+  scale(-0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], -2.0);
+}
+
+TEST(VectorOps, DotOfOrthogonalVectorsIsZero) {
+  Vector x{1.0, 0.0, -1.0};
+  Vector y{1.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+}
+
+TEST(VectorOps, Norm2MatchesHandComputation) {
+  Vector x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+}
+
+TEST(VectorOps, Norm2OfEmptyVectorIsZero) {
+  Vector x;
+  EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+}
+
+TEST(VectorOps, NormInfPicksLargestMagnitude) {
+  Vector x{-7.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(norm_inf(x), 7.0);
+}
+
+TEST(VectorOps, SubtractElementwise) {
+  Vector a{5.0, 6.0};
+  Vector b{1.0, 8.0};
+  Vector out(2);
+  subtract(a, b, out);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(VectorOps, FillSetsConstant) {
+  Vector x(4, 0.0);
+  fill(x, 2.5);
+  for (value_t v : x) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(VectorOps, DotIsSymmetric) {
+  Vector x{1.5, -2.5, 3.0};
+  Vector y{0.5, 4.0, -1.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), dot(y, x));
+}
+
+}  // namespace
+}  // namespace bars

@@ -1,0 +1,81 @@
+#include "stats/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/jacobi.hpp"
+#include "eigen/power_iteration.hpp"
+#include "matrices/generators.hpp"
+
+namespace bars {
+namespace {
+
+std::vector<value_t> geometric(value_t start, value_t ratio, int n) {
+  std::vector<value_t> h;
+  value_t v = start;
+  for (int i = 0; i < n; ++i) {
+    h.push_back(v);
+    v *= ratio;
+  }
+  return h;
+}
+
+TEST(ContractionFactor, ExactGeometricSequence) {
+  const auto h = geometric(1.0, 0.5, 30);
+  EXPECT_NEAR(contraction_factor(h), 0.5, 1e-12);
+}
+
+TEST(ContractionFactor, IgnoresRoundingPlateau) {
+  auto h = geometric(1.0, 0.1, 15);  // reaches 1e-14 at i=14
+  for (int i = 0; i < 10; ++i) h.push_back(1e-16);  // plateau
+  EXPECT_NEAR(contraction_factor(h), 0.1, 1e-9);
+}
+
+TEST(ContractionFactor, TooShortHistoryIsZero) {
+  EXPECT_DOUBLE_EQ(contraction_factor({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(contraction_factor({}), 0.0);
+}
+
+TEST(ContractionFactor, MatchesJacobiSpectralRadius) {
+  // Measured asymptotic contraction of the Jacobi solver must match
+  // rho(B) of the iteration matrix.
+  const Csr a = fv_like(16, 0.6);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  SolveOptions o;
+  o.max_iters = 200;
+  o.tol = 0.0;
+  const SolveResult r = jacobi_solve(a, b, o);
+  const value_t rho = jacobi_spectral_radius(a).value;
+  EXPECT_NEAR(contraction_factor(r.residual_history, 50), rho, 0.01);
+}
+
+TEST(IterationsTo, FindsFirstCrossing) {
+  const auto h = geometric(1.0, 0.5, 20);
+  EXPECT_EQ(iterations_to(h, 0.26), 2);   // 0.25 at index 2
+  EXPECT_EQ(iterations_to(h, 2.0), 0);
+  EXPECT_EQ(iterations_to(h, 1e-10), -1);
+}
+
+TEST(ExtrapolateIterations, ExactWhenReached) {
+  const auto h = geometric(1.0, 0.5, 20);
+  EXPECT_EQ(extrapolate_iterations(h, 0.26), 2);
+}
+
+TEST(ExtrapolateIterations, PredictsGeometricTail) {
+  const auto h = geometric(1.0, 0.5, 11);  // last = 2^-10 ~ 9.8e-4
+  // Needs ~10 more halvings to reach 1e-6: 2^-20 = 9.5e-7.
+  const index_t k = extrapolate_iterations(h, 1e-6);
+  EXPECT_GE(k, 19);
+  EXPECT_LE(k, 21);
+}
+
+TEST(ExtrapolateIterations, NonContractingIsMinusOne) {
+  const std::vector<value_t> flat(10, 1.0);
+  EXPECT_EQ(extrapolate_iterations(flat, 1e-6), -1);
+  const auto diverging = geometric(1.0, 1.5, 10);
+  EXPECT_EQ(extrapolate_iterations(diverging, 1e-6), -1);
+}
+
+}  // namespace
+}  // namespace bars

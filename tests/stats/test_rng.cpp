@@ -1,0 +1,97 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bars {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform() != b.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const index_t v = r.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const value_t v = r.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalRoughlyCentered) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.normal(3.0, 1.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(13);
+  const auto s = r.sample_without_replacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<index_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (index_t i : s) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 100);
+  }
+}
+
+TEST(Rng, SampleAllElements) {
+  Rng r(17);
+  const auto s = r.sample_without_replacement(10, 10);
+  std::set<index_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, SampleRejectsBadK) {
+  Rng r(1);
+  EXPECT_THROW((void)r.sample_without_replacement(5, 6),
+               std::invalid_argument);
+  EXPECT_THROW((void)r.sample_without_replacement(5, -1),
+               std::invalid_argument);
+}
+
+TEST(Rng, ForkSeedChangesStream) {
+  Rng a(3);
+  const auto s1 = a.fork_seed();
+  const auto s2 = a.fork_seed();
+  EXPECT_NE(s1, s2);
+}
+
+}  // namespace
+}  // namespace bars

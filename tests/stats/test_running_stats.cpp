@@ -1,0 +1,93 @@
+#include "stats/running_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bars {
+namespace {
+
+TEST(RunningStats, EmptyAccumulator) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.absolute_variation(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance: sum((x-5)^2) = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(s.standard_error(), std::sqrt(32.0 / 7.0 / 8.0), 1e-12);
+}
+
+TEST(RunningStats, MinMaxAndVariations) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.absolute_variation(), 2.0);
+  EXPECT_DOUBLE_EQ(s.relative_variation(), 1.0);  // 2 / mean(2)
+}
+
+TEST(RunningStats, RelativeVariationZeroMeanGuard) {
+  RunningStats s;
+  s.add(-1.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.relative_variation(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  const double xs[] = {0.5, 1.5, -2.0, 3.25, 7.0, -0.25};
+  for (int i = 0; i < 3; ++i) {
+    a.add(xs[i]);
+    all.add(xs[i]);
+  }
+  for (int i = 3; i < 6; ++i) {
+    b.add(xs[i]);
+    all.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-14);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, WelfordStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double v : {1.0, 2.0, 3.0}) s.add(offset + v);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace bars
