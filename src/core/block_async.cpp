@@ -76,6 +76,8 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
   exec.pattern_seed = opts.pattern_seed;
   exec.run_noise = opts.run_noise;
   exec.fault = opts.fault;
+  exec.scenario = opts.scenario;
+  exec.resilience = opts.resilience;
 
   BlockAsyncResult out;
   out.solve.x = x0 ? *x0 : Vector(b.size(), 0.0);
@@ -96,6 +98,7 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
   }
   out.block_executions = std::move(r.block_executions);
   out.max_staleness = r.max_staleness;
+  out.resilience = std::move(r.resilience);
   return out;
 }
 

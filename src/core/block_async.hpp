@@ -47,7 +47,14 @@ struct BlockAsyncOptions {
   std::optional<std::uint64_t> pattern_seed{};
   value_t run_noise = 2.0e-3;
 
+  /// Legacy single-event failure; ignored when `scenario` is set.
   std::optional<gpusim::FaultPlan> fault{};
+  /// Composable fault timeline (resilience subsystem): multiple
+  /// failure waves, transient halo corruption, ...
+  std::optional<resilience::FaultScenario> scenario{};
+  /// Active recovery: checkpoint/rollback, online SDC detection,
+  /// watchdog supervision (see docs/RESILIENCE.md).
+  std::optional<resilience::Policy> resilience{};
 
   /// Matrix name for the cost model's calibration lookup; empty uses
   /// the generic formula.
@@ -64,6 +71,8 @@ struct BlockAsyncResult {
   std::vector<index_t> block_executions;
   /// Max generation lag observed between reader and halo source.
   index_t max_staleness = 0;
+  /// Resilience activity (all-zero for plain runs).
+  resilience::Report resilience;
 };
 
 /// Solve A x = b with async-(local_iters). Residual history entries are

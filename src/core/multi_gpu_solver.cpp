@@ -39,6 +39,8 @@ MultiGpuResult multi_gpu_block_async_solve(const Csr& a, const Vector& b,
   exec.straggler_factor = opts.straggler_factor;
   exec.seed = opts.seed;
   exec.fault = opts.fault;
+  exec.scenario = opts.scenario;
+  exec.resilience = opts.resilience;
 
   MultiGpuResult out;
   out.solve.x = x0 ? *x0 : Vector(b.size(), 0.0);
@@ -61,6 +63,7 @@ MultiGpuResult multi_gpu_block_async_solve(const Csr& a, const Vector& b,
   out.bytes_device_device = r.bytes_device_device;
   out.num_transfers = r.num_transfers;
   out.time_to_convergence = r.virtual_time;
+  out.resilience = std::move(r.resilience);
   return out;
 }
 

@@ -31,7 +31,12 @@ struct MultiGpuOptions {
   value_t straggler_prob = 0.05;
   value_t straggler_factor = 2.0;
   std::uint64_t seed = 99;
+  /// Legacy single-event failure; ignored when `scenario` is set.
   std::optional<gpusim::FaultPlan> fault{};
+  /// Composable fault timeline incl. device dropout and link failures.
+  std::optional<resilience::FaultScenario> scenario{};
+  /// Active recovery layer (see docs/RESILIENCE.md).
+  std::optional<resilience::Policy> resilience{};
 
   std::string matrix_name;
   const gpusim::CostModel* cost_model = nullptr;
@@ -44,6 +49,8 @@ struct MultiGpuResult {
   index_t num_transfers = 0;
   /// Virtual time at convergence — the quantity plotted in Fig. 11.
   value_t time_to_convergence = 0.0;
+  /// Resilience activity (all-zero for plain runs).
+  resilience::Report resilience;
 };
 
 [[nodiscard]] MultiGpuResult multi_gpu_block_async_solve(

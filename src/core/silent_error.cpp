@@ -64,51 +64,33 @@ class SdcKernel final : public gpusim::BlockKernel {
 
 }  // namespace
 
+resilience::AnomalyOptions to_anomaly_options(const DetectorOptions& opts) {
+  resilience::AnomalyOptions a;
+  a.jump_factor = opts.jump_factor;
+  a.stall_window = opts.stall_window;
+  a.stall_factor = opts.stall_factor;
+  a.floor = opts.floor;
+  a.warmup = opts.warmup;
+  return a;
+}
+
+resilience::OnlineResidualDetector make_online_detector(
+    const DetectorOptions& opts) {
+  return resilience::OnlineResidualDetector(to_anomaly_options(opts));
+}
+
 SilentErrorReport detect_silent_error(const std::vector<value_t>& history,
                                       const DetectorOptions& opts) {
   SilentErrorReport rep;
   if (history.size() < 2) return rep;
-
-  value_t trend = 0.0;   // geometric-mean ratio of recent healthy steps
-  index_t trend_n = 0;
-  for (std::size_t k = 1; k < history.size(); ++k) {
-    const value_t prev = history[k - 1];
-    const value_t cur = history[k];
-    if (prev <= opts.floor || cur <= 0.0 || !std::isfinite(cur)) {
-      if (!std::isfinite(cur)) {
-        rep.detected = true;
-        rep.at_iteration = static_cast<index_t>(k);
-        rep.jump_ratio = std::numeric_limits<value_t>::infinity();
-        return rep;
-      }
-      continue;  // at the rounding floor: nothing to judge
+  resilience::OnlineResidualDetector detector = make_online_detector(opts);
+  for (value_t r : history) {
+    if (const auto anomaly = detector.push(r)) {
+      rep.detected = true;
+      rep.at_iteration = anomaly->at_iteration;
+      rep.jump_ratio = anomaly->jump_ratio;
+      return rep;
     }
-    const value_t ratio = cur / prev;
-    if (trend_n >= opts.warmup) {
-      // Jump detection.
-      if (ratio > opts.jump_factor * std::max(trend, value_t{1e-6})) {
-        rep.detected = true;
-        rep.at_iteration = static_cast<index_t>(k);
-        rep.jump_ratio = ratio;
-        return rep;
-      }
-      // Stall detection over the window.
-      if (k >= static_cast<std::size_t>(opts.stall_window)) {
-        const value_t base = history[k - opts.stall_window];
-        if (base > opts.floor && cur > opts.stall_factor * base) {
-          rep.detected = true;
-          rep.at_iteration = static_cast<index_t>(k);
-          rep.jump_ratio = cur / base;
-          return rep;
-        }
-      }
-    }
-    // Update the trend with this (apparently healthy) ratio.
-    trend = trend_n == 0
-                ? ratio
-                : std::exp((std::log(trend) * trend_n + std::log(ratio)) /
-                           (trend_n + 1));
-    ++trend_n;
   }
   return rep;
 }
@@ -145,6 +127,8 @@ SdcRunResult block_async_solve_with_sdc(
   exec.jitter = opts.jitter;
   exec.seed = opts.seed;
   exec.fault = opts.fault;
+  exec.scenario = opts.scenario;
+  exec.resilience = opts.resilience;
 
   SdcRunResult out;
   out.solve.solve.x = Vector(b.size(), 0.0);
@@ -160,6 +144,7 @@ SdcRunResult block_async_solve_with_sdc(
   out.solve.solve.residual_history = r.residual_history;
   out.solve.solve.time_history = std::move(r.time_history);
   out.solve.block_executions = std::move(r.block_executions);
+  out.solve.resilience = std::move(r.resilience);
   out.report = detect_silent_error(out.solve.solve.residual_history);
   return out;
 }

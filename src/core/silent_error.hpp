@@ -4,6 +4,7 @@
 
 #include "core/block_async.hpp"
 #include "core/solver_types.hpp"
+#include "resilience/recovery.hpp"
 
 /// \file silent_error.hpp
 /// Silent-error (SDC) injection and detection — the closing thought of
@@ -49,9 +50,25 @@ struct DetectorOptions {
   index_t warmup = 3;
 };
 
-/// Scan a residual history for corruption signatures.
+/// Scan a residual history for corruption signatures. Robust to
+/// degenerate inputs: empty/one-entry histories, histories already at
+/// the rounding floor, and warmup >= history.size() all return
+/// detected = false. Implemented as a replay through the streaming
+/// detector below, so batch and online verdicts always agree.
 [[nodiscard]] SilentErrorReport detect_silent_error(
     const std::vector<value_t>& history, const DetectorOptions& opts = {});
+
+/// Online/streaming mode of the same detector: push one residual per
+/// global iteration and the anomaly is reported the moment it appears,
+/// enabling mid-run rollback instead of post-hoc diagnosis. This is
+/// what the executors run when BlockAsyncOptions::resilience enables
+/// online_detection.
+[[nodiscard]] resilience::OnlineResidualDetector make_online_detector(
+    const DetectorOptions& opts = {});
+
+/// DetectorOptions -> the resilience layer's equivalent.
+[[nodiscard]] resilience::AnomalyOptions to_anomaly_options(
+    const DetectorOptions& opts);
 
 /// Run async-(k) with a silent corruption injected, returning the
 /// solver result plus the detector's verdict on its residual history.

@@ -8,6 +8,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "gpusim/stopping.hpp"
 #include "stats/rng.hpp"
 
 namespace bars::gpusim {
@@ -52,9 +53,9 @@ ExecutorResult AsyncExecutor::run(
   }
   ExecutorResult res;
   res.block_executions.assign(static_cast<std::size_t>(q), 0);
-  res.residual_history.push_back(residual_fn(x));
-  res.time_history.push_back(0.0);
   if (q == 0) {
+    res.residual_history.push_back(residual_fn(x));
+    res.time_history.push_back(0.0);
     res.converged = res.residual_history.back() <= opts_.tol;
     return res;
   }
@@ -66,27 +67,21 @@ ExecutorResult AsyncExecutor::run(
                                 static_cast<value_t>(slots) /
                                 static_cast<value_t>(q);
 
-  // Fault mask management (Section 4.5 scenario).
-  std::vector<std::uint8_t> fault_mask;
-  bool fault_active = false;
-  const auto apply_fault_transitions = [&](index_t global_iter) {
-    if (!opts_.fault) return;
-    const FaultPlan& plan = *opts_.fault;
-    if (!fault_active && fault_mask.empty() && global_iter >= plan.fail_at) {
-      fault_mask.assign(static_cast<std::size_t>(n), 0);
-      Rng fault_rng(plan.seed);
-      const auto k = static_cast<index_t>(
-          plan.fraction * static_cast<value_t>(n) + 0.5);
-      for (index_t i : fault_rng.sample_without_replacement(n, k)) {
-        fault_mask[i] = 1;
-      }
-      fault_active = true;
-    }
-    if (fault_active && plan.recover_after &&
-        global_iter >= plan.fail_at + *plan.recover_after) {
-      fault_active = false;  // components reassigned to healthy cores
-    }
-  };
+  // Fault timeline (Section 4.5 scenarios, composable form). The legacy
+  // single-event FaultPlan rides through the same engine.
+  std::optional<resilience::ScenarioTimeline> timeline;
+  if (opts_.scenario && !opts_.scenario->empty()) {
+    timeline.emplace(*opts_.scenario, n);
+  } else if (opts_.fault) {
+    timeline.emplace(to_scenario(*opts_.fault), n);
+  }
+
+  IterationMonitor monitor(
+      StoppingCriteria{opts_.max_global_iters, opts_.tol,
+                       opts_.divergence_limit},
+      opts_.resilience ? &*opts_.resilience : nullptr,
+      timeline ? &*timeline : nullptr, q);
+  monitor.record_initial(residual_fn(x));
 
   // Per-block halo snapshot captured at READ, consumed at WRITE.
   std::vector<Vector> halo_snapshot(static_cast<std::size_t>(q));
@@ -193,7 +188,7 @@ ExecutorResult AsyncExecutor::run(
 
   index_t total_writes = 0;
   index_t global_iter = 0;
-  apply_fault_transitions(0);
+  if (timeline) timeline->advance(0);
 
   while (!events.empty()) {
     const Event ev = events.top();
@@ -221,6 +216,7 @@ ExecutorResult AsyncExecutor::run(
       Vector& snap = halo_snapshot[b];
       snap.resize(halo.size());
       for (std::size_t i = 0; i < halo.size(); ++i) snap[i] = x[halo[i]];
+      if (timeline) timeline->maybe_corrupt_halo(snap);
       // Staleness diagnostic: generation gap to each halo source.
       for (index_t s : halo_sources[b]) {
         const index_t gap =
@@ -234,7 +230,7 @@ ExecutorResult AsyncExecutor::run(
     ExecContext ctx;
     ctx.virtual_time = now;
     ctx.block_generation = res.block_executions[b];
-    ctx.failed_components = fault_active ? &fault_mask : nullptr;
+    ctx.failed_components = timeline ? timeline->component_mask() : nullptr;
     kernel_.update(b, halo_snapshot[b], x, ctx);
     if (opts_.record_trace) res.trace.record(pending_trace[b]);
     ++res.block_executions[b];
@@ -245,25 +241,22 @@ ExecutorResult AsyncExecutor::run(
 
     if (total_writes % q == 0) {
       ++global_iter;
-      const value_t r = residual_fn(x);
-      res.residual_history.push_back(r);
-      res.time_history.push_back(now);
-      apply_fault_transitions(global_iter);
-      if (r <= opts_.tol) {
-        res.converged = true;
+      const StopVerdict verdict = monitor.on_global_iteration(
+          global_iter, now, x, residual_fn, res.block_executions);
+      if (verdict != StopVerdict::kContinue) {
+        res.converged = verdict == StopVerdict::kConverged;
+        res.diverged = verdict == StopVerdict::kDiverged;
         break;
       }
-      if (!std::isfinite(r) || r > opts_.divergence_limit) {
-        res.diverged = true;
-        break;
-      }
-      if (global_iter >= opts_.max_global_iters) break;
     }
     try_start();
   }
 
   res.global_iterations = global_iter;
   res.virtual_time = now;
+  res.residual_history = std::move(monitor.residual_history());
+  res.time_history = std::move(monitor.time_history());
+  res.resilience = monitor.take_report();
   return res;
 }
 

@@ -6,6 +6,8 @@
 #include "gpusim/block_kernel.hpp"
 #include "gpusim/fault.hpp"
 #include "gpusim/trace.hpp"
+#include "resilience/recovery.hpp"
+#include "resilience/scenario.hpp"
 #include "sparse/types.hpp"
 
 /// \file async_executor.hpp
@@ -76,7 +78,15 @@ struct ExecutorOptions {
   value_t run_noise = 2.0e-3;
   /// Record one TraceEvent per block execution (memory ~ O(executions)).
   bool record_trace = false;
+  /// Legacy single-event failure (Section 4.5); adapted onto `scenario`
+  /// internally. Ignored when `scenario` is set.
   std::optional<FaultPlan> fault;
+  /// Composable fault timeline (component failures, halo corruption;
+  /// device/link events are multi-GPU-only and ignored here).
+  std::optional<resilience::FaultScenario> scenario;
+  /// Active recovery: checkpoint/rollback, online SDC detection,
+  /// watchdog supervision. Unset = plain run (legacy behavior).
+  std::optional<resilience::Policy> resilience;
 };
 
 struct ExecutorResult {
@@ -99,6 +109,9 @@ struct ExecutorResult {
   index_t max_staleness = 0;
   /// Execution trace (only populated when options.record_trace).
   ExecutionTrace trace;
+  /// What the resilience layer did (checkpoints, rollbacks, watchdog
+  /// actions); all-zero for plain runs.
+  resilience::Report resilience;
 };
 
 /// Runs the kernel to convergence (or max_global_iters) in virtual time.

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "resilience/scenario.hpp"
 #include "sparse/types.hpp"
 
 /// \file fault.hpp
@@ -11,6 +12,10 @@
 /// updated (their cores "break"); if `recover_after` is set, the
 /// components are reassigned to healthy cores after that many further
 /// global iterations and resume updating.
+///
+/// FaultPlan is the legacy single-event interface; it is adapted onto
+/// the composable resilience::FaultScenario timeline (to_scenario), so
+/// both executors run every fault through one code path.
 
 namespace bars::gpusim {
 
@@ -22,5 +27,14 @@ struct FaultPlan {
   std::optional<index_t> recover_after = {};
   std::uint64_t seed = 1234;     ///< which components fail
 };
+
+/// Adapter: a FaultPlan is a one-event scenario.
+[[nodiscard]] inline resilience::FaultScenario to_scenario(
+    const FaultPlan& plan) {
+  resilience::FaultScenario s;
+  s.fail_components(plan.fail_at, plan.fraction, plan.recover_after,
+                    plan.seed);
+  return s;
+}
 
 }  // namespace bars::gpusim

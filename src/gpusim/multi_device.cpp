@@ -7,6 +7,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "gpusim/stopping.hpp"
 #include "stats/rng.hpp"
 
 namespace bars::gpusim {
@@ -64,9 +65,9 @@ MultiDeviceResult MultiDeviceExecutor::run(
   }
 
   MultiDeviceResult res;
-  res.residual_history.push_back(residual_fn(x));
-  res.time_history.push_back(0.0);
   if (q == 0) {
+    res.residual_history.push_back(residual_fn(x));
+    res.time_history.push_back(0.0);
     res.converged = res.residual_history.back() <= opts_.tol;
     return res;
   }
@@ -140,30 +141,33 @@ MultiDeviceResult MultiDeviceExecutor::run(
   }
   std::vector<index_t> write_generation(static_cast<std::size_t>(q), 0);
 
-  // Fault mask management (Section 4.5 scenario, multi-GPU variant).
-  std::vector<std::uint8_t> fault_mask;
-  bool fault_active = false;
-  bool fault_triggered = false;
-  const auto apply_fault_transitions = [&](index_t global_iter) {
-    if (!opts_.fault) return;
-    const FaultPlan& plan = *opts_.fault;
-    if (!fault_triggered && global_iter >= plan.fail_at) {
-      fault_mask.assign(static_cast<std::size_t>(n), 0);
-      Rng fault_rng(plan.seed);
-      const auto fail_count = static_cast<index_t>(
-          plan.fraction * static_cast<value_t>(n) + 0.5);
-      for (index_t i : fault_rng.sample_without_replacement(n, fail_count)) {
-        fault_mask[i] = 1;
-      }
-      fault_active = true;
-      fault_triggered = true;
-    }
-    if (fault_active && plan.recover_after &&
-        global_iter >= plan.fail_at + *plan.recover_after) {
-      fault_active = false;
-    }
-  };
-  apply_fault_transitions(0);
+  // Fault timeline (Section 4.5 scenarios, multi-GPU variant): the
+  // composable script covers component failures, halo corruption,
+  // device dropout/rejoin, and transfer-link failures; a legacy
+  // FaultPlan is adapted onto the same engine.
+  std::optional<resilience::ScenarioTimeline> timeline;
+  if (opts_.scenario && !opts_.scenario->empty()) {
+    timeline.emplace(*opts_.scenario, n, nd);
+  } else if (opts_.fault) {
+    timeline.emplace(to_scenario(*opts_.fault), n, nd);
+  }
+
+  IterationMonitor monitor(
+      StoppingCriteria{opts_.max_global_iters, opts_.tol,
+                       opts_.divergence_limit},
+      opts_.resilience ? &*opts_.resilience : nullptr,
+      timeline ? &*timeline : nullptr, q);
+  monitor.record_initial(residual_fn(x));
+  if (timeline) timeline->advance(0);
+
+  std::vector<std::uint8_t> was_down(static_cast<std::size_t>(nd), 0);
+  for (index_t d = 0; d < nd; ++d) {
+    was_down[d] = timeline && timeline->device_down(d) ? 1 : 0;
+  }
+  // Link-failure retry/backoff accounting (consecutive failed attempts
+  // per device; reset on the first healthy sweep-end transfer).
+  std::vector<index_t> link_fails(static_cast<std::size_t>(nd), 0);
+  index_t link_retries = 0;
 
   std::priority_queue<Event, std::vector<Event>, EventLater> events;
   std::uint64_t seq = 0;
@@ -172,6 +176,7 @@ MultiDeviceResult MultiDeviceExecutor::run(
   const auto try_start = [&](index_t d) {
     DeviceState& s = dev[d];
     if (s.stalled) return;
+    if (timeline && timeline->device_down(d)) return;
     const index_t slots =
         std::min(opts_.slots_per_device,
                  dev_blocks[d].second - dev_blocks[d].first);
@@ -227,6 +232,18 @@ MultiDeviceResult MultiDeviceExecutor::run(
   // End-of-sweep transfer logic per scheme. Returns the virtual time at
   // which device d may start its next sweep (== `at` when no stall).
   const auto on_sweep_end = [&](index_t d, value_t at) -> value_t {
+    if (timeline && timeline->link_down(d)) {
+      // The transfer attempt fails: no segment becomes visible anywhere,
+      // and the device backs off exponentially before computing on. The
+      // next sweep end retries.
+      ++link_retries;
+      const value_t backoff =
+          opts_.link_retry_backoff_s *
+          static_cast<value_t>(index_t{1} << std::min<index_t>(link_fails[d], 6));
+      ++link_fails[d];
+      return at + backoff;
+    }
+    link_fails[d] = 0;
     switch (opts_.scheme) {
       case TransferScheme::kAMC: {
         // Upload own segment to host on own link; stall for the stream
@@ -318,8 +335,9 @@ MultiDeviceResult MultiDeviceExecutor::run(
 
   index_t total_writes = 0;
   index_t global_iter = 0;
+  bool stop = false;
 
-  while (!events.empty()) {
+  while (!stop && !events.empty()) {
     Event ev = events.top();
     events.pop();
     now = ev.time;
@@ -348,12 +366,14 @@ MultiDeviceResult MultiDeviceExecutor::run(
         Vector& snap = halo_snapshot[ev.block];
         snap.resize(halo.size());
         for (std::size_t i = 0; i < halo.size(); ++i) snap[i] = view[halo[i]];
+        if (timeline) timeline->maybe_corrupt_halo(snap);
         break;
       }
       case EventKind::kWrite: {
         ExecContext ctx;
         ctx.virtual_time = now;
-        ctx.failed_components = fault_active ? &fault_mask : nullptr;
+        ctx.failed_components =
+            timeline ? timeline->component_mask() : nullptr;
         Vector& view = view_of(d);
         kernel_.update(ev.block, halo_snapshot[ev.block], view, ctx);
         if (!dk) {
@@ -386,29 +406,34 @@ MultiDeviceResult MultiDeviceExecutor::run(
 
         if (total_writes % q == 0) {
           ++global_iter;
-          const value_t r = residual_fn(canonical_ref());
-          res.residual_history.push_back(r);
-          res.time_history.push_back(now);
-          apply_fault_transitions(global_iter);
-          if (r <= opts_.tol) {
-            res.converged = true;
-            res.global_iterations = global_iter;
-            res.virtual_time = now;
-            x = canonical_ref();
-            return res;
+          const index_t mutations_before = monitor.iterate_mutations();
+          const StopVerdict verdict = monitor.on_global_iteration(
+              global_iter, now, canonical_ref(), residual_fn,
+              write_generation);
+          if (!dk && monitor.iterate_mutations() != mutations_before) {
+            // A rollback / damped restart rewrote the canonical
+            // iterate; broadcast it so no device writes stale state
+            // back over the restored solution.
+            for (Vector& v : views) v = canonical;
           }
-          if (!std::isfinite(r) || r > opts_.divergence_limit) {
-            res.diverged = true;
-            res.global_iterations = global_iter;
-            res.virtual_time = now;
-            x = canonical_ref();
-            return res;
+          if (verdict != StopVerdict::kContinue) {
+            res.converged = verdict == StopVerdict::kConverged;
+            res.diverged = verdict == StopVerdict::kDiverged;
+            stop = true;
+            break;
           }
-          if (global_iter >= opts_.max_global_iters) {
-            res.global_iterations = global_iter;
-            res.virtual_time = now;
-            x = canonical_ref();
-            return res;
+          // Device dropout transitions become visible after the
+          // timeline advanced: a rejoining device refreshes its view
+          // from the canonical vector and resumes launching blocks.
+          if (timeline) {
+            for (index_t e = 0; e < nd; ++e) {
+              const bool down = timeline->device_down(e);
+              if (was_down[e] && !down) {
+                if (!dk) views[static_cast<std::size_t>(e)] = canonical;
+                try_start(e);
+              }
+              was_down[e] = down ? 1 : 0;
+            }
           }
         }
         try_start(d);
@@ -436,6 +461,10 @@ MultiDeviceResult MultiDeviceExecutor::run(
 
   res.global_iterations = global_iter;
   res.virtual_time = now;
+  res.residual_history = std::move(monitor.residual_history());
+  res.time_history = std::move(monitor.time_history());
+  res.resilience = monitor.take_report();
+  res.resilience.transfer_retries = link_retries;
   x = canonical_ref();
   return res;
 }

@@ -7,6 +7,8 @@
 #include "gpusim/block_kernel.hpp"
 #include "gpusim/fault.hpp"
 #include "gpusim/topology.hpp"
+#include "resilience/recovery.hpp"
+#include "resilience/scenario.hpp"
 #include "sparse/types.hpp"
 
 /// \file multi_device.hpp
@@ -54,9 +56,19 @@ struct MultiDeviceOptions {
   /// Host staging synchronization per AMC sweep (stream sync).
   value_t amc_host_sync_overhead_s = 1.0e-3;
   std::uint64_t seed = 99;
+  /// Base delay of the exponential backoff applied when a sweep-end
+  /// transfer hits a failed link (doubles per consecutive failure).
+  value_t link_retry_backoff_s = 1.0e-3;
   /// Hardware-failure scenario (Section 4.5) — also exercised on
-  /// multi-GPU runs as an exascale-resilience extension.
+  /// multi-GPU runs as an exascale-resilience extension. Legacy
+  /// single-event form; ignored when `scenario` is set.
   std::optional<FaultPlan> fault{};
+  /// Composable fault timeline: component failures, halo corruption,
+  /// device dropout/rejoin, transfer-link failures.
+  std::optional<resilience::FaultScenario> scenario{};
+  /// Active recovery: checkpoint/rollback, online SDC detection,
+  /// watchdog supervision. Unset = plain run (legacy behavior).
+  std::optional<resilience::Policy> resilience{};
 };
 
 struct MultiDeviceResult {
@@ -70,6 +82,8 @@ struct MultiDeviceResult {
   value_t bytes_host_device = 0.0;
   value_t bytes_device_device = 0.0;
   index_t num_transfers = 0;
+  /// Resilience activity (rollbacks, reassignments, link retries, ...).
+  resilience::Report resilience;
 };
 
 /// Runs the kernel on `num_devices` simulated GPUs.

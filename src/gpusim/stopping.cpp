@@ -1,0 +1,124 @@
+#include "gpusim/stopping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bars::gpusim {
+
+IterationMonitor::IterationMonitor(StoppingCriteria criteria,
+                                   const resilience::Policy* policy,
+                                   resilience::ScenarioTimeline* timeline,
+                                   index_t num_blocks)
+    : crit_(criteria), timeline_(timeline) {
+  if (policy) {
+    if (policy->checkpointing) {
+      checkpoint_.emplace(policy->checkpoint);
+      max_rollbacks_ = policy->checkpoint.max_rollbacks;
+    }
+    if (policy->online_detection) detector_.emplace(policy->detector);
+    if (policy->watchdog) {
+      watchdog_.emplace(policy->supervisor, num_blocks);
+      max_restarts_ = policy->supervisor.max_restarts;
+      restart_damping_ = policy->supervisor.restart_damping;
+    }
+  }
+}
+
+void IterationMonitor::record_initial(value_t r0) {
+  history_.push_back(r0);
+  times_.push_back(0.0);
+  if (detector_) (void)detector_->push(r0);
+}
+
+void IterationMonitor::damped_restart(
+    Vector& x, value_t& r,
+    const std::function<value_t(const Vector&)>& residual_fn) {
+  if (checkpoint_ && checkpoint_->has()) {
+    x = checkpoint_->best().x;
+  } else {
+    std::fill(x.begin(), x.end(), value_t{0.0});
+  }
+  for (value_t& xi : x) xi *= restart_damping_;
+  r = residual_fn(x);
+  ++restarts_done_;
+  ++report_.damped_restarts;
+  if (detector_) detector_->reset(r);
+  if (watchdog_) watchdog_->reset(r);
+}
+
+StopVerdict IterationMonitor::on_global_iteration(
+    index_t iter, value_t now, Vector& x,
+    const std::function<value_t(const Vector&)>& residual_fn,
+    std::span<const index_t> block_executions) {
+  value_t r = residual_fn(x);
+  history_.push_back(r);
+  times_.push_back(now);
+  if (timeline_) timeline_->advance(iter);
+
+  bool anomalous = false;
+  if (detector_) {
+    if (const auto anomaly = detector_->push(r)) {
+      ++report_.detections;
+      report_.detection_iterations.push_back(iter);
+      anomalous = true;
+      // Roll back on corruption signatures (jump / non-finite). A stall
+      // is dead components, not a bad iterate — rolling back cannot
+      // help; that is the watchdog's reassignment case.
+      if (anomaly->kind != resilience::AnomalyKind::kStall && checkpoint_ &&
+          checkpoint_->has() && report_.rollbacks < max_rollbacks_) {
+        x = checkpoint_->best().x;
+        r = residual_fn(x);
+        ++report_.rollbacks;
+        detector_->reset(r);
+        if (watchdog_) watchdog_->reset(r);
+      }
+    }
+  }
+
+  if (watchdog_) {
+    const resilience::WatchdogVerdict v =
+        watchdog_->observe(iter, r, block_executions);
+    for (index_t b : v.newly_stalled_blocks) {
+      report_.stalled_blocks.push_back(b);
+    }
+    if (v.reassign && timeline_) {
+      const index_t freed = timeline_->reassign_failed_components();
+      if (freed > 0) {
+        ++report_.watchdog_reassignments;
+        report_.components_reassigned += freed;
+      }
+    }
+    if (v.damped_restart && restarts_done_ < max_restarts_) {
+      damped_restart(x, r, residual_fn);
+    }
+  }
+
+  // Checkpoint only clean iterates: an anomalous residual must never
+  // become the rollback target.
+  if (checkpoint_ && !anomalous) {
+    checkpoint_->observe(iter, r, x);
+    report_.checkpoints_saved = checkpoint_->saved_count();
+  }
+
+  if (r <= crit_.tol) return StopVerdict::kConverged;
+  if (!std::isfinite(r) || r > crit_.divergence_limit) {
+    if (watchdog_ && restarts_done_ < max_restarts_) {
+      damped_restart(x, r, residual_fn);
+      if (r <= crit_.tol) return StopVerdict::kConverged;
+      if (std::isfinite(r) && r <= crit_.divergence_limit) {
+        if (iter >= crit_.max_global_iters) return StopVerdict::kIterLimit;
+        return StopVerdict::kContinue;
+      }
+    }
+    return StopVerdict::kDiverged;
+  }
+  if (iter >= crit_.max_global_iters) return StopVerdict::kIterLimit;
+  return StopVerdict::kContinue;
+}
+
+resilience::Report IterationMonitor::take_report() {
+  if (timeline_) report_.halo_corruptions = timeline_->halo_corruptions();
+  return std::move(report_);
+}
+
+}  // namespace bars::gpusim

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "resilience/recovery.hpp"
+#include "resilience/scenario.hpp"
+#include "sparse/types.hpp"
+
+/// \file stopping.hpp
+/// Shared per-global-iteration bookkeeping for AsyncExecutor and
+/// MultiDeviceExecutor: residual/time history recording, the
+/// convergence/divergence/iteration-limit verdict (previously
+/// duplicated in both run loops), and the single place where the
+/// resilience layer hooks into a solve — online SDC detection with
+/// checkpoint rollback, watchdog supervision with component
+/// reassignment, and damped restarts on divergence.
+
+namespace bars::gpusim {
+
+struct StoppingCriteria {
+  index_t max_global_iters = 1000;
+  value_t tol = 1e-14;
+  value_t divergence_limit = 1e30;
+};
+
+enum class StopVerdict {
+  kContinue,
+  kConverged,  ///< residual reached tol
+  kDiverged,   ///< residual non-finite or above the divergence limit
+  kIterLimit,  ///< max_global_iters reached
+};
+
+/// Drives one solve's global-iteration boundaries. `policy` and
+/// `timeline` may be null (plain run, legacy behavior bit-for-bit).
+/// The monitor owns the residual/time histories; executors move them
+/// into their result structs after the run loop.
+class IterationMonitor {
+ public:
+  IterationMonitor(StoppingCriteria criteria,
+                   const resilience::Policy* policy,
+                   resilience::ScenarioTimeline* timeline,
+                   index_t num_blocks);
+
+  /// Record the initial residual (history index 0, time 0).
+  void record_initial(value_t r0);
+
+  /// Handle the boundary after global iteration `iter`: record the
+  /// residual, advance the fault timeline, run detector/checkpoint/
+  /// watchdog hooks (which may mutate x — rollback, damped restart),
+  /// and return the stopping verdict.
+  StopVerdict on_global_iteration(
+      index_t iter, value_t now, Vector& x,
+      const std::function<value_t(const Vector&)>& residual_fn,
+      std::span<const index_t> block_executions);
+
+  [[nodiscard]] std::vector<value_t>& residual_history() { return history_; }
+  [[nodiscard]] std::vector<value_t>& time_history() { return times_; }
+
+  /// Number of times the monitor rewrote the iterate (rollbacks +
+  /// damped restarts). The multi-device executor compares this across a
+  /// boundary call to know when device views must be re-broadcast.
+  [[nodiscard]] index_t iterate_mutations() const {
+    return report_.rollbacks + report_.damped_restarts;
+  }
+
+  /// Resilience activity of the run so far (halo-corruption counts are
+  /// folded in from the timeline).
+  [[nodiscard]] resilience::Report take_report();
+
+ private:
+  void damped_restart(Vector& x, value_t& r,
+                      const std::function<value_t(const Vector&)>& residual_fn);
+
+  StoppingCriteria crit_;
+  resilience::ScenarioTimeline* timeline_;
+  std::optional<resilience::CheckpointStore> checkpoint_;
+  std::optional<resilience::OnlineResidualDetector> detector_;
+  std::optional<resilience::Watchdog> watchdog_;
+  index_t max_restarts_ = 0;
+  value_t restart_damping_ = 0.5;
+  index_t max_rollbacks_ = 0;
+  index_t restarts_done_ = 0;
+  std::vector<value_t> history_;
+  std::vector<value_t> times_;
+  resilience::Report report_;
+};
+
+}  // namespace bars::gpusim

@@ -1,0 +1,167 @@
+#include "resilience/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bars::resilience {
+
+// ---------------------------------------------------------------- checkpoint
+
+CheckpointStore::CheckpointStore(CheckpointOptions opts) : opts_(opts) {
+  if (opts_.interval <= 0) opts_.interval = 1;
+}
+
+void CheckpointStore::observe(index_t iter, value_t residual,
+                              const Vector& x) {
+  if (iter <= 0 || iter % opts_.interval != 0) return;
+  if (!std::isfinite(residual)) return;
+  if (!empty_ && residual > opts_.improvement_factor * best_.residual) return;
+  best_.iteration = iter;
+  best_.residual = residual;
+  best_.x = x;
+  empty_ = false;
+  ++saved_;
+}
+
+// ------------------------------------------------------------ online detector
+
+OnlineResidualDetector::OnlineResidualDetector(AnomalyOptions opts)
+    : opts_(opts) {
+  // Degenerate configurations degrade gracefully, not UB. Warmup below
+  // 1 would arm the jump check before any trend sample exists and flag
+  // every healthy first step.
+  opts_.warmup = std::max<index_t>(opts_.warmup, 1);
+  opts_.stall_window = std::max<index_t>(opts_.stall_window, 0);
+}
+
+std::optional<Anomaly> OnlineResidualDetector::push(value_t r) {
+  ++k_;
+  window_.push_back(r);
+  while (static_cast<index_t>(window_.size()) > opts_.stall_window + 1) {
+    window_.pop_front();
+  }
+  if (!has_prev_) {
+    has_prev_ = true;
+    prev_ = r;
+    return std::nullopt;
+  }
+  const value_t prev = prev_;
+  prev_ = r;
+  if (!std::isfinite(r)) {
+    return Anomaly{AnomalyKind::kNonFinite, k_,
+                   std::numeric_limits<value_t>::infinity()};
+  }
+  // At the rounding floor (or non-positive): nothing to judge.
+  if (prev <= opts_.floor || r <= 0.0) return std::nullopt;
+  const value_t ratio = r / prev;
+  if (trend_n_ >= opts_.warmup) {
+    if (ratio > opts_.jump_factor * std::max(trend_, value_t{1e-6})) {
+      return Anomaly{AnomalyKind::kJump, k_, ratio};
+    }
+    if (opts_.stall_window > 0 &&
+        static_cast<index_t>(window_.size()) == opts_.stall_window + 1) {
+      const value_t base = window_.front();
+      if (base > opts_.floor && r > opts_.stall_factor * base) {
+        return Anomaly{AnomalyKind::kStall, k_, r / base};
+      }
+    }
+  }
+  trend_ = trend_n_ == 0
+               ? ratio
+               : std::exp((std::log(trend_) * static_cast<value_t>(trend_n_) +
+                           std::log(ratio)) /
+                          static_cast<value_t>(trend_n_ + 1));
+  ++trend_n_;
+  return std::nullopt;
+}
+
+void OnlineResidualDetector::reset(value_t resume_residual) {
+  window_.clear();
+  window_.push_back(resume_residual);
+  has_prev_ = true;
+  prev_ = resume_residual;
+  // trend_ / trend_n_ survive: the healthy contraction estimate is
+  // still the best predictor for the resumed trajectory.
+}
+
+// ----------------------------------------------------------------- watchdog
+
+Watchdog::Watchdog(WatchdogOptions opts, index_t num_blocks) : opts_(opts) {
+  if (opts_.check_interval <= 0) opts_.check_interval = 1;
+  if (opts_.stall_checks <= 0) opts_.stall_checks = 1;
+  last_execs_.assign(static_cast<std::size_t>(std::max<index_t>(num_blocks, 0)),
+                     0);
+  flagged_.assign(last_execs_.size(), 0);
+  next_check_ = opts_.check_interval;
+}
+
+WatchdogVerdict Watchdog::observe(index_t iter, value_t r,
+                                  std::span<const index_t> block_execs) {
+  WatchdogVerdict v;
+  // Divergence is checked every iteration — it cannot wait for the next
+  // scheduled inspection.
+  if (!std::isfinite(r)) {
+    v.damped_restart = true;
+    return v;
+  }
+  if (!has_best_ || r < best_residual_) {
+    best_residual_ = r;
+    has_best_ = true;
+  } else if (r > opts_.divergence_factor * best_residual_ &&
+             best_residual_ > 0.0) {
+    v.damped_restart = true;
+    return v;
+  }
+
+  if (iter < next_check_) return v;
+  next_check_ = iter + opts_.check_interval;
+
+  // Per-block liveness: a block is stalled when its execution count did
+  // not advance since the last check while the median block progressed.
+  if (block_execs.size() == last_execs_.size() && !last_execs_.empty()) {
+    std::vector<index_t> deltas(block_execs.size());
+    for (std::size_t b = 0; b < block_execs.size(); ++b) {
+      deltas[b] = block_execs[b] - last_execs_[b];
+    }
+    std::vector<index_t> sorted = deltas;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const index_t median = sorted[sorted.size() / 2];
+    for (std::size_t b = 0; b < deltas.size(); ++b) {
+      if (median > 0 && deltas[b] == 0) {
+        if (!flagged_[b]) {
+          flagged_[b] = 1;
+          v.newly_stalled_blocks.push_back(static_cast<index_t>(b));
+        }
+      } else {
+        flagged_[b] = 0;
+      }
+      last_execs_[b] = block_execs[b];
+    }
+  }
+
+  // Residual contraction: compare against the residual `stall_checks`
+  // inspections ago.
+  check_residuals_.push_back(r);
+  while (static_cast<index_t>(check_residuals_.size()) >
+         opts_.stall_checks + 1) {
+    check_residuals_.pop_front();
+  }
+  if (static_cast<index_t>(check_residuals_.size()) == opts_.stall_checks + 1 &&
+      r > opts_.floor && r > opts_.stall_improvement * check_residuals_.front()) {
+    v.reassign = true;
+    check_residuals_.clear();  // re-arm only after fresh evidence
+    check_residuals_.push_back(r);
+  }
+  return v;
+}
+
+void Watchdog::reset(value_t resume_residual) {
+  check_residuals_.clear();
+  best_residual_ = resume_residual;
+  has_best_ = std::isfinite(resume_residual);
+  std::fill(flagged_.begin(), flagged_.end(), 0);
+}
+
+}  // namespace bars::resilience

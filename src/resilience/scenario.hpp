@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sparse/types.hpp"
+#include "stats/rng.hpp"
+
+/// \file scenario.hpp
+/// Composable fault scenarios — the generalization of the paper's
+/// Section 4.5 single-breakdown experiment to a *timeline* of
+/// injectable events. A FaultScenario is a declarative script (which
+/// failure, when, for how long); a ScenarioTimeline is its runtime
+/// engine, advanced once per global iteration by the executors. The
+/// split keeps scenarios serializable/composable while the executors
+/// only ever ask simple questions ("which components are frozen now?",
+/// "is device 2 down?", "is this link up?").
+
+namespace bars::resilience {
+
+/// The injectable failure classes.
+enum class FaultKind {
+  /// A fraction of the solution components stops being updated (their
+  /// cores "break", paper Section 4.5). Optional recovery reassigns
+  /// them to healthy cores after `duration` global iterations.
+  kComponentFailure,
+  /// Transient corruption of halo reads: during the window, each halo
+  /// snapshot is overwritten with `magnitude` at one random entry with
+  /// probability `probability` (models flaky remote memory).
+  kHaloCorruption,
+  /// Multi-GPU only: the device stops launching blocks at `at` and
+  /// rejoins (with a refreshed view of the iterate) after `duration`.
+  kDeviceDropout,
+  /// Multi-GPU only: the device's transfer link fails for `duration`
+  /// iterations; sweep-end transfers are retried with exponential
+  /// backoff and accounted in the resilience report.
+  kLinkFailure,
+};
+
+/// One scheduled fault. Fields are interpreted per kind (see builders).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kComponentFailure;
+  index_t at = 0;  ///< global iteration at which the fault strikes
+  /// Window length in global iterations; nullopt = permanent (the
+  /// paper's "no recovery" curve).
+  std::optional<index_t> duration{};
+  value_t fraction = 0.25;     ///< kComponentFailure: share of components
+  value_t magnitude = 1.0e6;   ///< kHaloCorruption: value written
+  value_t probability = 0.05;  ///< kHaloCorruption: chance per halo read
+  index_t device = 1;          ///< kDeviceDropout / kLinkFailure target
+  std::uint64_t seed = 1234;   ///< which components / which reads
+};
+
+/// A fault script: an ordered list of events (order is cosmetic; each
+/// event carries its own trigger iteration). Built fluently:
+///
+///   FaultScenario s;
+///   s.fail_components(10, 0.25, 20).fail_components(40, 0.10, 20)
+///    .corrupt_halo(15, 5, 1e4).drop_device(8, /*device=*/1, 12);
+struct FaultScenario {
+  std::vector<FaultEvent> events;
+
+  FaultScenario& fail_components(index_t at, value_t fraction,
+                                 std::optional<index_t> recover_after = {},
+                                 std::uint64_t seed = 1234);
+  FaultScenario& corrupt_halo(index_t at, index_t duration, value_t magnitude,
+                              value_t probability = 0.05,
+                              std::uint64_t seed = 77);
+  FaultScenario& drop_device(index_t at, index_t device,
+                             std::optional<index_t> rejoin_after = {});
+  FaultScenario& fail_link(index_t at, index_t device, index_t duration);
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+};
+
+/// Runtime engine for one solve. The owning executor calls
+/// `advance(k)` at every global-iteration boundary (including k = 0
+/// before the first sweep); all queries then reflect iteration k's
+/// fault state. Event semantics match the legacy FaultPlan exactly:
+/// an event is active for iterations `at <= k < at + duration`, so
+/// `duration == 0` is an immediate reassignment (never observed).
+class ScenarioTimeline {
+ public:
+  ScenarioTimeline(FaultScenario scenario, index_t num_rows,
+                   index_t num_devices = 1);
+
+  /// Apply all activations/expirations due at global iteration `k`.
+  void advance(index_t k);
+
+  /// Union mask over the active component failures (size num_rows);
+  /// nullptr when no component is currently frozen.
+  [[nodiscard]] const std::vector<std::uint8_t>* component_mask() const;
+  [[nodiscard]] bool any_component_failed() const;
+
+  /// Watchdog hook: reassign every currently-frozen component to a
+  /// healthy core *now*, expiring the corresponding events. Returns the
+  /// number of components freed.
+  index_t reassign_failed_components();
+
+  [[nodiscard]] bool halo_corruption_active() const;
+  /// Corrupt `snapshot` in place according to the active corruption
+  /// events (at most one entry per event per call).
+  void maybe_corrupt_halo(Vector& snapshot);
+  [[nodiscard]] index_t halo_corruptions() const { return corruptions_; }
+
+  [[nodiscard]] bool device_down(index_t device) const;
+  [[nodiscard]] bool link_down(index_t device) const;
+
+  [[nodiscard]] index_t num_rows() const { return n_; }
+
+ private:
+  struct EventState {
+    FaultEvent event;
+    bool active = false;
+    bool done = false;               ///< expired (or reassigned); final
+    std::vector<std::uint8_t> mask;  ///< kComponentFailure only
+    Rng rng;                         ///< kHaloCorruption injection stream
+    explicit EventState(const FaultEvent& e) : event(e), rng(e.seed) {}
+  };
+
+  void rebuild_component_mask();
+
+  index_t n_ = 0;
+  index_t num_devices_ = 1;
+  std::vector<EventState> states_;
+  std::vector<std::uint8_t> combined_mask_;
+  bool any_failed_ = false;
+  index_t corruptions_ = 0;
+};
+
+}  // namespace bars::resilience

@@ -111,5 +111,64 @@ TEST(FaultTolerance, RecoveredRunMatchesNoFailureSolution) {
   }
 }
 
+TEST(FaultTolerance, FullFractionFreezesTheWholeIterate) {
+  // fraction = 1.0: every component freezes at fail_at, so the residual
+  // is exactly constant from that point on.
+  const Csr a = test_matrix();
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o = base_options();
+  o.solve.max_iters = 60;
+  gpusim::FaultPlan plan;
+  plan.fail_at = 10;
+  plan.fraction = 1.0;
+  plan.recover_after = std::nullopt;
+  o.fault = plan;
+  const auto r = block_async_solve(a, b, o);
+  EXPECT_FALSE(r.solve.converged);
+  ASSERT_GT(r.solve.residual_history.size(), 11u);
+  EXPECT_DOUBLE_EQ(r.solve.final_residual, r.solve.residual_history[10]);
+}
+
+TEST(FaultTolerance, FailureBeyondIterationLimitIsInert) {
+  // fail_at past max_global_iters: the event never fires, so the run is
+  // identical to the clean one.
+  const Csr a = test_matrix();
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  const auto clean = block_async_solve(a, b, base_options());
+  BlockAsyncOptions o = base_options();
+  gpusim::FaultPlan plan;
+  plan.fail_at = o.solve.max_iters + 100;
+  plan.fraction = 0.5;
+  o.fault = plan;
+  const auto r = block_async_solve(a, b, o);
+  EXPECT_EQ(r.solve.iterations, clean.solve.iterations);
+  ASSERT_EQ(r.solve.residual_history.size(),
+            clean.solve.residual_history.size());
+  for (std::size_t i = 0; i < clean.solve.residual_history.size(); ++i) {
+    EXPECT_EQ(r.solve.residual_history[i], clean.solve.residual_history[i]);
+  }
+}
+
+TEST(FaultTolerance, ZeroRecoveryDelayIsInert) {
+  // recover_after = 0: components are reassigned in the same boundary
+  // that failed them, so no write ever observes the mask.
+  const Csr a = test_matrix();
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  const auto clean = block_async_solve(a, b, base_options());
+  BlockAsyncOptions o = base_options();
+  gpusim::FaultPlan plan;
+  plan.fail_at = 10;
+  plan.fraction = 0.5;
+  plan.recover_after = 0;
+  o.fault = plan;
+  const auto r = block_async_solve(a, b, o);
+  EXPECT_EQ(r.solve.iterations, clean.solve.iterations);
+  ASSERT_EQ(r.solve.residual_history.size(),
+            clean.solve.residual_history.size());
+  for (std::size_t i = 0; i < clean.solve.residual_history.size(); ++i) {
+    EXPECT_EQ(r.solve.residual_history[i], clean.solve.residual_history[i]);
+  }
+}
+
 }  // namespace
 }  // namespace bars

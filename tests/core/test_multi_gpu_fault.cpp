@@ -89,5 +89,63 @@ TEST(MultiGpuFault, FaultDelaysConvergence) {
   EXPECT_GT(rf.solve.iterations, rc.solve.iterations);
 }
 
+TEST(MultiGpuFault, DeviceDropoutConvergesAfterRejoin) {
+  // A whole simulated GPU drops out at iteration 5 and rejoins 10
+  // iterations later with a refreshed view of the canonical iterate;
+  // the solve converges regardless.
+  const Csr a = fv_like(12, 0.6);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  MultiGpuOptions o = base(2, gpusim::TransferScheme::kAMC);
+  resilience::FaultScenario s;
+  s.drop_device(/*at=*/5, /*device=*/1, /*rejoin_after=*/10);
+  o.scenario = s;
+  const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.converged);
+}
+
+TEST(MultiGpuFault, PermanentDeviceDropoutStagnates) {
+  // Without a rejoin the rows owned by the dropped device never update
+  // again, so the residual stalls above tolerance.
+  const Csr a = fv_like(12, 0.6);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  MultiGpuOptions o = base(2, gpusim::TransferScheme::kAMC);
+  o.solve.max_iters = 200;
+  resilience::FaultScenario s;
+  s.drop_device(5, 1, /*rejoin_after=*/std::nullopt);
+  o.scenario = s;
+  const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
+  EXPECT_FALSE(r.solve.converged);
+  EXPECT_GT(r.solve.final_residual, 1e-8);
+}
+
+TEST(MultiGpuFault, LinkFailureRetriesThenConverges) {
+  // A transfer-link outage forces retry/backoff but the solve still
+  // converges once the link heals; the retries are accounted for.
+  const Csr a = fv_like(12, 0.6);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  MultiGpuOptions o = base(2, gpusim::TransferScheme::kAMC);
+  resilience::FaultScenario s;
+  s.fail_link(/*at=*/5, /*device=*/1, /*duration=*/10);
+  o.scenario = s;
+  const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.converged);
+  EXPECT_GT(r.resilience.transfer_retries, 0);
+}
+
+TEST(MultiGpuFault, DropoutWithRecoveryPolicyReportsActivity) {
+  // Scenario + active policy together: converges and the report carries
+  // the checkpoint trail.
+  const Csr a = fv_like(12, 0.6);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  MultiGpuOptions o = base(2, gpusim::TransferScheme::kDC);
+  resilience::FaultScenario s;
+  s.drop_device(5, 1, 10);
+  o.scenario = s;
+  o.resilience = resilience::Policy{};
+  const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.converged);
+  EXPECT_GT(r.resilience.checkpoints_saved, 0);
+}
+
 }  // namespace
 }  // namespace bars

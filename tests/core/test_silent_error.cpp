@@ -60,6 +60,43 @@ TEST(Detector, ShortHistoryNotFlagged) {
   EXPECT_FALSE(detect_silent_error({}).detected);
 }
 
+TEST(Detector, HistoryEntirelyAtFloorNotFlagged) {
+  // A run that starts (and stays) at the rounding floor offers nothing
+  // to judge; it must not be reported as a stall.
+  const std::vector<value_t> h(30, 5e-14);
+  EXPECT_FALSE(detect_silent_error(h).detected);
+}
+
+TEST(Detector, WarmupLongerThanHistoryNotFlagged) {
+  DetectorOptions o;
+  o.warmup = 100;
+  auto h = geometric(1.0, 0.5, 10);
+  h.push_back(h.back() * 1e6);  // jump inside the warmup window
+  EXPECT_FALSE(detect_silent_error(h, o).detected);
+}
+
+TEST(Detector, DegenerateOptionsAreSafe) {
+  // Negative warmup / stall_window clamp to "never arm that check"
+  // rather than UB; a clean decay stays clean, an obvious jump is
+  // still caught once warmup (clamped to 0) has passed.
+  DetectorOptions o;
+  o.warmup = -5;
+  o.stall_window = -1;
+  EXPECT_FALSE(detect_silent_error(geometric(1.0, 0.5, 20), o).detected);
+  auto h = geometric(1.0, 0.5, 10);
+  h.push_back(h.back() * 1e6);
+  EXPECT_TRUE(detect_silent_error(h, o).detected);
+}
+
+TEST(Detector, NonPositiveSamplesSkippedNotFlagged) {
+  // An exact zero residual (direct hit of the solution) is not an
+  // anomaly.
+  std::vector<value_t> h = geometric(1.0, 0.5, 10);
+  h.push_back(0.0);
+  h.push_back(0.0);
+  EXPECT_FALSE(detect_silent_error(h).detected);
+}
+
 TEST(SdcRun, CleanRunNotFlaggedAndConverges) {
   const Csr a = fv_like(16, 0.5);
   const Vector b(static_cast<std::size_t>(a.rows()), 1.0);

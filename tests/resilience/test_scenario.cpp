@@ -1,0 +1,218 @@
+#include "resilience/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/block_async.hpp"
+#include "matrices/generators.hpp"
+
+namespace bars {
+namespace {
+
+// ------------------------------------------------------- timeline unit tests
+
+TEST(ScenarioTimeline, EventActiveExactlyInsideWindow) {
+  resilience::FaultScenario s;
+  s.fail_components(/*at=*/5, /*fraction=*/0.5, /*recover_after=*/10);
+  resilience::ScenarioTimeline t(s, /*num_rows=*/100);
+  t.advance(0);
+  EXPECT_FALSE(t.any_component_failed());
+  t.advance(4);
+  EXPECT_FALSE(t.any_component_failed());
+  t.advance(5);
+  ASSERT_TRUE(t.any_component_failed());
+  index_t frozen = 0;
+  for (std::uint8_t m : *t.component_mask()) frozen += m;
+  EXPECT_EQ(frozen, 50);
+  t.advance(14);
+  EXPECT_TRUE(t.any_component_failed());
+  t.advance(15);  // at + duration: components reassigned
+  EXPECT_FALSE(t.any_component_failed());
+  EXPECT_EQ(t.component_mask(), nullptr);
+}
+
+TEST(ScenarioTimeline, ZeroDurationNeverObserved) {
+  // recover_after = 0 matches the legacy FaultPlan semantics: the
+  // activation and the reassignment coincide, so no write ever sees
+  // the mask.
+  resilience::FaultScenario s;
+  s.fail_components(5, 0.5, 0);
+  resilience::ScenarioTimeline t(s, 100);
+  for (index_t k = 0; k <= 20; ++k) {
+    t.advance(k);
+    EXPECT_FALSE(t.any_component_failed()) << "k=" << k;
+  }
+}
+
+TEST(ScenarioTimeline, OverlappingFailuresUnionTheirMasks) {
+  resilience::FaultScenario s;
+  s.fail_components(2, 0.25, 20, /*seed=*/1)
+      .fail_components(4, 0.25, 20, /*seed=*/2);
+  resilience::ScenarioTimeline t(s, 1000);
+  t.advance(2);
+  index_t first = 0;
+  for (std::uint8_t m : *t.component_mask()) first += m;
+  EXPECT_EQ(first, 250);
+  t.advance(4);
+  index_t both = 0;
+  for (std::uint8_t m : *t.component_mask()) both += m;
+  // Independent seeds: the union is larger than either wave alone.
+  EXPECT_GT(both, 250);
+  EXPECT_LE(both, 500);
+}
+
+TEST(ScenarioTimeline, FullFractionFreezesEveryComponent) {
+  resilience::FaultScenario s;
+  s.fail_components(0, 1.0);
+  resilience::ScenarioTimeline t(s, 64);
+  t.advance(0);
+  index_t frozen = 0;
+  for (std::uint8_t m : *t.component_mask()) frozen += m;
+  EXPECT_EQ(frozen, 64);
+}
+
+TEST(ScenarioTimeline, ReassignFreesComponentsAndReportsCount) {
+  resilience::FaultScenario s;
+  s.fail_components(0, 0.25, /*recover_after=*/std::nullopt);
+  resilience::ScenarioTimeline t(s, 100);
+  t.advance(0);
+  ASSERT_TRUE(t.any_component_failed());
+  EXPECT_EQ(t.reassign_failed_components(), 25);
+  EXPECT_FALSE(t.any_component_failed());
+  // The event is expired, not rescheduled: it never re-fires.
+  t.advance(50);
+  EXPECT_FALSE(t.any_component_failed());
+  EXPECT_EQ(t.reassign_failed_components(), 0);
+}
+
+TEST(ScenarioTimeline, DeviceAndLinkQueries) {
+  resilience::FaultScenario s;
+  s.drop_device(3, /*device=*/1, /*rejoin_after=*/4).fail_link(10, 0, 5);
+  resilience::ScenarioTimeline t(s, 10, /*num_devices=*/2);
+  t.advance(0);
+  EXPECT_FALSE(t.device_down(1));
+  t.advance(3);
+  EXPECT_TRUE(t.device_down(1));
+  EXPECT_FALSE(t.device_down(0));
+  EXPECT_FALSE(t.link_down(0));
+  t.advance(7);
+  EXPECT_FALSE(t.device_down(1));
+  t.advance(10);
+  EXPECT_TRUE(t.link_down(0));
+  EXPECT_FALSE(t.link_down(1));
+  t.advance(15);
+  EXPECT_FALSE(t.link_down(0));
+}
+
+TEST(ScenarioTimeline, HaloCorruptionInjectsWithinWindow) {
+  resilience::FaultScenario s;
+  s.corrupt_halo(/*at=*/0, /*duration=*/5, /*magnitude=*/123.0,
+                 /*probability=*/1.0);
+  resilience::ScenarioTimeline t(s, 10);
+  t.advance(0);
+  ASSERT_TRUE(t.halo_corruption_active());
+  Vector snap(4, 1.0);
+  t.maybe_corrupt_halo(snap);
+  index_t hits = 0;
+  for (value_t v : snap) hits += v == 123.0 ? 1 : 0;
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(t.halo_corruptions(), 1);
+  t.advance(5);
+  EXPECT_FALSE(t.halo_corruption_active());
+  Vector snap2(4, 1.0);
+  t.maybe_corrupt_halo(snap2);
+  EXPECT_EQ(t.halo_corruptions(), 1);
+}
+
+// ------------------------------------------------- scripted solve scenarios
+
+Csr test_matrix() { return fv_like(20, 0.4); }
+
+BlockAsyncOptions base_options() {
+  BlockAsyncOptions o;
+  o.block_size = 50;
+  o.local_iters = 5;
+  o.solve.max_iters = 400;
+  o.solve.tol = 1e-13;
+  o.seed = 7;
+  return o;
+}
+
+TEST(ScenarioSolve, LegacyPlanAndOneEventScenarioAreBitIdentical) {
+  // The FaultPlan adapter must reproduce the legacy single-event run
+  // exactly (same seed -> same mask -> same residual trajectory).
+  const Csr a = test_matrix();
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions legacy = base_options();
+  gpusim::FaultPlan plan;
+  plan.fail_at = 10;
+  plan.fraction = 0.25;
+  plan.recover_after = 15;
+  legacy.fault = plan;
+  BlockAsyncOptions scripted = base_options();
+  scripted.scenario = gpusim::to_scenario(plan);
+  const auto r1 = block_async_solve(a, b, legacy);
+  const auto r2 = block_async_solve(a, b, scripted);
+  ASSERT_EQ(r1.solve.residual_history.size(),
+            r2.solve.residual_history.size());
+  for (std::size_t i = 0; i < r1.solve.residual_history.size(); ++i) {
+    EXPECT_EQ(r1.solve.residual_history[i], r2.solve.residual_history[i]);
+  }
+}
+
+TEST(ScenarioSolve, TwoFailureWavesRecoverToFaultFreeAccuracy) {
+  // Acceptance scenario: 25% of components fail at iteration 10 and 10%
+  // at iteration 40, each wave reassigned after 20 iterations. The run
+  // must converge to the fault-free accuracy with bounded delay (the
+  // paper's Section 4.5 claim, composed over two events).
+  const Csr a = test_matrix();
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  const auto clean = block_async_solve(a, b, base_options());
+  ASSERT_TRUE(clean.solve.converged);
+
+  BlockAsyncOptions o = base_options();
+  resilience::FaultScenario s;
+  s.fail_components(10, 0.25, 20, /*seed=*/11)
+      .fail_components(40, 0.10, 20, /*seed=*/22);
+  o.scenario = s;
+  const auto rec = block_async_solve(a, b, o);
+  ASSERT_TRUE(rec.solve.converged);
+  EXPECT_LE(rec.solve.final_residual, 1e-13);
+  // Bounded delay: both failure windows (2 x 20 iterations) plus slack.
+  EXPECT_LE(rec.solve.iterations, clean.solve.iterations + 80);
+  for (std::size_t i = 0; i < clean.solve.x.size(); ++i) {
+    EXPECT_NEAR(rec.solve.x[i], clean.solve.x[i], 1e-9);
+  }
+}
+
+TEST(ScenarioSolve, RepeatedFailuresOfSameComponentsConverge) {
+  // The same seed fails the same components twice; the solve heals
+  // after each wave.
+  const Csr a = test_matrix();
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o = base_options();
+  resilience::FaultScenario s;
+  s.fail_components(5, 0.3, 10, /*seed=*/9)
+      .fail_components(30, 0.3, 10, /*seed=*/9);
+  o.scenario = s;
+  const auto r = block_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.converged);
+}
+
+TEST(ScenarioSolve, TransientHaloCorruptionIsRelaxedAway) {
+  // Corrupted halo reads inject garbage mid-run; the asynchronous
+  // iteration self-stabilizes once the window closes.
+  const Csr a = test_matrix();
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  BlockAsyncOptions o = base_options();
+  o.solve.max_iters = 800;
+  resilience::FaultScenario s;
+  s.corrupt_halo(/*at=*/10, /*duration=*/5, /*magnitude=*/1e4,
+                 /*probability=*/0.2);
+  o.scenario = s;
+  const auto r = block_async_solve(a, b, o);
+  EXPECT_TRUE(r.solve.converged);
+  EXPECT_GT(r.resilience.halo_corruptions, 0);
+}
+
+}  // namespace
+}  // namespace bars
