@@ -1,0 +1,194 @@
+/// Wall-clock performance regression harness. Unlike the fig*/table*
+/// harnesses (which report *virtual* seconds from the calibrated cost
+/// model), this one measures real host time of the hot paths — the
+/// async-(k) event loop, the parallel commit path, the incremental
+/// residual, and the host-thread chaotic solver — and emits a
+/// machine-readable BENCH_perf.json for CI trend tracking.
+///
+/// Flags: --out=<path>      JSON output (default BENCH_perf.json)
+///        --repeats=<n>     timed repetitions, best-of (default 3)
+///        --iters=<n>       global iteration budget per run (default 200)
+///        --workers=<n>     worker threads for the parallel path
+///                          (default 8, capped by hardware)
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/block_async.hpp"
+#include "core/thread_async.hpp"
+#include "report/table.hpp"
+
+using namespace bars;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_best_of(int repeats, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double> dt = Clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string matrix;
+  std::string config;
+  double seconds = 0.0;
+  index_t iterations = 0;
+  value_t final_residual = 0.0;
+  bool converged = false;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  bench::banner("perf suite — wall-clock hot-path timings",
+                "perf regression harness (real seconds, not virtual)");
+
+  const std::string out_path = args.get_string("out", "BENCH_perf.json");
+  const int repeats =
+      std::max(1, static_cast<int>(args.get_int("repeats", 3)));
+  const index_t iters = std::max<index_t>(1, args.get_int("iters", 200));
+  const index_t hw = static_cast<index_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const index_t workers =
+      std::min<index_t>(args.get_int("workers", 8), std::max<index_t>(hw, 2));
+
+  const std::vector<PaperMatrix> suite = {
+      PaperMatrix::kChem97ZtZ, PaperMatrix::kFv3,
+      PaperMatrix::kTrefethen2000, PaperMatrix::kTrefethen20000};
+
+  std::vector<Row> rows;
+  const auto run_async = [&](const TestProblem& p, index_t k,
+                             bool incremental, index_t nworkers,
+                             const std::string& label) {
+    BlockAsyncOptions o;
+    o.solve.max_iters = iters;
+    o.solve.tol = 1e-12;
+    o.block_size = 256;
+    o.local_iters = k;
+    o.policy = gpusim::SchedulePolicy::kRoundRobin;
+    o.concurrent_slots = 64;
+    o.incremental_residual = incremental;
+    o.num_workers = nworkers;
+    o.matrix_name = p.name;
+    const Vector b = bench::unit_rhs(p.matrix.rows());
+    BlockAsyncResult res;
+    const double sec = time_best_of(
+        repeats, [&] { res = block_async_solve(p.matrix, b, o); });
+    rows.push_back({p.name, label, sec, res.solve.iterations,
+                    res.solve.final_residual, res.solve.converged});
+    return res;
+  };
+
+  for (const PaperMatrix which : suite) {
+    const TestProblem p = make_paper_problem(which);
+    run_async(p, 1, false, 0, "async-(1)");
+    run_async(p, 5, false, 0, "async-(5)");
+    run_async(p, 1, true, 0, "async-(1)+incremental-residual");
+
+    ThreadAsyncOptions to;
+    to.solve.max_iters = iters;
+    to.solve.tol = 1e-12;
+    to.block_size = 256;
+    to.num_threads = workers;
+    const Vector b = bench::unit_rhs(p.matrix.rows());
+    ThreadAsyncResult tres;
+    const double sec = time_best_of(
+        repeats, [&] { tres = thread_async_solve(p.matrix, b, to); });
+    rows.push_back({p.name, "thread-async", sec, tres.solve.iterations,
+                    tres.solve.final_residual, tres.solve.converged});
+  }
+
+  // Parallel-commit scaling + bit-identity check on the largest system:
+  // under kRoundRobin the parallel path must reproduce the serial
+  // iterate exactly, so any speedup is free of result drift.
+  const TestProblem big = make_paper_problem(PaperMatrix::kTrefethen20000);
+  const Vector bb = bench::unit_rhs(big.matrix.rows());
+  BlockAsyncOptions po;
+  po.solve.max_iters = iters;
+  po.solve.tol = 1e-12;
+  po.solve.record_history = true;
+  po.block_size = 256;
+  po.local_iters = 5;
+  po.policy = gpusim::SchedulePolicy::kRoundRobin;
+  po.concurrent_slots = 128;
+  po.matrix_name = big.name;
+  BlockAsyncResult serial_res, par_res;
+  po.num_workers = 0;
+  const double serial_sec = time_best_of(
+      repeats, [&] { serial_res = block_async_solve(big.matrix, bb, po); });
+  po.num_workers = workers;
+  const double par_sec = time_best_of(
+      repeats, [&] { par_res = block_async_solve(big.matrix, bb, po); });
+  const bool identical =
+      serial_res.solve.x == par_res.solve.x &&
+      serial_res.solve.residual_history == par_res.solve.residual_history;
+  const double speedup = par_sec > 0.0 ? serial_sec / par_sec : 0.0;
+
+  report::Table t({"matrix", "config", "wall [s]", "iters", "residual"});
+  for (const Row& r : rows) {
+    t.add_row({r.matrix, r.config, report::fmt_fixed(r.seconds, 4),
+               report::fmt_int(r.iterations),
+               report::fmt_sci(r.final_residual)});
+  }
+  t.print(std::cout);
+  std::cout << "\nparallel commit (" << big.name << ", "
+            << workers << " workers): serial "
+            << report::fmt_fixed(serial_sec, 4) << " s, parallel "
+            << report::fmt_fixed(par_sec, 4) << " s, speedup "
+            << report::fmt_fixed(speedup, 2) << "x, bit-identical: "
+            << (identical ? "yes" : "NO") << "\n"
+            << "(hardware threads: " << hw
+            << "; speedup requires a multi-core host)\n";
+
+  std::ofstream js(out_path);
+  js << "{\n  \"schema\": \"bars-perf-v1\",\n"
+     << "  \"hardware_threads\": " << hw << ",\n"
+     << "  \"repeats\": " << repeats << ",\n"
+     << "  \"global_iteration_budget\": " << iters << ",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    js << "    {\"matrix\": \"" << json_escape(r.matrix)
+       << "\", \"config\": \"" << json_escape(r.config)
+       << "\", \"wall_seconds\": " << r.seconds
+       << ", \"iterations\": " << r.iterations
+       << ", \"final_residual\": " << r.final_residual
+       << ", \"converged\": " << (r.converged ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n"
+     << "  \"parallel_commit\": {\"matrix\": \"" << json_escape(big.name)
+     << "\", \"workers\": " << workers
+     << ", \"serial_seconds\": " << serial_sec
+     << ", \"parallel_seconds\": " << par_sec
+     << ", \"speedup\": " << speedup
+     << ", \"bit_identical\": " << (identical ? "true" : "false")
+     << "}\n}\n";
+  js.close();
+  std::cout << "\nwrote " << out_path << "\n";
+  return identical ? 0 : 1;
+}

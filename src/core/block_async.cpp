@@ -1,8 +1,10 @@
 #include "core/block_async.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
+#include "gpusim/incremental_residual.hpp"
 #include "sparse/vector_ops.hpp"
 
 namespace bars {
@@ -78,6 +80,13 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
   exec.fault = opts.fault;
   exec.scenario = opts.scenario;
   exec.resilience = opts.resilience;
+  exec.num_workers = opts.num_workers;
+  exec.residual_refresh_every = opts.residual_refresh_every;
+  std::optional<gpusim::IncrementalResidual> tracker;
+  if (opts.incremental_residual && !opts.resilience) {
+    tracker.emplace(a, b, part);
+    exec.residual_tracker = &*tracker;
+  }
 
   BlockAsyncResult out;
   out.solve.x = x0 ? *x0 : Vector(b.size(), 0.0);

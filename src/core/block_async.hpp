@@ -56,6 +56,17 @@ struct BlockAsyncOptions {
   /// watchdog supervision (see docs/RESILIENCE.md).
   std::optional<resilience::Policy> resilience{};
 
+  /// > 1 runs same-virtual-time block commits concurrently on a worker
+  /// pool (bit-identical results; see gpusim::ExecutorOptions). 0 or 1
+  /// keeps the serial event loop.
+  index_t num_workers = 0;
+  /// Maintain the residual incrementally per block commit instead of a
+  /// full SpMV each global iteration (see incremental_residual.hpp).
+  /// Automatically disabled when a resilience policy is active.
+  bool incremental_residual = false;
+  /// Exact O(nnz) re-anchor cadence for the incremental residual.
+  index_t residual_refresh_every = 25;
+
   /// Matrix name for the cost model's calibration lookup; empty uses
   /// the generic formula.
   std::string matrix_name;

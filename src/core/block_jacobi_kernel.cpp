@@ -83,6 +83,12 @@ BlockJacobiKernel::BlockJacobiKernel(const Csr& a, const Vector& b,
       blk.lrow_ptr.push_back(static_cast<index_t>(blk.lcol.size()));
       blk.grow_ptr.push_back(static_cast<index_t>(blk.gcol.size()));
     }
+
+    // Size the sweep scratch once; update() never allocates.
+    const std::size_t m = static_cast<std::size_t>(blk.work_hi - blk.work_lo);
+    blk.scratch_s.resize(m);
+    blk.scratch_a.resize(m);
+    blk.scratch_b.resize(m);
   }
 }
 
@@ -129,42 +135,61 @@ void BlockJacobiKernel::update(index_t block,
                                const gpusim::ExecContext& ctx) const {
   const BlockData& blk = blocks_[static_cast<std::size_t>(block)];
   const index_t m = blk.work_hi - blk.work_lo;
-
-  // s_i = b_i - (global part), frozen for all local sweeps (Eq. 4).
-  Vector s(static_cast<std::size_t>(m));
-  for (index_t li = 0; li < m; ++li) {
-    value_t acc = b_[blk.work_lo + li];
-    for (index_t k = blk.grow_ptr[li]; k < blk.grow_ptr[li + 1]; ++k) {
-      acc -= blk.gval[k] * halo_values[blk.gcol[k]];
-    }
-    s[li] = acc;
-  }
-
-  // Local iterate, seeded with the current values of the working range
-  // (owned rows plus overlap rows, the latter read at update time).
-  Vector xl(x.begin() + blk.work_lo, x.begin() + blk.work_hi);
-  Vector xn(xl);
-
   const index_t sweeps = block_local_iters(block);
-  for (index_t sweep = 0; sweep < sweeps; ++sweep) {
-    if (sweep_ == LocalSweep::kJacobi) {
-      for (index_t li = 0; li < m; ++li) {
-        value_t acc = s[li];
-        for (index_t k = blk.lrow_ptr[li]; k < blk.lrow_ptr[li + 1]; ++k) {
-          acc -= blk.lval[k] * xl[blk.lcol[k]];
-        }
-        const value_t upd = acc / blk.diag[li];
-        xn[li] = (1.0 - omega_) * xl[li] + omega_ * upd;
+
+  // First sweep, fused: the frozen s_i = b_i - (global part) of Eq. 4
+  // is folded into the same accumulator chain as the local part, so
+  // async-(1) makes a single pass with no staging array. s_i is spilled
+  // to scratch only when later sweeps will need it. All buffers are
+  // per-block scratch sized at construction — no heap allocation here.
+  value_t* s = blk.scratch_s.data();
+  value_t* cur = blk.scratch_a.data();
+  value_t* nxt = blk.scratch_b.data();
+  const value_t* xw = x.data() + blk.work_lo;  // working range, old values
+
+  if (sweep_ == LocalSweep::kJacobi) {
+    for (index_t li = 0; li < m; ++li) {
+      value_t acc = b_[blk.work_lo + li];
+      for (index_t k = blk.grow_ptr[li]; k < blk.grow_ptr[li + 1]; ++k) {
+        acc -= blk.gval[k] * halo_values[blk.gcol[k]];
       }
-      std::swap(xl, xn);
-    } else {
+      if (sweeps > 1) s[li] = acc;
+      for (index_t k = blk.lrow_ptr[li]; k < blk.lrow_ptr[li + 1]; ++k) {
+        acc -= blk.lval[k] * xw[blk.lcol[k]];
+      }
+      cur[li] = (1.0 - omega_) * xw[li] + omega_ * (acc / blk.diag[li]);
+    }
+    for (index_t sweep = 1; sweep < sweeps; ++sweep) {
       for (index_t li = 0; li < m; ++li) {
         value_t acc = s[li];
         for (index_t k = blk.lrow_ptr[li]; k < blk.lrow_ptr[li + 1]; ++k) {
-          acc -= blk.lval[k] * xl[blk.lcol[k]];
+          acc -= blk.lval[k] * cur[blk.lcol[k]];
         }
-        const value_t upd = acc / blk.diag[li];
-        xl[li] = (1.0 - omega_) * xl[li] + omega_ * upd;
+        nxt[li] = (1.0 - omega_) * cur[li] + omega_ * (acc / blk.diag[li]);
+      }
+      std::swap(cur, nxt);
+    }
+  } else {
+    // Gauss-Seidel sweeps are in place, so seed the iterate first.
+    std::copy(xw, xw + m, cur);
+    for (index_t li = 0; li < m; ++li) {
+      value_t acc = b_[blk.work_lo + li];
+      for (index_t k = blk.grow_ptr[li]; k < blk.grow_ptr[li + 1]; ++k) {
+        acc -= blk.gval[k] * halo_values[blk.gcol[k]];
+      }
+      if (sweeps > 1) s[li] = acc;
+      for (index_t k = blk.lrow_ptr[li]; k < blk.lrow_ptr[li + 1]; ++k) {
+        acc -= blk.lval[k] * cur[blk.lcol[k]];
+      }
+      cur[li] = (1.0 - omega_) * cur[li] + omega_ * (acc / blk.diag[li]);
+    }
+    for (index_t sweep = 1; sweep < sweeps; ++sweep) {
+      for (index_t li = 0; li < m; ++li) {
+        value_t acc = s[li];
+        for (index_t k = blk.lrow_ptr[li]; k < blk.lrow_ptr[li + 1]; ++k) {
+          acc -= blk.lval[k] * cur[blk.lcol[k]];
+        }
+        cur[li] = (1.0 - omega_) * cur[li] + omega_ * (acc / blk.diag[li]);
       }
     }
   }
@@ -175,7 +200,7 @@ void BlockJacobiKernel::update(index_t block,
   const std::vector<std::uint8_t>* mask = ctx.failed_components;
   for (index_t gi = blk.lo; gi < blk.hi; ++gi) {
     if (mask && (*mask)[gi]) continue;
-    x[gi] = xl[gi - blk.work_lo];
+    x[gi] = cur[gi - blk.work_lo];
   }
 }
 

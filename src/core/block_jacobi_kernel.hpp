@@ -49,6 +49,14 @@ class BlockJacobiKernel final : public gpusim::BlockKernel {
               std::span<value_t> x,
               const gpusim::ExecContext& ctx) const override;
 
+  /// Without overlap an update touches only its owned rows, so the
+  /// executor may run distinct blocks concurrently (the per-block
+  /// scratch buffers keep that race-free). Overlapping subdomains read
+  /// neighbor rows of x at update time and must stay serialized.
+  [[nodiscard]] bool parallel_commit_safe() const override {
+    return overlap_ == 0;
+  }
+
   [[nodiscard]] index_t local_iters() const noexcept { return local_iters_; }
   [[nodiscard]] const RowPartition& partition() const noexcept {
     return partition_;
@@ -84,6 +92,15 @@ class BlockJacobiKernel final : public gpusim::BlockKernel {
     std::vector<value_t> gval;
 
     std::vector<value_t> diag;  ///< a_ii per local row
+
+    // Reusable sweep buffers, sized to the working range at
+    // construction so update() performs no per-visit heap allocation.
+    // `mutable` because update() is logically const; safe under
+    // concurrent updates of *distinct* blocks (each block only ever
+    // touches its own scratch).
+    mutable std::vector<value_t> scratch_s;   ///< frozen s_i (Eq. 4)
+    mutable std::vector<value_t> scratch_a;   ///< sweep iterate
+    mutable std::vector<value_t> scratch_b;   ///< Jacobi double buffer
   };
 
   const Vector& b_;

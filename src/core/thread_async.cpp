@@ -30,10 +30,9 @@ class AtomicVector {
   void store(std::size_t i, value_t v) {
     data_[i].store(v, std::memory_order_relaxed);
   }
-  [[nodiscard]] Vector snapshot() const {
-    Vector out(n_);
+  void snapshot_into(Vector& out) const {
+    out.resize(n_);
     for (std::size_t i = 0; i < n_; ++i) out[i] = load(i);
-    return out;
   }
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
@@ -73,6 +72,12 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
   std::vector<std::atomic<index_t>> exec_counts(
       static_cast<std::size_t>(q));
   for (auto& c : exec_counts) c.store(0, std::memory_order_relaxed);
+  // Completed stride passes per worker. A worker touches each of its
+  // blocks once per pass, so min over workers bounds min over blocks
+  // from below — the monitor polls `threads` atomics instead of q.
+  std::vector<std::atomic<index_t>> pass_counts(
+      static_cast<std::size_t>(threads));
+  for (auto& c : pass_counts) c.store(0, std::memory_order_relaxed);
 
   const auto worker = [&](index_t tid) {
     Vector halo_vals;
@@ -99,6 +104,7 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
         executions.fetch_add(1, std::memory_order_relaxed);
         if (stop.load(std::memory_order_relaxed)) return;
       }
+      pass_counts[tid].fetch_add(1, std::memory_order_relaxed);
       // Give other workers a chance on oversubscribed machines so that
       // no block starves (Chazan-Miranker condition 1).
       std::this_thread::yield();
@@ -111,46 +117,53 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
 
   const value_t nb = norm2(b);
   const value_t den = nb > 0.0 ? nb : 1.0;
+  // Monitor scratch, allocated once: the poll loop below must not heap-
+  // allocate per check (it runs every ~50us while workers iterate).
+  Vector snap(b.size());
+  Vector rbuf(b.size());
   const auto residual_of = [&](const Vector& xv) {
-    Vector r(b.size());
-    a.residual(b, xv, r);
-    return norm2(r) / den;
+    a.residual(b, xv, rbuf);
+    return norm2(rbuf) / den;
   };
 
   SolveResult& sr = out.solve;
   {
-    const Vector snap = x.snapshot();
+    x.snapshot_into(snap);
     const value_t rel = residual_of(snap);
     if (opts.solve.record_history) sr.residual_history.push_back(rel);
     sr.final_residual = rel;
   }
   // A "global iteration" completes when *every* block has executed at
-  // least once more (min over blocks) — this is the paper's counting
-  // convention and is robust against worker starvation on
-  // oversubscribed machines.
+  // least once more — the paper's counting convention, robust against
+  // worker starvation on oversubscribed machines. Polled as the min
+  // over per-worker pass counters (O(threads), not O(q)): a completed
+  // pass means every block of that worker's stride set ran once more.
   const auto min_generation = [&]() {
-    index_t mn = exec_counts[0].load(std::memory_order_relaxed);
-    for (index_t blk = 1; blk < q; ++blk) {
-      mn = std::min(mn, exec_counts[blk].load(std::memory_order_relaxed));
+    index_t mn = pass_counts[0].load(std::memory_order_relaxed);
+    for (index_t t = 1; t < threads; ++t) {
+      mn = std::min(mn, pass_counts[t].load(std::memory_order_relaxed));
     }
     return mn;
   };
+  bool verdict_on_snap = false;
   while (true) {
     if (min_generation() <= sr.iterations) {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
       continue;
     }
     ++sr.iterations;
-    const Vector snap = x.snapshot();
+    x.snapshot_into(snap);
     const value_t rel = residual_of(snap);
     if (opts.solve.record_history) sr.residual_history.push_back(rel);
     sr.final_residual = rel;
     if (rel <= opts.solve.tol) {
       sr.converged = true;
+      verdict_on_snap = true;
       break;
     }
     if (!std::isfinite(rel) || rel > opts.solve.divergence_limit) {
       sr.diverged = true;
+      verdict_on_snap = true;
       break;
     }
     if (sr.iterations >= opts.solve.max_iters) break;
@@ -158,9 +171,17 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : pool) t.join();
 
-  sr.x = x.snapshot();
-  sr.final_residual = residual_of(sr.x);
-  if (sr.final_residual <= opts.solve.tol) sr.converged = true;
+  if (verdict_on_snap) {
+    // The verdict was rendered on `snap`; returning that very iterate
+    // keeps x and final_residual consistent and skips a recompute.
+    sr.x = std::move(snap);
+  } else {
+    // Iteration limit: workers kept running until the join, so report
+    // the freshest iterate and its residual.
+    x.snapshot_into(sr.x);
+    sr.final_residual = residual_of(sr.x);
+    if (sr.final_residual <= opts.solve.tol) sr.converged = true;
+  }
   out.block_executions.resize(static_cast<std::size_t>(q));
   for (index_t blk = 0; blk < q; ++blk) {
     out.block_executions[blk] =

@@ -8,7 +8,9 @@
 #include <queue>
 #include <stdexcept>
 
+#include "gpusim/incremental_residual.hpp"
 #include "gpusim/stopping.hpp"
+#include "gpusim/worker_pool.hpp"
 #include "stats/rng.hpp"
 
 namespace bars::gpusim {
@@ -31,6 +33,32 @@ struct EventLater {
   }
 };
 
+/// Incremental minimum over the per-block write generations.
+/// `on_write(b)` (called after the increment) is O(1) except when the
+/// minimum advances — which takes all q blocks writing once — so the
+/// rescan amortizes to O(1) per write, replacing the former O(q) scan
+/// in every try_start() and a full-history scan per gate check.
+class MinGenTracker {
+ public:
+  explicit MinGenTracker(const std::vector<index_t>& gen)
+      : gen_(gen), at_min_(static_cast<index_t>(gen.size())) {}
+
+  void on_write(index_t b) {
+    if (gen_[static_cast<std::size_t>(b)] - 1 != min_gen_) return;
+    if (--at_min_ > 0) return;
+    min_gen_ = *std::min_element(gen_.begin(), gen_.end());
+    at_min_ = static_cast<index_t>(
+        std::count(gen_.begin(), gen_.end(), min_gen_));
+  }
+
+  [[nodiscard]] index_t min() const { return min_gen_; }
+
+ private:
+  const std::vector<index_t>& gen_;
+  index_t min_gen_ = 0;
+  index_t at_min_;
+};
+
 }  // namespace
 
 AsyncExecutor::AsyncExecutor(const BlockKernel& kernel, ExecutorOptions opts)
@@ -42,7 +70,12 @@ AsyncExecutor::AsyncExecutor(const BlockKernel& kernel, ExecutorOptions opts)
     throw std::invalid_argument(
         "AsyncExecutor: global_iteration_time must be > 0");
   }
+  if (opts_.num_workers < 0) {
+    throw std::invalid_argument("AsyncExecutor: num_workers must be >= 0");
+  }
 }
+
+AsyncExecutor::~AsyncExecutor() = default;
 
 ExecutorResult AsyncExecutor::run(
     Vector& x, const std::function<value_t(const Vector&)>& residual_fn) {
@@ -76,12 +109,40 @@ ExecutorResult AsyncExecutor::run(
     timeline.emplace(to_scenario(*opts_.fault), n);
   }
 
+  // Incremental residual path: active only when nothing rewrites the
+  // iterate behind the tracker's back (resilience rollbacks do).
+  IncrementalResidual* tracker =
+      (opts_.residual_tracker && !opts_.resilience) ? opts_.residual_tracker
+                                                    : nullptr;
+  const index_t refresh_every =
+      std::max<index_t>(opts_.residual_refresh_every, 1);
+  index_t checks_since_exact = 0;
+  index_t total_checks = 0;
+  const auto monitor_fn = [&](const Vector& xv) -> value_t {
+    if (!tracker) return residual_fn(xv);
+    ++checks_since_exact;
+    ++total_checks;
+    if (checks_since_exact < refresh_every &&
+        total_checks < opts_.max_global_iters) {
+      const value_t est = tracker->relative();
+      // Only a certified-exact value may drive a stopping verdict.
+      if (std::isfinite(est) && est > opts_.tol &&
+          est <= opts_.divergence_limit) {
+        return est;
+      }
+    }
+    tracker->reset(xv);
+    checks_since_exact = 0;
+    return tracker->relative();  // bit-identical to residual_fn here
+  };
+
   IterationMonitor monitor(
       StoppingCriteria{opts_.max_global_iters, opts_.tol,
                        opts_.divergence_limit},
       opts_.resilience ? &*opts_.resilience : nullptr,
       timeline ? &*timeline : nullptr, q);
   monitor.record_initial(residual_fn(x));
+  if (tracker) tracker->reset(x);
 
   // Per-block halo snapshot captured at READ, consumed at WRITE.
   std::vector<Vector> halo_snapshot(static_cast<std::size_t>(q));
@@ -89,31 +150,22 @@ ExecutorResult AsyncExecutor::run(
       opts_.record_trace ? static_cast<std::size_t>(q) : 0);
   // Generation bookkeeping for the staleness diagnostic.
   std::vector<index_t> write_generation(static_cast<std::size_t>(q), 0);
-  std::vector<std::vector<index_t>> halo_sources(
-      static_cast<std::size_t>(q));
+  MinGenTracker gen_tracker(write_generation);
+
+  // O(1) row -> owning block table; kills the former O(halo * q)
+  // owner scan when assembling the staleness diagnostic's halo-source
+  // lists (and any per-row owner query below).
+  std::vector<index_t> owner(static_cast<std::size_t>(n), -1);
+  for (index_t s = 0; s < q; ++s) {
+    const auto [lo, hi] = kernel_.rows(s);
+    for (index_t i = lo; i < hi; ++i) owner[static_cast<std::size_t>(i)] = s;
+  }
+  std::vector<std::vector<index_t>> halo_sources(static_cast<std::size_t>(q));
   for (index_t b = 0; b < q; ++b) {
     std::vector<index_t>& src = halo_sources[b];
-    index_t prev = -1;
     for (index_t gi : kernel_.halo(b)) {
-      // Identify the owning block by scanning block ranges lazily; halos
-      // are sorted so consecutive indices usually share a block.
-      if (prev >= 0 && gi >= kernel_.rows(prev).first &&
-          gi < kernel_.rows(prev).second) {
-        continue;
-      }
-      index_t owner = -1;
-      for (index_t s = 0; s < q; ++s) {
-        const auto [lo, hi] = kernel_.rows(s);
-        if (gi >= lo && gi < hi) {
-          owner = s;
-          break;
-        }
-      }
-      if (owner >= 0 && owner != b &&
-          (src.empty() || src.back() != owner)) {
-        src.push_back(owner);
-      }
-      prev = owner;
+      const index_t o = owner[static_cast<std::size_t>(gi)];
+      if (o >= 0 && o != b) src.push_back(o);
     }
     std::sort(src.begin(), src.end());
     src.erase(std::unique(src.begin(), src.end()), src.end());
@@ -167,8 +219,7 @@ ExecutorResult AsyncExecutor::run(
   // Bounded-shift gate: blocks more than max_generation_skew ahead of
   // the slowest block wait (their slot idles until the laggard writes).
   const auto try_start = [&]() {
-    index_t min_gen = write_generation.empty() ? 0 : write_generation[0];
-    for (index_t g : write_generation) min_gen = std::min(min_gen, g);
+    const index_t min_gen = gen_tracker.min();
     std::deque<index_t> deferred;
     while (busy_slots < slots && !ready.empty()) {
       const index_t b = ready.front();
@@ -190,7 +241,71 @@ ExecutorResult AsyncExecutor::run(
   index_t global_iter = 0;
   if (timeline) timeline->advance(0);
 
-  while (!events.empty()) {
+  // --- Parallel commit path -------------------------------------------
+  // All WRITE events at one virtual time update disjoint owned row
+  // ranges from already-frozen halo snapshots, so their kernel calls
+  // are independent and run concurrently; the bookkeeping (trace,
+  // counters, monitor boundaries, scheduling) is then replayed in
+  // deterministic event order, making the result bit-identical to the
+  // serial loop. Fault timelines and resilience policies may change
+  // fault masks or rewrite x at iteration boundaries *inside* a batch,
+  // so they force the serial path.
+  const bool can_batch = opts_.num_workers > 1 &&
+                         kernel_.parallel_commit_safe() && !timeline &&
+                         !opts_.resilience;
+  if (can_batch && !pool_) {
+    pool_ = std::make_unique<WorkerPool>(opts_.num_workers);
+  }
+  // Pre-/post-commit values of each block's owned rows, reused across
+  // visits: saved_rows is the "old" side of the incremental residual
+  // delta; new_rows stages parallel results so batched commits land in
+  // x one member at a time, in event order.
+  std::vector<Vector> saved_rows(static_cast<std::size_t>(q));
+  std::vector<Vector> new_rows(can_batch ? static_cast<std::size_t>(q) : 0);
+  const auto save_rows = [&](index_t b) -> Vector& {
+    const auto [lo, hi] = kernel_.rows(b);
+    Vector& old = saved_rows[static_cast<std::size_t>(b)];
+    old.resize(static_cast<std::size_t>(hi - lo));
+    std::copy(x.begin() + lo, x.begin() + hi, old.begin());
+    return old;
+  };
+
+  bool stopped = false;
+  // Commit bookkeeping for one WRITE (the kernel update itself already
+  // ran). Mirrors the serial order exactly: trace, counters, requeue,
+  // then the global-iteration boundary, then slot refill.
+  const auto commit_write = [&](index_t b) {
+    if (opts_.record_trace) res.trace.record(pending_trace[b]);
+    ++res.block_executions[b];
+    ++write_generation[b];
+    gen_tracker.on_write(b);
+    ++total_writes;
+    --busy_slots;
+    requeue(b);
+    if (tracker) {
+      const auto [lo, hi] = kernel_.rows(b);
+      tracker->block_committed(
+          b, saved_rows[static_cast<std::size_t>(b)],
+          std::span<const value_t>(x).subspan(
+              static_cast<std::size_t>(lo), static_cast<std::size_t>(hi - lo)));
+    }
+    if (total_writes % q == 0) {
+      ++global_iter;
+      const StopVerdict verdict = monitor.on_global_iteration(
+          global_iter, now, x, monitor_fn, res.block_executions);
+      if (verdict != StopVerdict::kContinue) {
+        res.converged = verdict == StopVerdict::kConverged;
+        res.diverged = verdict == StopVerdict::kDiverged;
+        stopped = true;
+        return;
+      }
+    }
+    try_start();
+  };
+
+  std::vector<Event> batch;
+
+  while (!events.empty() && !stopped) {
     const Event ev = events.top();
     events.pop();
     now = ev.time;
@@ -227,29 +342,56 @@ ExecutorResult AsyncExecutor::run(
     }
 
     // WRITE: commit the block update.
+    if (can_batch) {
+      batch.clear();
+      batch.push_back(ev);
+      while (!events.empty() && events.top().kind == EventKind::kWrite &&
+             events.top().time == ev.time) {
+        batch.push_back(events.top());
+        events.pop();
+      }
+      if (batch.size() > 1) {
+        // Batch members are distinct blocks (a block has at most one
+        // execution in flight), so updates write disjoint rows of x
+        // and per-block kernel scratch never collides. Each task then
+        // stages its result and restores its rows, leaving x in the
+        // pre-batch state: the replay below commits one member at a
+        // time so every monitor check (and any mid-batch stop) sees
+        // exactly the x the serial loop would have.
+        pool_->run(
+            static_cast<index_t>(batch.size()),
+            [&](index_t i, index_t /*worker*/) {
+              const index_t blk = batch[static_cast<std::size_t>(i)].block;
+              const Vector& old = save_rows(blk);
+              ExecContext ctx;
+              ctx.virtual_time = now;
+              ctx.block_generation = res.block_executions[blk];
+              kernel_.update(blk, halo_snapshot[blk], x, ctx);
+              const auto [lo, hi] = kernel_.rows(blk);
+              Vector& fresh = new_rows[static_cast<std::size_t>(blk)];
+              fresh.resize(static_cast<std::size_t>(hi - lo));
+              std::copy(x.begin() + lo, x.begin() + hi, fresh.begin());
+              std::copy(old.begin(), old.end(), x.begin() + lo);
+            });
+        for (const Event& bev : batch) {
+          if (stopped) break;  // serial would never reach these WRITEs
+          const auto [lo, hi] = kernel_.rows(bev.block);
+          const Vector& fresh = new_rows[static_cast<std::size_t>(bev.block)];
+          std::copy(fresh.begin(), fresh.end(), x.begin() + lo);
+          commit_write(bev.block);
+        }
+        continue;
+      }
+      // Fall through: a batch of one is just the serial case.
+    }
+
+    if (tracker) save_rows(b);
     ExecContext ctx;
     ctx.virtual_time = now;
     ctx.block_generation = res.block_executions[b];
     ctx.failed_components = timeline ? timeline->component_mask() : nullptr;
     kernel_.update(b, halo_snapshot[b], x, ctx);
-    if (opts_.record_trace) res.trace.record(pending_trace[b]);
-    ++res.block_executions[b];
-    ++write_generation[b];
-    ++total_writes;
-    --busy_slots;
-    requeue(b);
-
-    if (total_writes % q == 0) {
-      ++global_iter;
-      const StopVerdict verdict = monitor.on_global_iteration(
-          global_iter, now, x, residual_fn, res.block_executions);
-      if (verdict != StopVerdict::kContinue) {
-        res.converged = verdict == StopVerdict::kConverged;
-        res.diverged = verdict == StopVerdict::kDiverged;
-        break;
-      }
-    }
-    try_start();
+    commit_write(b);
   }
 
   res.global_iterations = global_iter;

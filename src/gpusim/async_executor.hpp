@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "gpusim/block_kernel.hpp"
@@ -25,6 +26,9 @@
 /// GPU-internal scheduling the paper studies in Section 4.1.
 
 namespace bars::gpusim {
+
+class IncrementalResidual;
+class WorkerPool;
 
 /// How the device orders ready blocks.
 enum class SchedulePolicy {
@@ -87,6 +91,28 @@ struct ExecutorOptions {
   /// Active recovery: checkpoint/rollback, online SDC detection,
   /// watchdog supervision. Unset = plain run (legacy behavior).
   std::optional<resilience::Policy> resilience;
+
+  /// > 1 enables the parallel commit path: all WRITE events that fall
+  /// at the same virtual time are executed concurrently on a reusable
+  /// worker pool (their owned row ranges are disjoint) and committed
+  /// in deterministic event order, so results — iterate, histories,
+  /// trace — are bit-identical to the serial path. Requires
+  /// kernel.parallel_commit_safe(); fault timelines and resilience
+  /// policies automatically fall back to serial commits because their
+  /// iteration boundaries may mutate state mid-batch. 0 or 1 = serial.
+  index_t num_workers = 0;
+
+  /// Non-owning incremental residual tracker (see
+  /// incremental_residual.hpp). When set — and no resilience policy is
+  /// active, since rollbacks rewrite the iterate behind the tracker's
+  /// back — the iteration monitor consumes the incrementally
+  /// maintained relative residual instead of recomputing a full SpMV
+  /// each global iteration. An exact recompute re-anchors the tracker
+  /// every `residual_refresh_every` iterations, at the iteration
+  /// limit, and before any convergence/divergence verdict, bounding
+  /// the floating-point drift of recorded history entries.
+  IncrementalResidual* residual_tracker = nullptr;
+  index_t residual_refresh_every = 25;
 };
 
 struct ExecutorResult {
@@ -118,15 +144,20 @@ struct ExecutorResult {
 class AsyncExecutor {
  public:
   AsyncExecutor(const BlockKernel& kernel, ExecutorOptions opts);
+  ~AsyncExecutor();
 
-  /// Iterate on x in place. residual_fn is called once per global
-  /// iteration with the current iterate.
+  /// Iterate on x in place. residual_fn is called at most once per
+  /// global iteration with the current iterate (with an incremental
+  /// residual tracker configured, only at exact-recompute boundaries).
   ExecutorResult run(Vector& x,
                      const std::function<value_t(const Vector&)>& residual_fn);
 
  private:
   const BlockKernel& kernel_;
   ExecutorOptions opts_;
+  /// Lazily created on the first parallel run(), then reused across
+  /// runs so repeated solves pay thread spawn-up only once.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace bars::gpusim

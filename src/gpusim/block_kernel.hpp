@@ -52,6 +52,17 @@ class BlockKernel {
   /// Perform the block update in place on x (own rows only).
   virtual void update(index_t block, std::span<const value_t> halo_values,
                       std::span<value_t> x, const ExecContext& ctx) const = 0;
+
+  /// True when update(b, ...) honors the contract above to the letter:
+  /// besides `halo_values` it reads and writes only rows owned by
+  /// block b. The executor then runs same-virtual-time updates of
+  /// distinct blocks concurrently (their row ranges are disjoint).
+  /// Kernels that read x outside their owned rows — e.g. overlapping
+  /// subdomains seeding from neighbor rows at update time — must
+  /// return false, which serializes commits. Implementations returning
+  /// true must also tolerate concurrent update() calls for *distinct*
+  /// blocks (per-block mutable scratch is fine, shared scratch is not).
+  [[nodiscard]] virtual bool parallel_commit_safe() const { return true; }
 };
 
 }  // namespace bars::gpusim

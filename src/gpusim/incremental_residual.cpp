@@ -1,0 +1,82 @@
+#include "gpusim/incremental_residual.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/vector_ops.hpp"
+
+namespace bars::gpusim {
+
+IncrementalResidual::IncrementalResidual(const Csr& a, const Vector& b,
+                                         const RowPartition& partition)
+    : a_(a), b_(b) {
+  const index_t n = a.rows();
+  if (a.rows() != a.cols() || static_cast<index_t>(b.size()) != n ||
+      partition.total_rows() != n) {
+    throw std::invalid_argument("IncrementalResidual: size mismatch");
+  }
+  const index_t q = partition.num_blocks();
+  row_owner_ = partition.owner_table();
+  block_lo_.resize(static_cast<std::size_t>(q));
+  for (index_t blk = 0; blk < q; ++blk) {
+    block_lo_[static_cast<std::size_t>(blk)] = partition.block(blk).begin;
+  }
+
+  // Build the per-block column slices in one sweep over A. Rows arrive
+  // in ascending order, so each slice's row runs come out sorted.
+  slices_.resize(static_cast<std::size_t>(q));
+  for (auto& s : slices_) s.ptr.push_back(0);
+  for (index_t i = 0; i < n; ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const index_t j = cols[k];
+      Slice& s = slices_[static_cast<std::size_t>(row_owner_[j])];
+      if (s.rows.empty() || s.rows.back() != i) {
+        if (!s.rows.empty()) s.ptr.push_back(static_cast<index_t>(s.col.size()));
+        s.rows.push_back(i);
+      }
+      s.col.push_back(j - block_lo_[static_cast<std::size_t>(row_owner_[j])]);
+      s.val.push_back(vals[k]);
+    }
+  }
+  for (auto& s : slices_) s.ptr.push_back(static_cast<index_t>(s.col.size()));
+
+  r_.assign(static_cast<std::size_t>(n), 0.0);
+  contrib_.assign(static_cast<std::size_t>(q), 0.0);
+  const value_t nb = norm2(b_);
+  den_ = nb > 0.0 ? nb : 1.0;
+}
+
+void IncrementalResidual::reset(std::span<const value_t> x) {
+  a_.residual(b_, x, r_);
+  std::fill(contrib_.begin(), contrib_.end(), 0.0);
+  for (std::size_t i = 0; i < r_.size(); ++i) {
+    contrib_[static_cast<std::size_t>(row_owner_[i])] += r_[i] * r_[i];
+  }
+}
+
+void IncrementalResidual::block_committed(index_t block,
+                                          std::span<const value_t> x_old,
+                                          std::span<const value_t> x_new) {
+  const Slice& s = slices_[static_cast<std::size_t>(block)];
+  const std::size_t runs = s.rows.size();
+  for (std::size_t k = 0; k < runs; ++k) {
+    const index_t i = s.rows[k];
+    value_t delta = 0.0;
+    for (index_t e = s.ptr[k]; e < s.ptr[k + 1]; ++e) {
+      const index_t c = s.col[e];
+      delta += s.val[e] * (x_new[static_cast<std::size_t>(c)] -
+                           x_old[static_cast<std::size_t>(c)]);
+    }
+    value_t& ri = r_[static_cast<std::size_t>(i)];
+    value_t& ci = contrib_[static_cast<std::size_t>(row_owner_[i])];
+    ci -= ri * ri;
+    ri -= delta;
+    ci += ri * ri;
+  }
+}
+
+value_t IncrementalResidual::norm() const { return norm2(r_); }
+
+}  // namespace bars::gpusim

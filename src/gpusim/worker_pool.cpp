@@ -1,0 +1,90 @@
+#include "gpusim/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace bars::gpusim {
+
+WorkerPool::WorkerPool(index_t threads)
+    : threads_(std::max<index_t>(threads, 1)) {
+  pool_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (index_t w = 1; w < threads_; ++w) {
+    pool_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+index_t WorkerPool::drain(const std::function<void(index_t, index_t)>* fn,
+                          index_t count, index_t worker) {
+  // A stale waker may arrive after its batch fully drained; the
+  // exhausted cursor then keeps it from ever dereferencing `fn`.
+  index_t executed = 0;
+  for (index_t task = next_.fetch_add(1, std::memory_order_relaxed);
+       task < count;
+       task = next_.fetch_add(1, std::memory_order_relaxed)) {
+    (*fn)(task, worker);
+    ++executed;
+  }
+  return executed;
+}
+
+void WorkerPool::worker_loop(index_t worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(index_t, index_t)>* fn = nullptr;
+    index_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      fn = fn_;
+      count = count_;
+      ++in_flight_;
+    }
+    const index_t executed = drain(fn, count, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ += executed;
+      --in_flight_;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(index_t count,
+                     const std::function<void(index_t, index_t)>& fn) {
+  if (count <= 0) return;
+  if (threads_ == 1 || count == 1) {
+    for (index_t task = 0; task < count; ++task) fn(task, 0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // A stale waker from the previous batch may still be draining the
+    // (exhausted) cursor; re-arming it now could hand that worker a
+    // fresh task with the old function. Wait for it to park first.
+    done_cv_.wait(lock, [&] { return in_flight_ == 0; });
+    fn_ = &fn;
+    count_ = count;
+    completed_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  const index_t executed = drain(&fn, count, /*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  completed_ += executed;
+  // All tasks done AND every pool worker parked again: only then is it
+  // safe for a subsequent run() to re-arm the shared cursor.
+  done_cv_.wait(lock, [&] { return completed_ >= count_ && in_flight_ == 0; });
+}
+
+}  // namespace bars::gpusim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+/// \file worker_pool.hpp
+/// A small reusable fork-join worker pool for the executor's parallel
+/// commit path. Threads are spawned once and reused across an arbitrary
+/// number of `run` batches, so the per-batch cost is one wake/sleep
+/// cycle instead of thread creation. The calling thread participates in
+/// the batch, so a pool constructed with `threads == t` applies `t`
+/// workers to every batch (t - 1 pool threads + the caller).
+
+namespace bars::gpusim {
+
+class WorkerPool {
+ public:
+  /// Total worker count applied to each batch (>= 1). `threads == 1`
+  /// degenerates to inline execution on the caller.
+  explicit WorkerPool(index_t threads);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Invoke fn(task, worker) for every task in [0, count), distributed
+  /// over the workers via an atomic cursor; blocks until all tasks are
+  /// done. `worker` is in [0, size()) and is stable within one batch,
+  /// so callers may index per-worker scratch by it. fn must not throw.
+  /// Not reentrant: one run() at a time per pool.
+  void run(index_t count, const std::function<void(index_t task,
+                                                   index_t worker)>& fn);
+
+  [[nodiscard]] index_t size() const noexcept { return threads_; }
+
+ private:
+  void worker_loop(index_t worker);
+  index_t drain(const std::function<void(index_t, index_t)>* fn,
+                index_t count, index_t worker);
+
+  index_t threads_;
+  std::vector<std::thread> pool_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped per batch (guarded by mu_)
+  bool shutdown_ = false;
+
+  const std::function<void(index_t, index_t)>* fn_ = nullptr;
+  index_t count_ = 0;          ///< tasks in the current batch (mu_)
+  index_t completed_ = 0;      ///< tasks finished in the batch (mu_)
+  index_t in_flight_ = 0;      ///< pool workers currently draining (mu_)
+  std::atomic<index_t> next_{0};  ///< lock-free task cursor
+};
+
+}  // namespace bars::gpusim

@@ -63,6 +63,16 @@ index_t RowPartition::block_of(index_t i) const {
   return static_cast<index_t>(it - boundaries_.begin()) - 1;
 }
 
+std::vector<index_t> RowPartition::owner_table() const {
+  std::vector<index_t> table(static_cast<std::size_t>(total_rows()));
+  for (index_t b = 0; b < num_blocks(); ++b) {
+    for (index_t i = boundaries_[b]; i < boundaries_[b + 1]; ++i) {
+      table[static_cast<std::size_t>(i)] = b;
+    }
+  }
+  return table;
+}
+
 std::vector<std::pair<index_t, index_t>> RowPartition::device_split(
     index_t devices) const {
   if (devices <= 0) {

@@ -46,6 +46,12 @@ class RowPartition {
   /// Which block owns row i. O(log num_blocks).
   [[nodiscard]] index_t block_of(index_t i) const;
 
+  /// Dense row -> owning-block lookup table (size total_rows()):
+  /// table[i] == block_of(i) with O(1) access. Built in O(n); callers
+  /// on a hot path (executor halo analysis, incremental residuals)
+  /// build it once instead of calling block_of per row.
+  [[nodiscard]] std::vector<index_t> owner_table() const;
+
   /// Group consecutive blocks into `devices` nearly-equal sets: returns,
   /// for each device, the half-open range of block ids it owns. Used for
   /// the multi-GPU decomposition (Section 3.4).

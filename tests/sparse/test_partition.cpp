@@ -87,5 +87,15 @@ TEST(RowPartition, BlockOutOfRangeThrows) {
   EXPECT_THROW((void)p.block(-1), std::out_of_range);
 }
 
+TEST(RowPartition, OwnerTableMatchesBlockRanges) {
+  const auto p = RowPartition::uniform(103, 7);  // uneven tail block
+  const auto owner = p.owner_table();
+  ASSERT_EQ(static_cast<index_t>(owner.size()), p.total_rows());
+  for (index_t blk = 0; blk < p.num_blocks(); ++blk) {
+    const RowBlock r = p.block(blk);
+    for (index_t i = r.begin; i < r.end; ++i) EXPECT_EQ(owner[i], blk);
+  }
+}
+
 }  // namespace
 }  // namespace bars
