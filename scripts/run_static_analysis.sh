@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Static-analysis tier: the exact sequence the gating CI job runs, so a
+# local `scripts/run_static_analysis.sh` reproduces CI verbatim.
+#
+#   1. bars_lint --strict     project linter (determinism, hot-noalloc,
+#                             raw-mutex/assert, hygiene)
+#   2. clang build            -Wthread-safety -Werror over the library
+#                             targets (BARS_ENABLE_STATIC_ANALYSIS=ON)
+#   3. clang-tidy             checks from .clang-tidy, gating
+#   4. cppcheck               warning/performance/portability, gating
+#
+# Tools that are not installed are SKIPped locally; pass --require-all
+# (CI does) to turn a missing tool into a failure. The analysis build
+# lives in build-sa/ (cached in CI).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUIRE_ALL=0
+for arg in "$@"; do
+  case "$arg" in
+    --require-all) REQUIRE_ALL=1 ;;
+    *) echo "usage: $0 [--require-all]" >&2; exit 2 ;;
+  esac
+done
+
+FAILED=0
+note()  { printf '\n== %s\n' "$*"; }
+skip()  {
+  if [[ "$REQUIRE_ALL" == 1 ]]; then
+    echo "MISSING (required): $*" >&2; FAILED=1
+  else
+    echo "SKIP: $* not installed"
+  fi
+}
+
+# --- 1. project linter --------------------------------------------------
+note "bars_lint --strict src"
+python3 tools/bars_lint.py --strict src
+
+# --- 2. clang -Wthread-safety build ------------------------------------
+CLANGXX="${CLANGXX:-clang++}"
+if command -v "$CLANGXX" >/dev/null 2>&1; then
+  note "clang -Wthread-safety -Werror build (build-sa/)"
+  # Library targets only: tests/benches/examples need gtest/benchmark
+  # and add nothing to the thread-safety surface.
+  cmake -B build-sa -S . \
+    -DCMAKE_CXX_COMPILER="$CLANGXX" \
+    -DBARS_ENABLE_STATIC_ANALYSIS=ON \
+    -DBARS_WERROR=ON \
+    -DBARS_BUILD_TESTS=OFF -DBARS_BUILD_BENCHMARKS=OFF \
+    -DBARS_BUILD_EXAMPLES=OFF \
+    ${CMAKE_GENERATOR_FLAGS:-}
+  cmake --build build-sa -j "$(nproc)"
+else
+  skip "$CLANGXX"
+fi
+
+# --- 3. clang-tidy ------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1 && [[ -f build-sa/compile_commands.json ]]; then
+  note "clang-tidy (.clang-tidy baseline, gating)"
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build-sa -quiet "${TIDY_SOURCES[@]}"
+  else
+    clang-tidy -p build-sa --quiet "${TIDY_SOURCES[@]}"
+  fi
+elif command -v clang-tidy >/dev/null 2>&1; then
+  skip "clang-tidy (no build-sa/compile_commands.json; clang build step)"
+else
+  skip "clang-tidy"
+fi
+
+# --- 4. cppcheck --------------------------------------------------------
+if command -v cppcheck >/dev/null 2>&1; then
+  note "cppcheck (warning,performance,portability, gating)"
+  cppcheck --enable=warning,performance,portability \
+    --error-exitcode=1 --inline-suppr \
+    --suppress=missingIncludeSystem \
+    --suppress=unusedStructMember \
+    --std=c++20 --language=c++ -I src \
+    -j "$(nproc)" --quiet \
+    src
+else
+  skip "cppcheck"
+fi
+
+if [[ "$FAILED" == 1 ]]; then
+  echo; echo "static analysis: required tools missing" >&2; exit 1
+fi
+echo; echo "static analysis: OK"

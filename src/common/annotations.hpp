@@ -1,0 +1,128 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+/// \file annotations.hpp
+/// Clang thread-safety-analysis attributes and the annotated
+/// synchronization wrappers the project uses instead of raw std::mutex.
+///
+/// The macros expand to Clang `capability` attributes under
+/// `-Wthread-safety` (enabled by the BARS_ENABLE_STATIC_ANALYSIS CMake
+/// option) and to nothing on other compilers, so GCC builds are
+/// unaffected. libstdc++'s std::mutex carries no capability
+/// annotations, which is why locking through it is invisible to the
+/// analysis; the Mutex / MutexLock / ConditionVariable wrappers below
+/// restore visibility. bars_lint's `raw-mutex` rule bans direct
+/// std::mutex use outside this header so every lock in the tree stays
+/// analyzable.
+///
+/// See docs/STATIC_ANALYSIS.md for the full contract catalogue.
+
+#if defined(__clang__)
+#define BARS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BARS_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define BARS_CAPABILITY(x) BARS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define BARS_SCOPED_CAPABILITY BARS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the capability.
+#define BARS_GUARDED_BY(x) BARS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define BARS_PT_GUARDED_BY(x) BARS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability and does not release it.
+#define BARS_ACQUIRE(...) \
+  BARS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define BARS_RELEASE(...) \
+  BARS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Caller must hold the capability for the duration of the call.
+#define BARS_REQUIRES(...) \
+  BARS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define BARS_EXCLUDES(...) BARS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: turns the analysis off for one function. Every use
+/// must carry a justification comment (enforced by review, not tools).
+#define BARS_NO_THREAD_SAFETY_ANALYSIS \
+  BARS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Marks a function as a no-allocation hot path: bars_lint's
+/// `hot-noalloc` rule bans heap-allocation tokens (new, make_unique,
+/// resize/push_back/... on non-scratch objects) inside its body. The
+/// attribute itself only hints the optimizer.
+#if defined(__clang__) || defined(__GNUC__)
+#define BARS_HOT_NOALLOC __attribute__((hot))
+#else
+#define BARS_HOT_NOALLOC
+#endif
+
+namespace bars::common {
+
+/// std::mutex with capability annotations. Lock it through MutexLock;
+/// the raw lock()/unlock() exist for the rare non-scoped pattern.
+class BARS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BARS_ACQUIRE() { mu_.lock(); }
+  void unlock() BARS_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped mutex, for the RAII/condition-variable wrappers only.
+  [[nodiscard]] std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over an annotated Mutex (scoped capability). Holds a
+/// std::unique_lock internally so ConditionVariable can wait on it.
+class BARS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BARS_ACQUIRE(mu) : lock_(mu.native_handle()) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() BARS_RELEASE() = default;
+
+ private:
+  friend class ConditionVariable;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable bound to MutexLock. wait() atomically
+/// releases and reacquires the lock; the capability is held at both
+/// entry and exit, which is exactly what the analysis assumes, so the
+/// internal release is deliberately invisible to it. Write waits as
+///   while (!predicate_over_guarded_state) cv.wait(lock);
+/// so predicate reads are analyzed under the held capability (lambda
+/// predicates would be analyzed as unlocked contexts).
+class ConditionVariable {
+ public:
+  ConditionVariable() = default;
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  void wait(MutexLock& lock) BARS_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(lock.lock_);
+  }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bars::common

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+/// \file check.hpp
+/// BARS_CHECK / BARS_DCHECK: invariant checks that log context before
+/// aborting, replacing raw assert() in library code (bars_lint's
+/// `raw-assert` rule enforces the migration).
+///
+///   BARS_CHECK(lo <= hi) << "block " << b << " at vt " << now;
+///
+/// BARS_CHECK is always on (including Release builds) — use it for
+/// cheap invariants whose violation means memory corruption or a logic
+/// bug that must not propagate into results. BARS_DCHECK compiles to
+/// nothing under NDEBUG (the condition is type-checked but not
+/// evaluated) — use it on hot paths where assert() used to live.
+///
+/// The streamed context is evaluated only on failure, so a BARS_CHECK
+/// with context costs one branch on the success path and allocates
+/// nothing — safe inside BARS_HOT_NOALLOC functions.
+
+namespace bars::common {
+
+/// Failure-path message sink: collects streamed context, then prints
+/// "file:line: check failed: (expr) context" to stderr and aborts when
+/// the temporary dies at the end of the full expression.
+class CheckFailMessage {
+ public:
+  CheckFailMessage(const char* file, int line, const char* expr) {
+    os_ << file << ":" << line << ": bars check failed: (" << expr << ") ";
+  }
+  CheckFailMessage(const CheckFailMessage&) = delete;
+  CheckFailMessage& operator=(const CheckFailMessage&) = delete;
+
+  ~CheckFailMessage() {
+    std::cerr << os_.str() << '\n';  // cerr is unit-buffered; no flush needed
+    std::abort();
+  }
+
+  [[nodiscard]] std::ostream& stream() { return os_; }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// Glog-style voidify: `&` binds looser than `<<`, so the streamed
+/// chain completes first, and the result of the ternary in BARS_CHECK
+/// is void on both arms.
+struct CheckVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace bars::common
+
+#define BARS_CHECK(cond)                                            \
+  (cond) ? (void)0                                                  \
+         : ::bars::common::CheckVoidify() &                         \
+               ::bars::common::CheckFailMessage(__FILE__, __LINE__, \
+                                                #cond)              \
+                   .stream()
+
+#ifdef NDEBUG
+// `true || (cond)` keeps the condition (and everything it names)
+// odr-used and type-checked without ever evaluating it.
+#define BARS_DCHECK(cond) BARS_CHECK(true || (cond))
+#else
+#define BARS_DCHECK(cond) BARS_CHECK(cond)
+#endif

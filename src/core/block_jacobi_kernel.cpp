@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/annotations.hpp"
+#include "common/check.hpp"
+
 namespace bars {
 
 BlockJacobiKernel::BlockJacobiKernel(const Csr& a, const Vector& b,
@@ -129,11 +132,16 @@ std::pair<index_t, index_t> BlockJacobiKernel::rows(index_t block) const {
   return {blk.lo, blk.hi};
 }
 
-void BlockJacobiKernel::update(index_t block,
-                               std::span<const value_t> halo_values,
-                               std::span<value_t> x,
-                               const gpusim::ExecContext& ctx) const {
+BARS_HOT_NOALLOC void BlockJacobiKernel::update(
+    index_t block, std::span<const value_t> halo_values,
+    std::span<value_t> x, const gpusim::ExecContext& ctx) const {
   const BlockData& blk = blocks_[static_cast<std::size_t>(block)];
+  BARS_DCHECK(halo_values.size() == blk.halo.size())
+      << "block " << block << " halo size " << halo_values.size()
+      << " != " << blk.halo.size() << " at vt " << ctx.virtual_time;
+  BARS_DCHECK(static_cast<index_t>(x.size()) == num_rows())
+      << "block " << block << " iterate size " << x.size() << " at vt "
+      << ctx.virtual_time;
   const index_t m = blk.work_hi - blk.work_lo;
   const index_t sweeps = block_local_iters(block);
 

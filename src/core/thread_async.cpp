@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/check.hpp"
 #include "core/block_jacobi_kernel.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/vector_ops.hpp"
@@ -25,9 +26,11 @@ class AtomicVector {
     }
   }
   [[nodiscard]] value_t load(std::size_t i) const {
+    BARS_DCHECK(i < n_) << "AtomicVector load " << i << " of " << n_;
     return data_[i].load(std::memory_order_relaxed);
   }
   void store(std::size_t i, value_t v) {
+    BARS_DCHECK(i < n_) << "AtomicVector store " << i << " of " << n_;
     data_[i].store(v, std::memory_order_relaxed);
   }
   void snapshot_into(Vector& out) const {
@@ -53,6 +56,14 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
   const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
   const BlockJacobiKernel kernel(a, b, part, opts.local_iters);
   const index_t q = part.num_blocks();
+  if (q == 0) {
+    // Empty system: with no blocks there are no workers, and the
+    // monitor loop below would index empty per-worker counters.
+    ThreadAsyncResult out;
+    out.solve.converged = true;
+    if (opts.solve.record_history) out.solve.residual_history.push_back(0.0);
+    return out;
+  }
 
   index_t threads = opts.num_threads;
   if (threads <= 0) {

@@ -1,13 +1,13 @@
 #include "gpusim/async_executor.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdlib>
 #include <deque>
 #include <queue>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "gpusim/incremental_residual.hpp"
 #include "gpusim/stopping.hpp"
 #include "gpusim/worker_pool.hpp"
@@ -280,6 +280,9 @@ ExecutorResult AsyncExecutor::run(
     ++write_generation[b];
     gen_tracker.on_write(b);
     ++total_writes;
+    BARS_DCHECK(busy_slots > 0)
+        << "commit of block " << b << " at vt " << now
+        << " with no busy slot";
     --busy_slots;
     requeue(b);
     if (tracker) {
@@ -351,6 +354,9 @@ ExecutorResult AsyncExecutor::run(
         events.pop();
       }
       if (batch.size() > 1) {
+        BARS_CHECK(pool_ != nullptr)
+            << "parallel batch of " << batch.size() << " at vt " << now
+            << " without a worker pool";
         // Batch members are distinct blocks (a block has at most one
         // execution in flight), so updates write disjoint rows of x
         // and per-block kernel scratch never collides. Each task then

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/annotations.hpp"
+#include "common/check.hpp"
 #include "sparse/vector_ops.hpp"
 
 namespace bars::gpusim {
@@ -56,9 +58,12 @@ void IncrementalResidual::reset(std::span<const value_t> x) {
   }
 }
 
-void IncrementalResidual::block_committed(index_t block,
-                                          std::span<const value_t> x_old,
-                                          std::span<const value_t> x_new) {
+BARS_HOT_NOALLOC void IncrementalResidual::block_committed(
+    index_t block, std::span<const value_t> x_old,
+    std::span<const value_t> x_new) {
+  BARS_DCHECK(x_old.size() == x_new.size())
+      << "block " << block << ": old/new row spans differ, " << x_old.size()
+      << " vs " << x_new.size();
   const Slice& s = slices_[static_cast<std::size_t>(block)];
   const std::size_t runs = s.rows.size();
   for (std::size_t k = 0; k < runs; ++k) {
@@ -77,6 +82,8 @@ void IncrementalResidual::block_committed(index_t block,
   }
 }
 
-value_t IncrementalResidual::norm() const { return norm2(r_); }
+BARS_HOT_NOALLOC value_t IncrementalResidual::norm() const {
+  return norm2(r_);
+}
 
 }  // namespace bars::gpusim

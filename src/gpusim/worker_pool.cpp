@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace bars::gpusim {
 
 WorkerPool::WorkerPool(index_t threads)
@@ -14,7 +16,7 @@ WorkerPool::WorkerPool(index_t threads)
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -41,8 +43,8 @@ void WorkerPool::worker_loop(index_t worker) {
     const std::function<void(index_t, index_t)>* fn = nullptr;
     index_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      common::MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen) work_cv_.wait(lock);
       if (shutdown_) return;
       seen = generation_;
       fn = fn_;
@@ -51,27 +53,28 @@ void WorkerPool::worker_loop(index_t worker) {
     }
     const index_t executed = drain(fn, count, worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       completed_ += executed;
+      BARS_DCHECK(in_flight_ > 0) << "worker " << worker;
       --in_flight_;
       done_cv_.notify_all();
     }
   }
 }
 
-void WorkerPool::run(index_t count,
-                     const std::function<void(index_t, index_t)>& fn) {
+BARS_HOT_NOALLOC void WorkerPool::run(
+    index_t count, const std::function<void(index_t, index_t)>& fn) {
   if (count <= 0) return;
   if (threads_ == 1 || count == 1) {
     for (index_t task = 0; task < count; ++task) fn(task, 0);
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     // A stale waker from the previous batch may still be draining the
     // (exhausted) cursor; re-arming it now could hand that worker a
     // fresh task with the old function. Wait for it to park first.
-    done_cv_.wait(lock, [&] { return in_flight_ == 0; });
+    while (in_flight_ != 0) done_cv_.wait(lock);
     fn_ = &fn;
     count_ = count;
     completed_ = 0;
@@ -80,11 +83,13 @@ void WorkerPool::run(index_t count,
   }
   work_cv_.notify_all();
   const index_t executed = drain(&fn, count, /*worker=*/0);
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   completed_ += executed;
+  BARS_DCHECK(completed_ <= count_)
+      << "batch over-drained: " << completed_ << " of " << count_;
   // All tasks done AND every pool worker parked again: only then is it
   // safe for a subsequent run() to re-arm the shared cursor.
-  done_cv_.wait(lock, [&] { return completed_ >= count_ && in_flight_ == 0; });
+  while (!(completed_ >= count_ && in_flight_ == 0)) done_cv_.wait(lock);
 }
 
 }  // namespace bars::gpusim

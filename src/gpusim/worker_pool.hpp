@@ -1,13 +1,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "sparse/types.hpp"
 
 /// \file worker_pool.hpp
@@ -47,16 +46,20 @@ class WorkerPool {
   index_t threads_;
   std::vector<std::thread> pool_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;  ///< bumped per batch (guarded by mu_)
-  bool shutdown_ = false;
+  common::Mutex mu_;
+  common::ConditionVariable work_cv_;
+  common::ConditionVariable done_cv_;
+  /// Batch counter, bumped once per run(); workers park until it moves.
+  std::uint64_t generation_ BARS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ BARS_GUARDED_BY(mu_) = false;
 
-  const std::function<void(index_t, index_t)>* fn_ = nullptr;
-  index_t count_ = 0;          ///< tasks in the current batch (mu_)
-  index_t completed_ = 0;      ///< tasks finished in the batch (mu_)
-  index_t in_flight_ = 0;      ///< pool workers currently draining (mu_)
+  /// Current batch: task body, size, and progress accounting. fn_ stays
+  /// valid for the whole batch because run() blocks until completion.
+  const std::function<void(index_t, index_t)>* fn_ BARS_GUARDED_BY(mu_) =
+      nullptr;
+  index_t count_ BARS_GUARDED_BY(mu_) = 0;      ///< tasks in the batch
+  index_t completed_ BARS_GUARDED_BY(mu_) = 0;  ///< tasks finished
+  index_t in_flight_ BARS_GUARDED_BY(mu_) = 0;  ///< workers draining
   std::atomic<index_t> next_{0};  ///< lock-free task cursor
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.hpp"
+
 namespace bars::resilience {
 
 // ---------------------------------------------------------------- checkpoint
@@ -98,6 +100,9 @@ Watchdog::Watchdog(WatchdogOptions opts, index_t num_blocks) : opts_(opts) {
 
 WatchdogVerdict Watchdog::observe(index_t iter, value_t r,
                                   std::span<const index_t> block_execs) {
+  BARS_CHECK(block_execs.size() == last_execs_.size())
+      << "watchdog at iter " << iter << ": " << block_execs.size()
+      << " execution counters for " << last_execs_.size() << " blocks";
   WatchdogVerdict v;
   // Divergence is checked every iteration — it cannot wait for the next
   // scheduled inspection.

@@ -1,9 +1,10 @@
 #include "sparse/csr.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace bars {
 
@@ -56,14 +57,14 @@ Csr::Csr(index_t rows, index_t cols, std::vector<index_t> row_ptr,
 }
 
 std::span<const index_t> Csr::row_cols(index_t i) const {
-  assert(i >= 0 && i < rows_);
+  BARS_DCHECK(i >= 0 && i < rows_) << "row " << i << " of " << rows_;
   return std::span<const index_t>(col_idx_).subspan(
       static_cast<std::size_t>(row_ptr_[i]),
       static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i]));
 }
 
 std::span<const value_t> Csr::row_vals(index_t i) const {
-  assert(i >= 0 && i < rows_);
+  BARS_DCHECK(i >= 0 && i < rows_) << "row " << i << " of " << rows_;
   return std::span<const value_t>(values_).subspan(
       static_cast<std::size_t>(row_ptr_[i]),
       static_cast<std::size_t>(row_ptr_[i + 1] - row_ptr_[i]));
@@ -77,8 +78,10 @@ value_t Csr::at(index_t i, index_t j) const {
 }
 
 void Csr::spmv(std::span<const value_t> x, std::span<value_t> y) const {
-  assert(static_cast<index_t>(x.size()) == cols_);
-  assert(static_cast<index_t>(y.size()) == rows_);
+  BARS_DCHECK(static_cast<index_t>(x.size()) == cols_)
+      << "spmv x: " << x.size() << " vs cols " << cols_;
+  BARS_DCHECK(static_cast<index_t>(y.size()) == rows_)
+      << "spmv y: " << y.size() << " vs rows " << rows_;
   for (index_t i = 0; i < rows_; ++i) {
     value_t s = 0.0;
     for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
@@ -90,7 +93,8 @@ void Csr::spmv(std::span<const value_t> x, std::span<value_t> y) const {
 
 void Csr::residual(std::span<const value_t> b, std::span<const value_t> x,
                    std::span<value_t> y) const {
-  assert(static_cast<index_t>(b.size()) == rows_);
+  BARS_DCHECK(static_cast<index_t>(b.size()) == rows_)
+      << "residual b: " << b.size() << " vs rows " << rows_;
   for (index_t i = 0; i < rows_; ++i) {
     value_t s = b[i];
     for (index_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {

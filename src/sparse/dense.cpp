@@ -1,9 +1,10 @@
 #include "sparse/dense.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace bars {
 
@@ -24,8 +25,10 @@ Dense Dense::identity(index_t n) {
 }
 
 void Dense::spmv(std::span<const value_t> x, std::span<value_t> y) const {
-  assert(static_cast<index_t>(x.size()) == cols_);
-  assert(static_cast<index_t>(y.size()) == rows_);
+  BARS_DCHECK(static_cast<index_t>(x.size()) == cols_)
+      << "spmv x: " << x.size() << " vs cols " << cols_;
+  BARS_DCHECK(static_cast<index_t>(y.size()) == rows_)
+      << "spmv y: " << y.size() << " vs rows " << rows_;
   for (index_t i = 0; i < rows_; ++i) {
     value_t s = 0.0;
     for (index_t j = 0; j < cols_; ++j) s += (*this)(i, j) * x[j];

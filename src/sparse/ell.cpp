@@ -1,8 +1,9 @@
 #include "sparse/ell.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace bars {
 
@@ -41,8 +42,10 @@ value_t Ell::padding_ratio() const noexcept {
 }
 
 void Ell::spmv(std::span<const value_t> x, std::span<value_t> y) const {
-  assert(static_cast<index_t>(x.size()) == cols_);
-  assert(static_cast<index_t>(y.size()) == rows_);
+  BARS_DCHECK(static_cast<index_t>(x.size()) == cols_)
+      << "spmv x: " << x.size() << " vs cols " << cols_;
+  BARS_DCHECK(static_cast<index_t>(y.size()) == rows_)
+      << "spmv y: " << y.size() << " vs rows " << rows_;
   std::fill(y.begin(), y.end(), 0.0);
   for (index_t k = 0; k < width_; ++k) {
     const std::size_t base = static_cast<std::size_t>(k * rows_);

@@ -1,17 +1,20 @@
 #include "sparse/vector_ops.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.hpp"
 
 namespace bars {
 
 void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
-  assert(x.size() == y.size());
+  BARS_DCHECK(x.size() == y.size())
+      << "axpy: " << x.size() << " vs " << y.size();
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
 void xpby(std::span<const value_t> x, value_t beta, std::span<value_t> y) {
-  assert(x.size() == y.size());
+  BARS_DCHECK(x.size() == y.size())
+      << "xpby: " << x.size() << " vs " << y.size();
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
 }
 
@@ -20,7 +23,8 @@ void scale(value_t alpha, std::span<value_t> x) {
 }
 
 value_t dot(std::span<const value_t> x, std::span<const value_t> y) {
-  assert(x.size() == y.size());
+  BARS_DCHECK(x.size() == y.size())
+      << "dot: " << x.size() << " vs " << y.size();
   value_t s = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
   return s;
@@ -36,7 +40,8 @@ value_t norm_inf(std::span<const value_t> x) {
 
 void subtract(std::span<const value_t> a, std::span<const value_t> b,
               std::span<value_t> out) {
-  assert(a.size() == b.size() && a.size() == out.size());
+  BARS_DCHECK(a.size() == b.size() && a.size() == out.size())
+      << "subtract: " << a.size() << ", " << b.size() << ", " << out.size();
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
 }
 

@@ -1,0 +1,4 @@
+// Fixture: single-precision creep in a double-precision kernel path.
+float relax(float x) {
+  return 0.5f * x + 1.f;
+}

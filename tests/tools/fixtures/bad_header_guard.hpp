@@ -1,0 +1,3 @@
+// Fixture: header without #pragma once.
+
+inline int unguarded() { return 1; }

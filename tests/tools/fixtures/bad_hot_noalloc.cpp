@@ -1,0 +1,17 @@
+// Fixture: heap allocation inside a BARS_HOT_NOALLOC body.
+#include <memory>
+#include <vector>
+
+#define BARS_HOT_NOALLOC
+
+BARS_HOT_NOALLOC void hot_path(std::vector<double>& out) {
+  out.resize(128);
+  out.push_back(1.0);
+  auto p = std::make_unique<double[]>(4);
+  out[0] = *new double(3.0);
+  (void)p;
+}
+
+void cold_path(std::vector<double>& out) {
+  out.resize(256);  // unmarked function: allocation is fine here
+}

@@ -1,0 +1,15 @@
+// Fixture: scratch-suffixed receivers are exempt inside hot bodies.
+#include <vector>
+
+#define BARS_HOT_NOALLOC
+
+struct K {
+  mutable std::vector<double> scratch_a;
+  std::vector<double> results;
+  BARS_HOT_NOALLOC void update() const {
+    scratch_a.resize(8);  // allowed: construction-sized scratch
+  }
+  BARS_HOT_NOALLOC void bad_update() {
+    results.resize(8);  // flagged: non-scratch member growth
+  }
+};

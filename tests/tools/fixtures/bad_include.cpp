@@ -1,0 +1,5 @@
+// Fixture: include-hygiene violations.
+#include "../sparse/types.hpp"
+#include <core/solver_types.hpp>
+
+int f() { return 0; }

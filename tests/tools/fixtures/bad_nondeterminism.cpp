@@ -1,0 +1,16 @@
+// Fixture: every banned nondeterminism source, one per line.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int seeded_from_entropy() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+
+long wall_clock_reads() {
+  const long t = time(nullptr);
+  const auto n = std::chrono::steady_clock::now();
+  return t + n.time_since_epoch().count();
+}

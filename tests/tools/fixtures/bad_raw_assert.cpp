@@ -1,0 +1,6 @@
+// Fixture: raw assert without context logging.
+#include <cassert>
+
+void check_dim(int n) {
+  assert(n > 0);
+}

@@ -1,0 +1,10 @@
+// Fixture: raw std synchronization types, invisible to -Wthread-safety.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_mu;
+std::condition_variable g_cv;
+
+void critical() {
+  std::lock_guard<std::mutex> lock(g_mu);
+}

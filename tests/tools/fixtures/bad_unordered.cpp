@@ -1,0 +1,8 @@
+// Fixture: unordered-container iteration order leaking into core logic.
+#include <unordered_map>
+
+double sum_values(const std::unordered_map<int, double>& m) {
+  double s = 0.0;
+  for (const auto& [k, v] : m) s += v * static_cast<double>(k);
+  return s;
+}

@@ -1,0 +1,14 @@
+// Fixture: obeys every rule (as if it lived in src/core).
+#include <vector>
+
+#define BARS_HOT_NOALLOC
+
+struct Kernel {
+  mutable std::vector<double> scratch_s;
+  BARS_HOT_NOALLOC double apply(const std::vector<double>& x) const {
+    double acc = 0.0;
+    for (double v : x) acc += v;
+    scratch_s[0] = acc;
+    return acc;
+  }
+};

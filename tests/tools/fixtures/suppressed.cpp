@@ -1,0 +1,11 @@
+// Fixture: violations silenced through the documented suppression forms.
+#include <ctime>
+#include <unordered_map>  // bars-lint: allow-file(unordered-iteration)
+
+long stamp() {
+  // Justification: fixture demonstrating a same-line suppression.
+  return time(nullptr);  // bars-lint: allow(nondeterminism)
+}
+
+// bars-lint: allow(nondeterminism)
+long stamp2() { return time(nullptr) + clock(); }
