@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
       t.add_row({report::fmt_int(bs),
                  report::fmt_fixed(off_block_mass(p.matrix, bs), 4),
                  report::fmt_int(r.solve.iterations),
-                 r.solve.converged ? "yes" : "no"});
+                 r.solve.ok() ? "yes" : "no"});
     }
     t.print(std::cout);
     std::cout << '\n';

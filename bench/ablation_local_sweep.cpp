@@ -24,7 +24,7 @@ index_t run(const TestProblem& p, const Vector& b, LocalSweep sweep,
   o.solve.max_iters = 2000;
   o.solve.tol = 1e-10;
   const BlockAsyncResult r = block_async_solve(p.matrix, b, o);
-  return r.solve.converged ? r.solve.iterations : -1;
+  return r.solve.ok() ? r.solve.iterations : -1;
 }
 
 }  // namespace

@@ -43,16 +43,16 @@ int main(int argc, char** argv) {
   for (const Entry& e : entries) {
     const mg::PoissonMultigrid solver(m, 0.0, e.smoother);
     mg::MgOptions o;
-    o.tol = 1e-9;
-    o.max_cycles = 60;
-    const mg::MgResult r = solver.solve(rhs, o);
+    o.solve.tol = 1e-9;
+    o.solve.max_iters = 60;
+    const SolveResult r = solver.solve(rhs, o);
     const double contraction =
-        r.cycles > 0
+        r.iterations > 0
             ? std::pow(r.final_residual / r.residual_history.front(),
-                       1.0 / static_cast<double>(r.cycles))
+                       1.0 / static_cast<double>(r.iterations))
             : 0.0;
     t.add_row({e.name,
-               r.converged ? report::fmt_int(r.cycles) : "n/c",
+               r.ok() ? report::fmt_int(r.iterations) : "n/c",
                report::fmt_sci(r.final_residual, 2),
                report::fmt_fixed(contraction, 3)});
   }

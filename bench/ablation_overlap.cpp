@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
       o.solve.tol = 1e-10;
       const BlockAsyncResult r = block_async_solve(p.matrix, b, o);
       t.add_row({report::fmt_int(ov),
-                 r.solve.converged ? report::fmt_int(r.solve.iterations)
+                 r.solve.ok() ? report::fmt_int(r.solve.iterations)
                                    : "n/c",
                  report::fmt_int(2 * ov)});
     }

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     const SolveResult fcg = fcg_solve(p.matrix, b, fo);
 
     const auto cell = [](const SolveResult& r) {
-      return r.converged ? report::fmt_int(r.iterations) : std::string("n/c");
+      return r.ok() ? report::fmt_int(r.iterations) : std::string("n/c");
     };
     t.add_row({p.name, cell(cg), cell(pcg), cell(fcg)});
   }

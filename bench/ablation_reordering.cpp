@@ -21,7 +21,7 @@ index_t iters_to_tol(const Csr& a, const Vector& b, index_t local_iters) {
   o.solve.max_iters = 2000;
   o.solve.tol = 1e-10;
   const BlockAsyncResult r = block_async_solve(a, b, o);
-  return r.solve.converged ? r.solve.iterations : -1;
+  return r.solve.ok() ? r.solve.iterations : -1;
 }
 
 }  // namespace

@@ -59,13 +59,13 @@ int main(int argc, char** argv) {
                                   ? 0.0
                                   : async.solve.time_history.back();
       const double penalty =
-          sync.converged && async.solve.converged
+          sync.ok() && async.solve.ok()
               ? static_cast<double>(async.solve.iterations) /
                     static_cast<double>(sync.iterations)
               : 0.0;
       t.add_row({report::fmt_int(k),
-                 sync.converged ? report::fmt_int(sync.iterations) : "n/c",
-                 async.solve.converged
+                 sync.ok() ? report::fmt_int(sync.iterations) : "n/c",
+                 async.solve.ok()
                      ? report::fmt_int(async.solve.iterations)
                      : "n/c",
                  report::fmt_fixed(penalty, 2) + "x",

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
       o.solve.tol = 1e-14;
       const BlockAsyncResult r = block_async_solve(p.matrix, b, o);
       histories.push_back(r.solve.residual_history);
-      conv_iters.push_back(r.solve.converged ? r.solve.iterations : -1);
+      conv_iters.push_back(r.solve.ok() ? r.solve.iterations : -1);
     }
 
     std::cout << "--- " << p.name << " (" << fraction * 100
@@ -140,7 +140,7 @@ int main(int argc, char** argv) {
                             report::fmt_sci(r.report.jump_ratio, 1) + "x)"
                       : "MISSED")
               << "; solver "
-              << (r.solve.solve.converged ? "self-healed and converged"
+              << (r.solve.solve.ok() ? "self-healed and converged"
                                           : "did not converge")
               << " in " << r.solve.solve.iterations << " iterations.\n\n";
   }
@@ -178,7 +178,7 @@ int main(int argc, char** argv) {
               << "no failure : converged in " << clean.solve.iterations
               << " iterations\n"
               << "two waves  : "
-              << (waves.solve.converged
+              << (waves.solve.ok()
                       ? "converged in " +
                             std::to_string(waves.solve.iterations) +
                             " iterations (+" +
@@ -207,14 +207,14 @@ int main(int argc, char** argv) {
               << fraction * 100 << "% fail at " << fail_at
               << ", never recovered externally) ---\n"
               << "unsupervised: "
-              << (stuck.solve.converged ? "converged (unexpected)"
+              << (stuck.solve.ok() ? "converged (unexpected)"
                                         : "stagnated at residual " +
                                               report::fmt_sci(
                                                   stuck.solve.final_residual,
                                                   2))
               << "\n"
               << "supervised  : "
-              << (rescued.solve.converged
+              << (rescued.solve.ok()
                       ? "converged in " +
                             std::to_string(rescued.solve.iterations) +
                             " iterations"
@@ -243,14 +243,14 @@ int main(int argc, char** argv) {
     std::cout << "--- rollback vs run-through (" << p.name
               << ", corruption at iteration 20) ---\n"
               << "run-through: "
-              << (through.solve.solve.converged
+              << (through.solve.solve.ok()
                       ? "converged in " +
                             std::to_string(through.solve.solve.iterations) +
                             " iterations"
                       : "did not converge")
               << "\n"
               << "rollback   : "
-              << (rolled.solve.solve.converged
+              << (rolled.solve.solve.ok()
                       ? "converged in " +
                             std::to_string(rolled.solve.solve.iterations) +
                             " iterations"
@@ -259,7 +259,7 @@ int main(int argc, char** argv) {
               << " online detection(s), " << rolled.solve.resilience.rollbacks
               << " rollback(s), " << rolled.solve.resilience.checkpoints_saved
               << " checkpoints)\n";
-    if (through.solve.solve.converged && rolled.solve.solve.converged) {
+    if (through.solve.solve.ok() && rolled.solve.solve.ok()) {
       std::cout << "saved " << through.solve.solve.iterations -
                                    rolled.solve.solve.iterations
                 << " global iterations by rolling back.\n";

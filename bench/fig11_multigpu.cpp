@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
       o.solve.tol = tol;
       o.seed = 17;
       const MultiGpuResult r = multi_gpu_block_async_solve(p.matrix, b, o);
-      if (!r.solve.converged) {
+      if (!r.solve.ok()) {
         row.push_back("n/c(" + std::to_string(r.solve.iterations) + ")");
         continue;
       }

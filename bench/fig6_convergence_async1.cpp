@@ -66,8 +66,8 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
     const auto verdict = [](const SolveResult& r) {
-      return r.diverged ? "DIVERGED"
-                        : (r.converged ? "converged" : "not converged");
+      return (r.status == bars::SolverStatus::kDiverged) ? "DIVERGED"
+                        : (r.ok() ? "converged" : "not converged");
     };
     std::cout << "  GS: " << verdict(gs) << " @" << gs.iterations
               << "  Jacobi: " << verdict(jac) << " @" << jac.iterations

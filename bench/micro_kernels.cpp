@@ -67,8 +67,8 @@ void BM_AsyncGlobalIteration(benchmark::State& state) {
                                  5);
   for (auto _ : state) {
     gpusim::ExecutorOptions o;
-    o.max_global_iters = 10;
-    o.tol = 0.0;
+    o.stopping.max_global_iters = 10;
+    o.stopping.tol = 0.0;
     gpusim::AsyncExecutor ex(kernel, o);
     Vector x(b.size(), 0.0);
     const auto r =

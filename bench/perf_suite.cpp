@@ -10,6 +10,11 @@
 ///        --iters=<n>       global iteration budget per run (default 200)
 ///        --workers=<n>     worker threads for the parallel path
 ///                          (default 8, capped by hardware)
+///        --telemetry       attach a JSON Lines event sink to every run
+///                          (including the bit-identity check, proving
+///                          observation does not perturb the iterate)
+///        --telemetry-out=<path>  event log path
+///                          (default BENCH_telemetry.jsonl)
 
 #include "bench_common.hpp"
 
@@ -17,6 +22,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +30,7 @@
 #include "core/block_async.hpp"
 #include "core/thread_async.hpp"
 #include "report/table.hpp"
+#include "telemetry/sinks.hpp"
 
 using namespace bars;
 
@@ -80,6 +87,21 @@ int main(int argc, char** argv) {
       PaperMatrix::kChem97ZtZ, PaperMatrix::kFv3,
       PaperMatrix::kTrefethen2000, PaperMatrix::kTrefethen20000};
 
+  // --telemetry streams every run's event log through the JSONL sink;
+  // tools/validate_telemetry.py checks the output in CI. Without the
+  // flag the telemetry pointers stay null and the timings below are
+  // the <2%-overhead reference.
+  const bool telemetry_on = args.has("telemetry");
+  const std::string telemetry_path =
+      args.get_string("telemetry-out", "BENCH_telemetry.jsonl");
+  std::ofstream telemetry_file;
+  std::unique_ptr<telemetry::JsonLinesSink> telemetry_sink;
+  if (telemetry_on) {
+    telemetry_file.open(telemetry_path);
+    telemetry_sink =
+        std::make_unique<telemetry::JsonLinesSink>(telemetry_file);
+  }
+
   std::vector<Row> rows;
   const auto run_async = [&](const TestProblem& p, index_t k,
                              bool incremental, index_t nworkers,
@@ -94,12 +116,13 @@ int main(int argc, char** argv) {
     o.incremental_residual = incremental;
     o.num_workers = nworkers;
     o.matrix_name = p.name;
+    o.solve.telemetry.observer = telemetry_sink.get();
     const Vector b = bench::unit_rhs(p.matrix.rows());
     BlockAsyncResult res;
     const double sec = time_best_of(
         repeats, [&] { res = block_async_solve(p.matrix, b, o); });
     rows.push_back({p.name, label, sec, res.solve.iterations,
-                    res.solve.final_residual, res.solve.converged});
+                    res.solve.final_residual, res.solve.ok()});
     return res;
   };
 
@@ -114,12 +137,13 @@ int main(int argc, char** argv) {
     to.solve.tol = 1e-12;
     to.block_size = 256;
     to.num_threads = workers;
+    to.solve.telemetry.observer = telemetry_sink.get();
     const Vector b = bench::unit_rhs(p.matrix.rows());
     ThreadAsyncResult tres;
     const double sec = time_best_of(
         repeats, [&] { tres = thread_async_solve(p.matrix, b, to); });
     rows.push_back({p.name, "thread-async", sec, tres.solve.iterations,
-                    tres.solve.final_residual, tres.solve.converged});
+                    tres.solve.final_residual, tres.solve.ok()});
   }
 
   // Parallel-commit scaling + bit-identity check on the largest system:
@@ -136,6 +160,7 @@ int main(int argc, char** argv) {
   po.policy = gpusim::SchedulePolicy::kRoundRobin;
   po.concurrent_slots = 128;
   po.matrix_name = big.name;
+  po.solve.telemetry.observer = telemetry_sink.get();
   BlockAsyncResult serial_res, par_res;
   po.num_workers = 0;
   const double serial_sec = time_best_of(
@@ -190,5 +215,9 @@ int main(int argc, char** argv) {
      << "}\n}\n";
   js.close();
   std::cout << "\nwrote " << out_path << "\n";
+  if (telemetry_on) {
+    telemetry_file.close();
+    std::cout << "wrote " << telemetry_path << "\n";
+  }
   return identical ? 0 : 1;
 }

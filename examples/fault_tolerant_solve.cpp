@@ -27,7 +27,7 @@ int main() {
   const auto run = [&](const char* label, const BlockAsyncOptions& opts) {
     const BlockAsyncResult r = block_async_solve(a, b, opts);
     std::cout << label << ": "
-              << (r.solve.converged ? "converged" : "STAGNATED") << " after "
+              << (r.solve.ok() ? "converged" : "STAGNATED") << " after "
               << r.solve.iterations << " global iterations (residual "
               << r.solve.final_residual << ")\n";
     return r;
@@ -53,7 +53,7 @@ int main() {
   rec_opts.fault = recover;
   const auto rec = run("25% fail, recover(20)", rec_opts);
 
-  if (clean.solve.converged && rec.solve.converged) {
+  if (clean.solve.ok() && rec.solve.ok()) {
     const double extra = 100.0 *
                          (static_cast<double>(rec.solve.iterations) /
                               static_cast<double>(clean.solve.iterations) -
@@ -94,8 +94,8 @@ int main() {
             << " event(s); " << guarded.resilience.checkpoints_saved
             << " checkpoints were kept for rollback.\n";
 
-  return clean.solve.converged && rec.solve.converged &&
-                 waves.solve.converged && guarded.solve.converged
+  return clean.solve.ok() && rec.solve.ok() &&
+                 waves.solve.ok() && guarded.solve.ok()
              ? 0
              : 1;
 }

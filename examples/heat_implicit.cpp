@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     o.solve.max_iters = 500;
     o.seed = 100 + static_cast<std::uint64_t>(step);
     const BlockAsyncResult r = block_async_solve(a, rhs, o, &x);
-    if (!r.solve.converged) {
+    if (!r.solve.ok()) {
       std::cerr << "step " << step << " did not converge\n";
       return 1;
     }

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   const auto t1 = std::chrono::steady_clock::now();
   const double secs = std::chrono::duration<double>(t1 - t0).count();
 
-  std::cout << (r.solve.converged ? "converged" : "did not converge")
+  std::cout << (r.solve.ok() ? "converged" : "did not converge")
             << " in " << r.solve.iterations << " global iterations ("
             << r.total_block_executions << " block executions, " << secs
             << " s wall)\n";
@@ -51,5 +51,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "block execution counts: min " << mn << ", max " << mx
             << " (chaotic but balanced — Chazan-Miranker condition 1)\n";
-  return r.solve.converged ? 0 : 1;
+  return r.solve.ok() ? 0 : 1;
 }

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   o.solve.max_iters = 200000;
   o.solve.tol = 1e-11;
   const NonlinearAsyncResult r = nonlinear_block_async_solve(a, f, phi, o);
-  std::cout << (r.solve.converged ? "converged" : "did NOT converge")
+  std::cout << (r.solve.ok() ? "converged" : "did NOT converge")
             << " after " << r.solve.iterations
             << " global iterations (residual " << r.solve.final_residual
             << ")\n";
@@ -58,5 +58,5 @@ int main(int argc, char** argv) {
             << "\n";
   const double mid = r.solve.x[(m / 2) * m + m / 2];
   std::cout << "u(center) = " << mid << "\n";
-  return r.solve.converged && umax < umax_lin ? 0 : 1;
+  return r.solve.ok() && umax < umax_lin ? 0 : 1;
 }

@@ -61,8 +61,10 @@ int main(int argc, char** argv) {
   // Route 2: multigrid with block-asynchronous smoothing.
   const mg::PoissonMultigrid mgsolver(m, 0.0,
                                       mg::block_async_smoother(64, 2, 7));
-  const mg::MgResult mgr = mgsolver.solve(f, {.tol = 1e-11});
-  std::cout << "multigrid(async smoother): " << mgr.cycles << " V-cycles\n";
+  bars::mg::MgOptions mgo;
+  mgo.solve.tol = 1e-11;
+  const bars::SolveResult mgr = mgsolver.solve(f, mgo);
+  std::cout << "multigrid(async smoother): " << mgr.iterations << " V-cycles\n";
   const bool ok2 = report_error(mgr.x, "multigrid(async)");
 
   return ok1 && ok2 ? 0 : 1;

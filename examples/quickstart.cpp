@@ -52,5 +52,5 @@ int main() {
                         std::abs(async_result.solve.x[i] - cg.x[i]));
   }
   std::cout << "max |x_async - x_cg| = " << max_diff << "\n";
-  return async_result.solve.converged && gs.converged && cg.converged ? 0 : 1;
+  return async_result.solve.ok() && gs.ok() && cg.ok() ? 0 : 1;
 }

@@ -38,7 +38,7 @@ int main() {
   sdc.magnitude = 1.0e9;
   const SdcRunResult bad = block_async_solve_with_sdc(a, b, o, sdc);
   std::cout << "corrupted run: "
-            << (bad.solve.solve.converged ? "converged (self-healed)"
+            << (bad.solve.solve.ok() ? "converged (self-healed)"
                                           : "did not converge")
             << " in " << bad.solve.solve.iterations << " iterations\n";
   if (bad.report.detected) {
@@ -52,8 +52,8 @@ int main() {
             << bad.solve.solve.iterations - clean.solve.solve.iterations
             << " extra iterations) and needs no checkpoint/restart —\nthe "
                "paper's exascale-resilience argument, Section 4.5.\n";
-  return clean.solve.solve.converged && !clean.report.detected &&
-                 bad.solve.solve.converged && bad.report.detected
+  return clean.solve.solve.ok() && !clean.report.detected &&
+                 bad.solve.solve.ok() && bad.report.detected
              ? 0
              : 1;
 }

@@ -20,8 +20,8 @@ int main() {
   const BlockJacobiKernel kernel(a, b, RowPartition::uniform(2000, 128), 5);
 
   gpusim::ExecutorOptions o;
-  o.max_global_iters = 40;
-  o.tol = 1e-12;
+  o.stopping.max_global_iters = 40;
+  o.stopping.tol = 1e-12;
   o.record_trace = true;
   o.concurrent_slots = 14;
   gpusim::AsyncExecutor ex(kernel, o);
@@ -31,7 +31,7 @@ int main() {
 
   std::cout << "blocks: " << kernel.num_blocks() << ", slots: 14\n"
             << "global iterations: " << r.global_iterations
-            << (r.converged ? " (converged)" : "") << '\n'
+            << (r.ok() ? " (converged)" : "") << '\n'
             << "virtual makespan: " << r.trace.makespan() << " s\n"
             << "average concurrency: " << r.trace.average_concurrency()
             << " blocks in flight\n"

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file solver_status.hpp
+/// The unified solver termination status. Lives in common/ (below every
+/// other layer) so the execution layers (gpusim), the telemetry event
+/// model, and the solver front-ends (core) all speak the same
+/// vocabulary instead of each carrying a `converged`/`diverged` bool
+/// pair whose four combinations only encoded three meanings.
+
+namespace bars {
+
+/// Why a solve stopped. Replaces the legacy `converged`/`diverged`
+/// bool pair on every result struct.
+enum class SolverStatus {
+  /// Stopped at the iteration limit without reaching tol (the default:
+  /// a solve that never rendered a verdict ran out of budget).
+  kMaxIterations = 0,
+  /// Relative residual reached tol.
+  kConverged,
+  /// Residual went non-finite or exceeded the divergence limit.
+  kDiverged,
+  /// Stopped by an external supervisor (cancellation) before any
+  /// mathematical verdict. Reserved for embedding applications; no
+  /// in-tree solver currently produces it.
+  kAborted,
+  /// Converged, but only after the resilience layer rewrote the
+  /// iterate at least once (checkpoint rollback or damped restart) —
+  /// the run recovered from a detected fault.
+  kRecoveredConverged,
+};
+
+/// Stable lower-case name, e.g. for logs and the telemetry sinks.
+[[nodiscard]] constexpr const char* to_string(SolverStatus s) noexcept {
+  switch (s) {
+    case SolverStatus::kMaxIterations:
+      return "max-iterations";
+    case SolverStatus::kConverged:
+      return "converged";
+    case SolverStatus::kDiverged:
+      return "diverged";
+    case SolverStatus::kAborted:
+      return "aborted";
+    case SolverStatus::kRecoveredConverged:
+      return "recovered-converged";
+  }
+  return "unknown";
+}
+
+/// True when the solve ended at (or below) tol, whether or not the
+/// resilience layer had to intervene along the way.
+[[nodiscard]] constexpr bool succeeded(SolverStatus s) noexcept {
+  return s == SolverStatus::kConverged ||
+         s == SolverStatus::kRecoveredConverged;
+}
+
+}  // namespace bars

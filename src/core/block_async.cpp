@@ -6,6 +6,7 @@
 
 #include "gpusim/incremental_residual.hpp"
 #include "sparse/vector_ops.hpp"
+#include "telemetry/probe.hpp"
 
 namespace bars {
 
@@ -64,9 +65,10 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
   const gpusim::MatrixShape shape{opts.matrix_name, a.rows(), a.nnz()};
 
   gpusim::ExecutorOptions exec;
-  exec.max_global_iters = opts.solve.max_iters;
-  exec.tol = opts.solve.tol;
-  exec.divergence_limit = opts.solve.divergence_limit;
+  exec.stopping.max_global_iters = opts.solve.max_iters;
+  exec.stopping.tol = opts.solve.tol;
+  exec.stopping.divergence_limit = opts.solve.divergence_limit;
+  exec.telemetry = opts.solve.telemetry;
   exec.concurrent_slots = opts.concurrent_slots;
   exec.global_iteration_time =
       model.gpu_block_async_iteration(shape, opts.local_iters);
@@ -91,14 +93,17 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
   BlockAsyncResult out;
   out.solve.x = x0 ? *x0 : Vector(b.size(), 0.0);
 
+  telemetry::SolveProbe probe(opts.solve.telemetry, "block-async");
+  probe.start(a.rows(), a.nnz(), part.num_blocks(), opts.num_workers,
+              telemetry::TimeDomain::kVirtual);
+
   gpusim::AsyncExecutor executor(kernel, exec);
   const auto residual_fn = [&](const Vector& x) {
     return relative_residual(a, b, x);
   };
   gpusim::ExecutorResult r = executor.run(out.solve.x, residual_fn);
 
-  out.solve.converged = r.converged;
-  out.solve.diverged = r.diverged;
+  out.solve.status = r.status;
   out.solve.iterations = r.global_iterations;
   out.solve.final_residual = r.residual_history.back();
   if (opts.solve.record_history) {
@@ -108,6 +113,13 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
   out.block_executions = std::move(r.block_executions);
   out.max_staleness = r.max_staleness;
   out.resilience = std::move(r.resilience);
+
+  index_t commits = 0;
+  for (index_t c : out.block_executions) commits += c;
+  probe.finish(out.solve.status, out.solve.iterations,
+               out.solve.final_residual, commits, out.max_staleness,
+               r.virtual_time,
+               out.resilience.rollbacks + out.resilience.damped_restarts);
   return out;
 }
 

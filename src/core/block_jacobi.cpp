@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sparse/vector_ops.hpp"
+#include "telemetry/probe.hpp"
 
 namespace bars {
 
@@ -22,19 +23,24 @@ SolveResult block_jacobi_solve(const Csr& a, const Vector& b,
 
   SolveResult res;
   res.x = x0 ? *x0 : Vector(b.size(), 0.0);
+
+  telemetry::SolveProbe probe(opts.solve.telemetry, "block-jacobi");
+  probe.start(a.rows(), a.nnz(), q);
+
   value_t rel = relative_residual(a, b, res.x);
   if (opts.solve.record_history) res.residual_history.push_back(rel);
+  probe.iteration(0, rel);
 
   // Pre-extract halo spans once; values are re-gathered per iteration.
   Vector snapshot(res.x.size());
   Vector halo_vals;
   for (index_t it = 0; it < opts.solve.max_iters; ++it) {
     if (rel <= opts.solve.tol) {
-      res.converged = true;
+      res.status = SolverStatus::kConverged;
       break;
     }
     if (!std::isfinite(rel) || rel > opts.solve.divergence_limit) {
-      res.diverged = true;
+      res.status = SolverStatus::kDiverged;
       break;
     }
     // Synchronous: all blocks read the same snapshot.
@@ -53,9 +59,11 @@ SolveResult block_jacobi_solve(const Csr& a, const Vector& b,
     rel = relative_residual(a, b, res.x);
     res.iterations = it + 1;
     if (opts.solve.record_history) res.residual_history.push_back(rel);
+    probe.iteration(res.iterations, rel);
   }
-  if (rel <= opts.solve.tol) res.converged = true;
+  if (rel <= opts.solve.tol) res.status = SolverStatus::kConverged;
   res.final_residual = rel;
+  probe.finish(res.status, res.iterations, res.final_residual);
   return res;
 }
 

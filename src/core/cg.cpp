@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sparse/vector_ops.hpp"
+#include "telemetry/probe.hpp"
 
 namespace bars {
 
@@ -41,23 +42,28 @@ SolveResult cg_solve(const Csr& a, const Vector& b, const CgOptions& opts,
   };
   precondition(r, z);
   p = z;
+  telemetry::SolveProbe probe(opts.solve.telemetry,
+                              opts.jacobi_preconditioner ? "pcg-jacobi" : "cg");
+  probe.start(a.rows(), a.nnz());
+
   value_t rz = dot(r, z);
   value_t rel = norm2(r) / den;
   if (opts.solve.record_history) res.residual_history.push_back(rel);
+  probe.iteration(0, rel);
 
   for (index_t it = 0; it < opts.solve.max_iters; ++it) {
     if (rel <= opts.solve.tol) {
-      res.converged = true;
+      res.status = SolverStatus::kConverged;
       break;
     }
     if (!std::isfinite(rel) || rel > opts.solve.divergence_limit) {
-      res.diverged = true;
+      res.status = SolverStatus::kDiverged;
       break;
     }
     a.spmv(p, ap);
     const value_t pap = dot(p, ap);
     if (pap <= 0.0) {
-      res.diverged = true;  // matrix not SPD along p
+      res.status = SolverStatus::kDiverged;  // matrix not SPD along p
       break;
     }
     const value_t alpha = rz / pap;
@@ -74,9 +80,11 @@ SolveResult cg_solve(const Csr& a, const Vector& b, const CgOptions& opts,
     rel = norm2(r) / den;
     res.iterations = it + 1;
     if (opts.solve.record_history) res.residual_history.push_back(rel);
+    probe.iteration(res.iterations, rel);
   }
-  if (rel <= opts.solve.tol) res.converged = true;
+  if (rel <= opts.solve.tol) res.status = SolverStatus::kConverged;
   res.final_residual = rel;
+  probe.finish(res.status, res.iterations, res.final_residual);
   return res;
 }
 

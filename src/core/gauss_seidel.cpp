@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sparse/vector_ops.hpp"
+#include "telemetry/probe.hpp"
 
 namespace bars {
 
@@ -47,17 +48,26 @@ SolveResult sor_solve(const Csr& a, const Vector& b, value_t omega,
   const value_t nb = norm2(b);
   const value_t den = nb > 0.0 ? nb : 1.0;
 
+  telemetry::SolveProbe probe(
+      opts.telemetry,
+      omega == 1.0
+          ? (dir == SweepDirection::kSymmetric ? "symmetric-gauss-seidel"
+                                               : "gauss-seidel")
+          : "sor");
+  probe.start(a.rows(), a.nnz());
+
   value_t rel = relative_residual(a, b, res.x);
   if (opts.record_history) res.residual_history.push_back(rel);
+  probe.iteration(0, rel);
   (void)den;
 
   for (index_t it = 0; it < opts.max_iters; ++it) {
     if (rel <= opts.tol) {
-      res.converged = true;
+      res.status = SolverStatus::kConverged;
       break;
     }
     if (!std::isfinite(rel) || rel > opts.divergence_limit) {
-      res.diverged = true;
+      res.status = SolverStatus::kDiverged;
       break;
     }
     switch (dir) {
@@ -75,9 +85,11 @@ SolveResult sor_solve(const Csr& a, const Vector& b, value_t omega,
     rel = relative_residual(a, b, res.x);
     res.iterations = it + 1;
     if (opts.record_history) res.residual_history.push_back(rel);
+    probe.iteration(res.iterations, rel);
   }
-  if (rel <= opts.tol) res.converged = true;
+  if (rel <= opts.tol) res.status = SolverStatus::kConverged;
   res.final_residual = rel;
+  probe.finish(res.status, res.iterations, res.final_residual);
   return res;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sparse/vector_ops.hpp"
+#include "telemetry/probe.hpp"
 
 namespace bars {
 
@@ -25,11 +26,15 @@ SolveResult gmres_solve(const Csr& a, const Vector& b,
   const value_t nb = norm2(b);
   const value_t den = nb > 0.0 ? nb : 1.0;
 
+  telemetry::SolveProbe probe(opts.solve.telemetry, "gmres");
+  probe.start(a.rows(), a.nnz());
+
   Vector r(n);
   a.residual(b, res.x, r);
   value_t beta = norm2(r);
   value_t rel = beta / den;
   if (opts.solve.record_history) res.residual_history.push_back(rel);
+  probe.iteration(0, rel);
 
   std::vector<Vector> v;                 // Krylov basis
   std::vector<std::vector<value_t>> h;   // Hessenberg columns
@@ -38,11 +43,11 @@ SolveResult gmres_solve(const Csr& a, const Vector& b,
 
   while (res.iterations < opts.solve.max_iters) {
     if (rel <= opts.solve.tol) {
-      res.converged = true;
+      res.status = SolverStatus::kConverged;
       break;
     }
     if (!std::isfinite(rel) || rel > opts.solve.divergence_limit) {
-      res.diverged = true;
+      res.status = SolverStatus::kDiverged;
       break;
     }
     // Start a cycle from the true residual.
@@ -50,7 +55,7 @@ SolveResult gmres_solve(const Csr& a, const Vector& b,
     beta = norm2(r);
     if (beta == 0.0) {
       rel = 0.0;
-      res.converged = true;
+      res.status = SolverStatus::kConverged;
       break;
     }
     v.assign(1, r);
@@ -96,6 +101,7 @@ SolveResult gmres_solve(const Csr& a, const Vector& b,
       ++res.iterations;
       rel = std::abs(g[k + 1]) / den;
       if (opts.solve.record_history) res.residual_history.push_back(rel);
+      probe.iteration(res.iterations, rel);
 
       if (rel <= opts.solve.tol) {
         ++k;
@@ -128,8 +134,9 @@ SolveResult gmres_solve(const Csr& a, const Vector& b,
       res.residual_history.back() = rel;  // replace estimate with true
     }
   }
-  if (rel <= opts.solve.tol) res.converged = true;
+  if (rel <= opts.solve.tol) res.status = SolverStatus::kConverged;
   res.final_residual = rel;
+  probe.finish(res.status, res.iterations, res.final_residual);
   return res;
 }
 

@@ -4,13 +4,15 @@
 #include <stdexcept>
 
 #include "sparse/vector_ops.hpp"
+#include "telemetry/probe.hpp"
 
 namespace bars {
 
 namespace {
 
 SolveResult jacobi_impl(const Csr& a, const Vector& b, value_t tau,
-                        const SolveOptions& opts, const Vector* x0) {
+                        const SolveOptions& opts, const Vector* x0,
+                        const char* name) {
   if (a.rows() != a.cols() ||
       static_cast<index_t>(b.size()) != a.rows()) {
     throw std::invalid_argument("jacobi_solve: dimension mismatch");
@@ -25,18 +27,22 @@ SolveResult jacobi_impl(const Csr& a, const Vector& b, value_t tau,
   const value_t nb = norm2(b);
   const value_t scale_den = nb > 0.0 ? nb : 1.0;
 
+  telemetry::SolveProbe probe(opts.telemetry, name);
+  probe.start(a.rows(), a.nnz());
+
   Vector r(n);
   a.residual(b, res.x, r);
   value_t rel = norm2(r) / scale_den;
   if (opts.record_history) res.residual_history.push_back(rel);
+  probe.iteration(0, rel);
 
   for (index_t it = 0; it < opts.max_iters; ++it) {
     if (rel <= opts.tol) {
-      res.converged = true;
+      res.status = SolverStatus::kConverged;
       break;
     }
     if (!std::isfinite(rel) || rel > opts.divergence_limit) {
-      res.diverged = true;
+      res.status = SolverStatus::kDiverged;
       break;
     }
     for (std::size_t i = 0; i < n; ++i) res.x[i] += tau * r[i] / d[i];
@@ -44,9 +50,11 @@ SolveResult jacobi_impl(const Csr& a, const Vector& b, value_t tau,
     rel = norm2(r) / scale_den;
     res.iterations = it + 1;
     if (opts.record_history) res.residual_history.push_back(rel);
+    probe.iteration(res.iterations, rel);
   }
-  if (rel <= opts.tol) res.converged = true;
+  if (rel <= opts.tol) res.status = SolverStatus::kConverged;
   res.final_residual = rel;
+  probe.finish(res.status, res.iterations, res.final_residual);
   return res;
 }
 
@@ -54,7 +62,7 @@ SolveResult jacobi_impl(const Csr& a, const Vector& b, value_t tau,
 
 SolveResult jacobi_solve(const Csr& a, const Vector& b,
                          const SolveOptions& opts, const Vector* x0) {
-  return jacobi_impl(a, b, 1.0, opts, x0);
+  return jacobi_impl(a, b, 1.0, opts, x0, "jacobi");
 }
 
 SolveResult scaled_jacobi_solve(const Csr& a, const Vector& b, value_t tau,
@@ -62,7 +70,7 @@ SolveResult scaled_jacobi_solve(const Csr& a, const Vector& b, value_t tau,
   if (tau <= 0.0) {
     throw std::invalid_argument("scaled_jacobi_solve: tau must be > 0");
   }
-  return jacobi_impl(a, b, tau, opts, x0);
+  return jacobi_impl(a, b, tau, opts, x0, "scaled-jacobi");
 }
 
 }  // namespace bars

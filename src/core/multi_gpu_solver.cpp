@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sparse/vector_ops.hpp"
+#include "telemetry/probe.hpp"
 
 namespace bars {
 
@@ -28,9 +29,10 @@ MultiGpuResult multi_gpu_block_async_solve(const Csr& a, const Vector& b,
   exec.num_devices = opts.num_devices;
   exec.scheme = opts.scheme;
   exec.params = opts.transfer;
-  exec.max_global_iters = opts.solve.max_iters;
-  exec.tol = opts.solve.tol;
-  exec.divergence_limit = opts.solve.divergence_limit;
+  exec.stopping.max_global_iters = opts.solve.max_iters;
+  exec.stopping.tol = opts.solve.tol;
+  exec.stopping.divergence_limit = opts.solve.divergence_limit;
+  exec.telemetry = opts.solve.telemetry;
   exec.slots_per_device = opts.slots_per_device;
   exec.global_iteration_time =
       model.gpu_block_async_iteration(shape, opts.local_iters);
@@ -45,14 +47,17 @@ MultiGpuResult multi_gpu_block_async_solve(const Csr& a, const Vector& b,
   MultiGpuResult out;
   out.solve.x = x0 ? *x0 : Vector(b.size(), 0.0);
 
+  telemetry::SolveProbe probe(opts.solve.telemetry, "multi-gpu-block-async");
+  probe.start(a.rows(), a.nnz(), part.num_blocks(), opts.num_devices,
+              telemetry::TimeDomain::kVirtual);
+
   gpusim::MultiDeviceExecutor executor(kernel, exec);
   const auto residual_fn = [&](const Vector& x) {
     return relative_residual(a, b, x);
   };
   gpusim::MultiDeviceResult r = executor.run(out.solve.x, residual_fn);
 
-  out.solve.converged = r.converged;
-  out.solve.diverged = r.diverged;
+  out.solve.status = r.status;
   out.solve.iterations = r.global_iterations;
   out.solve.final_residual = r.residual_history.back();
   if (opts.solve.record_history) {
@@ -64,6 +69,9 @@ MultiGpuResult multi_gpu_block_async_solve(const Csr& a, const Vector& b,
   out.num_transfers = r.num_transfers;
   out.time_to_convergence = r.virtual_time;
   out.resilience = std::move(r.resilience);
+  probe.finish(out.solve.status, out.solve.iterations,
+               out.solve.final_residual, 0, 0, r.virtual_time,
+               out.resilience.rollbacks + out.resilience.damped_restarts);
   return out;
 }
 

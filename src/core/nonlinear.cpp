@@ -160,9 +160,10 @@ NonlinearAsyncResult nonlinear_block_async_solve(
                                     opts.damping);
 
   gpusim::ExecutorOptions exec;
-  exec.max_global_iters = opts.solve.max_iters;
-  exec.tol = opts.solve.tol;
-  exec.divergence_limit = opts.solve.divergence_limit;
+  exec.stopping.max_global_iters = opts.solve.max_iters;
+  exec.stopping.tol = opts.solve.tol;
+  exec.stopping.divergence_limit = opts.solve.divergence_limit;
+  exec.telemetry = opts.solve.telemetry;
   exec.concurrent_slots = opts.concurrent_slots;
   exec.policy = opts.policy;
   exec.jitter = opts.jitter;
@@ -179,8 +180,7 @@ NonlinearAsyncResult nonlinear_block_async_solve(
   };
   gpusim::ExecutorResult r = executor.run(out.solve.x, residual_fn);
 
-  out.solve.converged = r.converged;
-  out.solve.diverged = r.diverged;
+  out.solve.status = r.status;
   out.solve.iterations = r.global_iterations;
   out.solve.final_residual = r.residual_history.back();
   if (opts.solve.record_history) {
@@ -216,11 +216,11 @@ SolveResult nonlinear_jacobi_solve(const Csr& a, const Vector& b,
   Vector ax(n);
   for (index_t it = 0; it < opts.max_iters; ++it) {
     if (rel <= opts.tol) {
-      res.converged = true;
+      res.status = SolverStatus::kConverged;
       break;
     }
     if (!std::isfinite(rel) || rel > opts.divergence_limit) {
-      res.diverged = true;
+      res.status = SolverStatus::kDiverged;
       break;
     }
     a.spmv(res.x, ax);
@@ -240,7 +240,7 @@ SolveResult nonlinear_jacobi_solve(const Csr& a, const Vector& b,
     res.iterations = it + 1;
     if (opts.record_history) res.residual_history.push_back(rel);
   }
-  if (rel <= opts.tol) res.converged = true;
+  if (rel <= opts.tol) res.status = SolverStatus::kConverged;
   res.final_residual = rel;
   return res;
 }

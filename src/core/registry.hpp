@@ -9,7 +9,9 @@
 /// \file registry.hpp
 /// Name-indexed access to every solver in the library, so tools and
 /// examples (e.g. examples/solve_mtx) can select solvers from the
-/// command line.
+/// command line. The implementation lives in bars_mg (the top layer)
+/// because the registry also exposes the multigrid solvers; link the
+/// umbrella `bars::bars` target to use it.
 
 namespace bars {
 

@@ -118,9 +118,10 @@ SdcRunResult block_async_solve_with_sdc(
       gpusim::CostModel::calibrated_to_paper();
   const gpusim::MatrixShape shape{opts.matrix_name, a.rows(), a.nnz()};
   gpusim::ExecutorOptions exec;
-  exec.max_global_iters = opts.solve.max_iters;
-  exec.tol = opts.solve.tol;
-  exec.divergence_limit = opts.solve.divergence_limit;
+  exec.stopping.max_global_iters = opts.solve.max_iters;
+  exec.stopping.tol = opts.solve.tol;
+  exec.stopping.divergence_limit = opts.solve.divergence_limit;
+  exec.telemetry = opts.solve.telemetry;
   exec.concurrent_slots = opts.concurrent_slots;
   exec.global_iteration_time =
       kModel.gpu_block_async_iteration(shape, opts.local_iters);
@@ -137,8 +138,7 @@ SdcRunResult block_async_solve_with_sdc(
       out.solve.solve.x,
       [&](const Vector& x) { return relative_residual(a, b, x); });
 
-  out.solve.solve.converged = r.converged;
-  out.solve.solve.diverged = r.diverged;
+  out.solve.solve.status = r.status;
   out.solve.solve.iterations = r.global_iterations;
   out.solve.solve.final_residual = r.residual_history.back();
   out.solve.solve.residual_history = r.residual_history;

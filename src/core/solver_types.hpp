@@ -2,15 +2,20 @@
 
 #include <vector>
 
+#include "common/solver_status.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/types.hpp"
+#include "telemetry/options.hpp"
 
 /// \file solver_types.hpp
 /// Common option/result types for all iterative solvers in BARS.
 
 namespace bars {
 
-/// Stopping and bookkeeping options shared by every solver.
+/// Stopping and bookkeeping options shared by every solver. Solver
+/// families embed this struct (CgOptions::solve, MgOptions::solve,
+/// BlockAsyncOptions::solve, ...) rather than re-declaring the knobs,
+/// so one naming convention covers the whole library.
 struct SolveOptions {
   index_t max_iters = 1000;
   /// Convergence when ||b - A x||_2 <= tol * ||b||_2 (absolute when
@@ -20,13 +25,17 @@ struct SolveOptions {
   value_t divergence_limit = 1e30;
   /// Record the residual after every iteration (Figs. 6, 7, 9, 10).
   bool record_history = true;
+  /// Observability hooks (observer + metrics registry). Null members
+  /// disable the feature; see docs/OBSERVABILITY.md.
+  telemetry::TelemetryOptions telemetry{};
 };
 
 /// Result of a solver run.
 struct SolveResult {
   Vector x;
-  bool converged = false;
-  bool diverged = false;
+  /// Why the solve stopped (the unified vocabulary from
+  /// common/solver_status.hpp).
+  SolverStatus status = SolverStatus::kMaxIterations;
   index_t iterations = 0;
   value_t final_residual = 0.0;  ///< relative l2 residual at exit
   /// residual_history[k] = relative residual after k iterations
@@ -35,6 +44,22 @@ struct SolveResult {
   /// For solvers with a virtual-time model: simulated seconds at which
   /// each history entry was recorded. Empty for plain CPU solvers.
   std::vector<value_t> time_history;
+
+  /// The solve ended at or below tol (kConverged or
+  /// kRecoveredConverged).
+  [[nodiscard]] bool ok() const noexcept { return succeeded(status); }
+
+  /// Legacy accessors for the retired converged/diverged bool pair.
+  /// They are functions (not data members) so stale writes fail to
+  /// compile instead of silently diverging from `status`.
+  [[deprecated("read status (or ok()) instead")]] [[nodiscard]] bool
+  converged() const noexcept {
+    return succeeded(status);
+  }
+  [[deprecated("read status instead")]] [[nodiscard]] bool diverged()
+      const noexcept {
+    return status == SolverStatus::kDiverged;
+  }
 };
 
 /// Relative l2 residual ||b - A x|| / ||b|| (absolute when ||b|| == 0).

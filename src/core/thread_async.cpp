@@ -1,5 +1,6 @@
 #include "core/thread_async.hpp"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -11,6 +12,8 @@
 #include "core/block_jacobi_kernel.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/vector_ops.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/probe.hpp"
 
 namespace bars {
 
@@ -60,7 +63,7 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
     // Empty system: with no blocks there are no workers, and the
     // monitor loop below would index empty per-worker counters.
     ThreadAsyncResult out;
-    out.solve.converged = true;
+    out.solve.status = SolverStatus::kConverged;
     if (opts.solve.record_history) out.solve.residual_history.push_back(0.0);
     return out;
   }
@@ -74,6 +77,14 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
 
   ThreadAsyncResult out;
   out.block_executions.assign(static_cast<std::size_t>(q), 0);
+
+  // Observability. All callbacks fire from this (monitor) thread only —
+  // workers never touch the observer, so the callback-serial contract
+  // holds even though the solve itself is multi-threaded. The phase
+  // timers are real wall clock (TimeDomain::kWall).
+  telemetry::SolveProbe probe(opts.solve.telemetry, "thread-async");
+  telemetry::MetricsRegistry* const metrics = opts.solve.telemetry.metrics;
+  probe.start(a.rows(), a.nnz(), q, threads, telemetry::TimeDomain::kWall);
 
   AtomicVector x(x0 ? *x0 : Vector(b.size(), 0.0));
   std::atomic<bool> stop{false};
@@ -125,6 +136,9 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
   for (index_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  if (metrics != nullptr) {
+    metrics->gauge("thread_async_setup_seconds").set(probe.elapsed_seconds());
+  }
 
   const value_t nb = norm2(b);
   const value_t den = nb > 0.0 ? nb : 1.0;
@@ -143,6 +157,7 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
     const value_t rel = residual_of(snap);
     if (opts.solve.record_history) sr.residual_history.push_back(rel);
     sr.final_residual = rel;
+    if (probe.active()) probe.iteration(0, rel, probe.elapsed_seconds());
   }
   // A "global iteration" completes when *every* block has executed at
   // least once more — the paper's counting convention, robust against
@@ -167,13 +182,16 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
     const value_t rel = residual_of(snap);
     if (opts.solve.record_history) sr.residual_history.push_back(rel);
     sr.final_residual = rel;
+    if (probe.active()) {
+      probe.iteration(sr.iterations, rel, probe.elapsed_seconds());
+    }
     if (rel <= opts.solve.tol) {
-      sr.converged = true;
+      sr.status = SolverStatus::kConverged;
       verdict_on_snap = true;
       break;
     }
     if (!std::isfinite(rel) || rel > opts.solve.divergence_limit) {
-      sr.diverged = true;
+      sr.status = SolverStatus::kDiverged;
       verdict_on_snap = true;
       break;
     }
@@ -181,6 +199,9 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : pool) t.join();
+  if (metrics != nullptr) {
+    metrics->gauge("thread_async_solve_seconds").set(probe.elapsed_seconds());
+  }
 
   if (verdict_on_snap) {
     // The verdict was rendered on `snap`; returning that very iterate
@@ -191,7 +212,9 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
     // the freshest iterate and its residual.
     x.snapshot_into(sr.x);
     sr.final_residual = residual_of(sr.x);
-    if (sr.final_residual <= opts.solve.tol) sr.converged = true;
+    if (sr.final_residual <= opts.solve.tol) {
+      sr.status = SolverStatus::kConverged;
+    }
   }
   out.block_executions.resize(static_cast<std::size_t>(q));
   for (index_t blk = 0; blk < q; ++blk) {
@@ -200,6 +223,24 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
   }
   out.total_block_executions = static_cast<index_t>(
       executions.load(std::memory_order_relaxed));
+  if (metrics != nullptr) {
+    // Per-worker progress spread: how evenly the chaotic schedule
+    // distributed stride passes (the thread-pool analogue of the
+    // paper's block-update-count spread).
+    constexpr std::array<value_t, 10> kPassBounds = {
+        1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0};
+    telemetry::Histogram& passes =
+        metrics->histogram("thread_async_worker_passes", kPassBounds);
+    for (index_t t = 0; t < threads; ++t) {
+      passes.record(static_cast<value_t>(
+          pass_counts[t].load(std::memory_order_relaxed)));
+    }
+    metrics->counter("thread_async_block_executions")
+        .inc(static_cast<std::uint64_t>(out.total_block_executions));
+    metrics->gauge("thread_async_total_seconds").set(probe.elapsed_seconds());
+  }
+  probe.finish(sr.status, sr.iterations, sr.final_residual,
+               out.total_block_executions);
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include "gpusim/stopping.hpp"
 #include "gpusim/worker_pool.hpp"
 #include "stats/rng.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bars::gpusim {
 
@@ -89,7 +90,9 @@ ExecutorResult AsyncExecutor::run(
   if (q == 0) {
     res.residual_history.push_back(residual_fn(x));
     res.time_history.push_back(0.0);
-    res.converged = res.residual_history.back() <= opts_.tol;
+    if (res.residual_history.back() <= opts_.stopping.tol) {
+      res.status = SolverStatus::kConverged;
+    }
     return res;
   }
 
@@ -118,29 +121,36 @@ ExecutorResult AsyncExecutor::run(
       std::max<index_t>(opts_.residual_refresh_every, 1);
   index_t checks_since_exact = 0;
   index_t total_checks = 0;
+  // Observability: re-anchor count goes to the metrics registry (it is
+  // a solver-internal rate, not an event); commit events go to the
+  // observer, gated so iteration-level consumers skip the volume.
+  telemetry::Counter* reanchors =
+      opts_.telemetry.metrics
+          ? &opts_.telemetry.metrics->counter("incremental_residual_reanchors")
+          : nullptr;
   const auto monitor_fn = [&](const Vector& xv) -> value_t {
     if (!tracker) return residual_fn(xv);
     ++checks_since_exact;
     ++total_checks;
     if (checks_since_exact < refresh_every &&
-        total_checks < opts_.max_global_iters) {
+        total_checks < opts_.stopping.max_global_iters) {
       const value_t est = tracker->relative();
       // Only a certified-exact value may drive a stopping verdict.
-      if (std::isfinite(est) && est > opts_.tol &&
-          est <= opts_.divergence_limit) {
+      if (std::isfinite(est) && est > opts_.stopping.tol &&
+          est <= opts_.stopping.divergence_limit) {
         return est;
       }
     }
     tracker->reset(xv);
     checks_since_exact = 0;
+    if (reanchors) reanchors->inc();
     return tracker->relative();  // bit-identical to residual_fn here
   };
 
-  IterationMonitor monitor(
-      StoppingCriteria{opts_.max_global_iters, opts_.tol,
-                       opts_.divergence_limit},
-      opts_.resilience ? &*opts_.resilience : nullptr,
-      timeline ? &*timeline : nullptr, q);
+  IterationMonitor monitor(opts_.stopping,
+                           opts_.resilience ? &*opts_.resilience : nullptr,
+                           timeline ? &*timeline : nullptr, q,
+                           opts_.telemetry.observer);
   monitor.record_initial(residual_fn(x));
   if (tracker) tracker->reset(x);
 
@@ -151,6 +161,12 @@ ExecutorResult AsyncExecutor::run(
   // Generation bookkeeping for the staleness diagnostic.
   std::vector<index_t> write_generation(static_cast<std::size_t>(q), 0);
   MinGenTracker gen_tracker(write_generation);
+  // Staleness of the in-flight execution's halo read, sampled at kRead
+  // and reported with the matching commit event.
+  telemetry::SolveObserver* const obs = opts_.telemetry.observer;
+  const bool emit_commits = obs != nullptr && opts_.telemetry.block_commits;
+  std::vector<index_t> pending_staleness(
+      emit_commits ? static_cast<std::size_t>(q) : 0, 0);
 
   // O(1) row -> owning block table; kills the former O(halo * q)
   // owner scan when assembling the staleness diagnostic's halo-source
@@ -276,6 +292,16 @@ ExecutorResult AsyncExecutor::run(
   // then the global-iteration boundary, then slot refill.
   const auto commit_write = [&](index_t b) {
     if (opts_.record_trace) res.trace.record(pending_trace[b]);
+    if (emit_commits) {
+      // Emitted from the serial replay in both commit paths, so the
+      // event order is part of the bit-identity contract.
+      telemetry::BlockCommitEvent cev;
+      cev.block = b;
+      cev.generation = write_generation[b];
+      cev.virtual_time = now;
+      cev.staleness = pending_staleness[b];
+      obs->on_block_commit(cev);
+    }
     ++res.block_executions[b];
     ++write_generation[b];
     gen_tracker.on_write(b);
@@ -297,8 +323,7 @@ ExecutorResult AsyncExecutor::run(
       const StopVerdict verdict = monitor.on_global_iteration(
           global_iter, now, x, monitor_fn, res.block_executions);
       if (verdict != StopVerdict::kContinue) {
-        res.converged = verdict == StopVerdict::kConverged;
-        res.diverged = verdict == StopVerdict::kDiverged;
+        res.status = monitor.status_for(verdict);
         stopped = true;
         return;
       }
@@ -336,11 +361,14 @@ ExecutorResult AsyncExecutor::run(
       for (std::size_t i = 0; i < halo.size(); ++i) snap[i] = x[halo[i]];
       if (timeline) timeline->maybe_corrupt_halo(snap);
       // Staleness diagnostic: generation gap to each halo source.
+      index_t read_staleness = 0;
       for (index_t s : halo_sources[b]) {
         const index_t gap =
             std::abs(write_generation[b] - write_generation[s]);
-        res.max_staleness = std::max(res.max_staleness, gap);
+        read_staleness = std::max(read_staleness, gap);
       }
+      res.max_staleness = std::max(res.max_staleness, read_staleness);
+      if (emit_commits) pending_staleness[b] = read_staleness;
       continue;
     }
 

@@ -4,12 +4,15 @@
 #include <memory>
 #include <optional>
 
+#include "common/solver_status.hpp"
 #include "gpusim/block_kernel.hpp"
 #include "gpusim/fault.hpp"
+#include "gpusim/stopping.hpp"
 #include "gpusim/trace.hpp"
 #include "resilience/recovery.hpp"
 #include "resilience/scenario.hpp"
 #include "sparse/types.hpp"
+#include "telemetry/options.hpp"
 
 /// \file async_executor.hpp
 /// Discrete-event simulator of one GPU running an asynchronous
@@ -42,12 +45,18 @@ enum class SchedulePolicy {
 };
 
 struct ExecutorOptions {
-  index_t max_global_iters = 1000;
-  /// Stop when residual_fn(x) <= tol (residual_fn decides the norm and
-  /// scaling; the paper uses the relative l2 residual).
-  value_t tol = 1e-14;
-  /// Stop and flag divergence when the residual exceeds this.
-  value_t divergence_limit = 1e30;
+  /// Stopping knobs (max_global_iters / tol / divergence_limit), the
+  /// same struct the IterationMonitor consumes. Convergence is
+  /// residual_fn(x) <= tol (residual_fn decides the norm and scaling;
+  /// the paper uses the relative l2 residual).
+  StoppingCriteria stopping{};
+
+  /// Observability hooks. The executor emits on_block_commit (gated by
+  /// telemetry.block_commits) and feeds on_iteration /
+  /// on_recovery_event through the IterationMonitor; solver front-ends
+  /// emit on_start / on_finish. Disabled (null observer) costs one
+  /// branch per commit.
+  telemetry::TelemetryOptions telemetry{};
 
   index_t concurrent_slots = 14;  ///< multiprocessors (C2070: 14)
   /// Virtual seconds for one *global* iteration (all blocks once);
@@ -116,8 +125,10 @@ struct ExecutorOptions {
 };
 
 struct ExecutorResult {
-  bool converged = false;
-  bool diverged = false;
+  /// Why the run stopped; kRecoveredConverged when the resilience
+  /// layer rewrote the iterate on the way to convergence.
+  SolverStatus status = SolverStatus::kMaxIterations;
+  [[nodiscard]] bool ok() const { return succeeded(status); }
   index_t global_iterations = 0;
   value_t virtual_time = 0.0;  ///< simulated seconds at stop
   /// residual_history[k] = residual after k global iterations

@@ -68,7 +68,9 @@ MultiDeviceResult MultiDeviceExecutor::run(
   if (q == 0) {
     res.residual_history.push_back(residual_fn(x));
     res.time_history.push_back(0.0);
-    res.converged = res.residual_history.back() <= opts_.tol;
+    if (res.residual_history.back() <= opts_.stopping.tol) {
+      res.status = SolverStatus::kConverged;
+    }
     return res;
   }
 
@@ -152,11 +154,12 @@ MultiDeviceResult MultiDeviceExecutor::run(
     timeline.emplace(to_scenario(*opts_.fault), n, nd);
   }
 
-  IterationMonitor monitor(
-      StoppingCriteria{opts_.max_global_iters, opts_.tol,
-                       opts_.divergence_limit},
-      opts_.resilience ? &*opts_.resilience : nullptr,
-      timeline ? &*timeline : nullptr, q);
+  telemetry::SolveObserver* const obs = opts_.telemetry.observer;
+  const bool emit_commits = obs != nullptr && opts_.telemetry.block_commits;
+
+  IterationMonitor monitor(opts_.stopping,
+                           opts_.resilience ? &*opts_.resilience : nullptr,
+                           timeline ? &*timeline : nullptr, q, obs);
   monitor.record_initial(residual_fn(x));
   if (timeline) timeline->advance(0);
 
@@ -209,6 +212,10 @@ MultiDeviceResult MultiDeviceExecutor::run(
 
   std::vector<Vector> halo_snapshot(static_cast<std::size_t>(q));
 
+  index_t total_writes = 0;
+  index_t global_iter = 0;
+  bool stop = false;
+
   // Scheme transfer bookkeeping.
   const auto segment_bytes = [&](index_t d) {
     return 8.0 * static_cast<value_t>(dev_rows[d].second - dev_rows[d].first);
@@ -237,6 +244,10 @@ MultiDeviceResult MultiDeviceExecutor::run(
       // and the device backs off exponentially before computing on. The
       // next sweep end retries.
       ++link_retries;
+      if (obs) {
+        obs->on_recovery_event({telemetry::RecoveryEvent::Kind::kLinkRetry,
+                                global_iter, 0.0, d});
+      }
       const value_t backoff =
           opts_.link_retry_backoff_s *
           static_cast<value_t>(index_t{1} << std::min<index_t>(link_fails[d], 6));
@@ -333,10 +344,6 @@ MultiDeviceResult MultiDeviceExecutor::run(
     return at;
   };
 
-  index_t total_writes = 0;
-  index_t global_iter = 0;
-  bool stop = false;
-
   while (!stop && !events.empty()) {
     Event ev = events.top();
     events.pop();
@@ -382,6 +389,14 @@ MultiDeviceResult MultiDeviceExecutor::run(
           std::copy(view.begin() + lo, view.begin() + hi,
                     canonical.begin() + lo);
         }
+        if (emit_commits) {
+          telemetry::BlockCommitEvent cev;
+          cev.block = ev.block;
+          cev.device = d;
+          cev.generation = write_generation[ev.block];
+          cev.virtual_time = now;
+          obs->on_block_commit(cev);
+        }
         ++total_writes;
         ++write_generation[ev.block];
         DeviceState& s = dev[d];
@@ -417,8 +432,7 @@ MultiDeviceResult MultiDeviceExecutor::run(
             for (Vector& v : views) v = canonical;
           }
           if (verdict != StopVerdict::kContinue) {
-            res.converged = verdict == StopVerdict::kConverged;
-            res.diverged = verdict == StopVerdict::kDiverged;
+            res.status = monitor.status_for(verdict);
             stop = true;
             break;
           }
@@ -430,7 +444,16 @@ MultiDeviceResult MultiDeviceExecutor::run(
               const bool down = timeline->device_down(e);
               if (was_down[e] && !down) {
                 if (!dk) views[static_cast<std::size_t>(e)] = canonical;
+                if (obs) {
+                  obs->on_recovery_event(
+                      {telemetry::RecoveryEvent::Kind::kDeviceRejoin,
+                       global_iter, 0.0, e});
+                }
                 try_start(e);
+              } else if (!was_down[e] && down && obs) {
+                obs->on_recovery_event(
+                    {telemetry::RecoveryEvent::Kind::kDeviceDropout,
+                     global_iter, 0.0, e});
               }
               was_down[e] = down ? 1 : 0;
             }

@@ -4,12 +4,15 @@
 
 #include <optional>
 
+#include "common/solver_status.hpp"
 #include "gpusim/block_kernel.hpp"
 #include "gpusim/fault.hpp"
+#include "gpusim/stopping.hpp"
 #include "gpusim/topology.hpp"
 #include "resilience/recovery.hpp"
 #include "resilience/scenario.hpp"
 #include "sparse/types.hpp"
+#include "telemetry/options.hpp"
 
 /// \file multi_device.hpp
 /// Discrete-event simulator of the multi-GPU block-asynchronous
@@ -38,9 +41,14 @@ struct MultiDeviceOptions {
   TransferScheme scheme = TransferScheme::kAMC;
   TransferParams params{};
 
-  index_t max_global_iters = 1000;
-  value_t tol = 1e-14;
-  value_t divergence_limit = 1e30;
+  /// Stopping knobs (max_global_iters / tol / divergence_limit); same
+  /// consolidated struct the IterationMonitor consumes.
+  StoppingCriteria stopping{};
+
+  /// Observability hooks. Per-device block commits (device field set),
+  /// device dropout/rejoin and link-retry recovery events, plus the
+  /// monitor's iteration/recovery stream.
+  telemetry::TelemetryOptions telemetry{};
 
   index_t slots_per_device = 14;
   /// Virtual seconds one device would need for all q blocks (the
@@ -72,8 +80,10 @@ struct MultiDeviceOptions {
 };
 
 struct MultiDeviceResult {
-  bool converged = false;
-  bool diverged = false;
+  /// Why the run stopped (kRecoveredConverged when resilience rewrote
+  /// the iterate on the way to convergence).
+  SolverStatus status = SolverStatus::kMaxIterations;
+  [[nodiscard]] bool ok() const { return succeeded(status); }
   index_t global_iterations = 0;
   value_t virtual_time = 0.0;
   std::vector<value_t> residual_history;

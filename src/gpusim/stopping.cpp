@@ -5,11 +5,14 @@
 
 namespace bars::gpusim {
 
+using telemetry::RecoveryEvent;
+
 IterationMonitor::IterationMonitor(StoppingCriteria criteria,
                                    const resilience::Policy* policy,
                                    resilience::ScenarioTimeline* timeline,
-                                   index_t num_blocks)
-    : crit_(criteria), timeline_(timeline) {
+                                   index_t num_blocks,
+                                   telemetry::SolveObserver* observer)
+    : crit_(criteria), timeline_(timeline), observer_(observer) {
   if (policy) {
     if (policy->checkpointing) {
       checkpoint_.emplace(policy->checkpoint);
@@ -28,10 +31,11 @@ void IterationMonitor::record_initial(value_t r0) {
   history_.push_back(r0);
   times_.push_back(0.0);
   if (detector_) (void)detector_->push(r0);
+  if (observer_) observer_->on_iteration({0, r0, 0.0});
 }
 
 void IterationMonitor::damped_restart(
-    Vector& x, value_t& r,
+    index_t iter, Vector& x, value_t& r,
     const std::function<value_t(const Vector&)>& residual_fn) {
   if (checkpoint_ && checkpoint_->has()) {
     x = checkpoint_->best().x;
@@ -44,6 +48,7 @@ void IterationMonitor::damped_restart(
   ++report_.damped_restarts;
   if (detector_) detector_->reset(r);
   if (watchdog_) watchdog_->reset(r);
+  emit_recovery(RecoveryEvent::Kind::kDampedRestart, iter, r);
 }
 
 StopVerdict IterationMonitor::on_global_iteration(
@@ -53,6 +58,7 @@ StopVerdict IterationMonitor::on_global_iteration(
   value_t r = residual_fn(x);
   history_.push_back(r);
   times_.push_back(now);
+  if (observer_) observer_->on_iteration({iter, r, now});
   if (timeline_) timeline_->advance(iter);
 
   bool anomalous = false;
@@ -61,6 +67,8 @@ StopVerdict IterationMonitor::on_global_iteration(
       ++report_.detections;
       report_.detection_iterations.push_back(iter);
       anomalous = true;
+      emit_recovery(RecoveryEvent::Kind::kAnomalyDetected, iter, r,
+                    static_cast<index_t>(anomaly->kind));
       // Roll back on corruption signatures (jump / non-finite). A stall
       // is dead components, not a bad iterate — rolling back cannot
       // help; that is the watchdog's reassignment case.
@@ -71,6 +79,7 @@ StopVerdict IterationMonitor::on_global_iteration(
         ++report_.rollbacks;
         detector_->reset(r);
         if (watchdog_) watchdog_->reset(r);
+        emit_recovery(RecoveryEvent::Kind::kRollback, iter, r);
       }
     }
   }
@@ -80,30 +89,37 @@ StopVerdict IterationMonitor::on_global_iteration(
         watchdog_->observe(iter, r, block_executions);
     for (index_t b : v.newly_stalled_blocks) {
       report_.stalled_blocks.push_back(b);
+      emit_recovery(RecoveryEvent::Kind::kBlockStalled, iter, r, b);
     }
     if (v.reassign && timeline_) {
       const index_t freed = timeline_->reassign_failed_components();
       if (freed > 0) {
         ++report_.watchdog_reassignments;
         report_.components_reassigned += freed;
+        emit_recovery(RecoveryEvent::Kind::kWatchdogReassignment, iter, r,
+                      freed);
       }
     }
     if (v.damped_restart && restarts_done_ < max_restarts_) {
-      damped_restart(x, r, residual_fn);
+      damped_restart(iter, x, r, residual_fn);
     }
   }
 
   // Checkpoint only clean iterates: an anomalous residual must never
   // become the rollback target.
   if (checkpoint_ && !anomalous) {
+    const index_t before = checkpoint_->saved_count();
     checkpoint_->observe(iter, r, x);
     report_.checkpoints_saved = checkpoint_->saved_count();
+    if (report_.checkpoints_saved > before) {
+      emit_recovery(RecoveryEvent::Kind::kCheckpointSaved, iter, r);
+    }
   }
 
   if (r <= crit_.tol) return StopVerdict::kConverged;
   if (!std::isfinite(r) || r > crit_.divergence_limit) {
     if (watchdog_ && restarts_done_ < max_restarts_) {
-      damped_restart(x, r, residual_fn);
+      damped_restart(iter, x, r, residual_fn);
       if (r <= crit_.tol) return StopVerdict::kConverged;
       if (std::isfinite(r) && r <= crit_.divergence_limit) {
         if (iter >= crit_.max_global_iters) return StopVerdict::kIterLimit;

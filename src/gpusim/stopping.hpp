@@ -4,9 +4,11 @@
 #include <span>
 #include <vector>
 
+#include "common/solver_status.hpp"
 #include "resilience/recovery.hpp"
 #include "resilience/scenario.hpp"
 #include "sparse/types.hpp"
+#include "telemetry/observer.hpp"
 
 /// \file stopping.hpp
 /// Shared per-global-iteration bookkeeping for AsyncExecutor and
@@ -36,12 +38,20 @@ enum class StopVerdict {
 /// `timeline` may be null (plain run, legacy behavior bit-for-bit).
 /// The monitor owns the residual/time histories; executors move them
 /// into their result structs after the run loop.
+///
+/// The monitor is also the telemetry emission point shared by both
+/// executors: when an observer is attached it receives one
+/// on_iteration per boundary (mirroring the history entries) and one
+/// on_recovery_event per resilience action. Solver front-ends emit
+/// on_start / on_finish themselves (they know the solver name and the
+/// wall clock); the executors emit on_block_commit.
 class IterationMonitor {
  public:
   IterationMonitor(StoppingCriteria criteria,
                    const resilience::Policy* policy,
                    resilience::ScenarioTimeline* timeline,
-                   index_t num_blocks);
+                   index_t num_blocks,
+                   telemetry::SolveObserver* observer = nullptr);
 
   /// Record the initial residual (history index 0, time 0).
   void record_initial(value_t r0);
@@ -69,8 +79,32 @@ class IterationMonitor {
   /// folded in from the timeline).
   [[nodiscard]] resilience::Report take_report();
 
+  /// Map the final verdict to the unified SolverStatus, accounting for
+  /// recovery: a converged run whose iterate the monitor rewrote along
+  /// the way is kRecoveredConverged, not plain kConverged. Call before
+  /// take_report().
+  [[nodiscard]] SolverStatus status_for(StopVerdict v) const {
+    switch (v) {
+      case StopVerdict::kConverged:
+        return iterate_mutations() > 0 ? SolverStatus::kRecoveredConverged
+                                       : SolverStatus::kConverged;
+      case StopVerdict::kDiverged:
+        return SolverStatus::kDiverged;
+      case StopVerdict::kContinue:
+      case StopVerdict::kIterLimit:
+        break;
+    }
+    return SolverStatus::kMaxIterations;
+  }
+
  private:
-  void damped_restart(Vector& x, value_t& r,
+  void emit_recovery(telemetry::RecoveryEvent::Kind kind, index_t iter,
+                     value_t residual, index_t detail = 0) {
+    if (observer_ == nullptr) return;
+    observer_->on_recovery_event({kind, iter, residual, detail});
+  }
+
+  void damped_restart(index_t iter, Vector& x, value_t& r,
                       const std::function<value_t(const Vector&)>& residual_fn);
 
   StoppingCriteria crit_;
@@ -85,6 +119,7 @@ class IterationMonitor {
   std::vector<value_t> history_;
   std::vector<value_t> times_;
   resilience::Report report_;
+  telemetry::SolveObserver* observer_ = nullptr;
 };
 
 }  // namespace bars::gpusim

@@ -9,6 +9,7 @@
 #include "matrices/generators.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/vector_ops.hpp"
+#include "telemetry/probe.hpp"
 
 namespace bars::mg {
 
@@ -111,35 +112,47 @@ void PoissonMultigrid::vcycle(index_t level, const Vector& b, Vector& x,
   smoother_(a, b, x, opts.post_smooth);
 }
 
-MgResult PoissonMultigrid::solve(const Vector& b,
-                                 const MgOptions& opts) const {
+SolveResult PoissonMultigrid::solve(const Vector& b,
+                                    const MgOptions& opts) const {
   const Csr& a = levels_.front();
   if (static_cast<index_t>(b.size()) != a.rows()) {
     throw std::invalid_argument("PoissonMultigrid::solve: size mismatch");
   }
-  MgResult res;
+  SolveResult res;
   res.x.assign(b.size(), 0.0);
   const value_t nb = norm2(b);
   const value_t den = nb > 0.0 ? nb : 1.0;
 
+  telemetry::SolveProbe probe(opts.solve.telemetry,
+                              opts.cycle == CycleType::kW ? "multigrid-w"
+                                                          : "multigrid-v");
+  probe.start(a.rows(), a.nnz(), num_levels());
+
   Vector r(b.size());
   a.residual(b, res.x, r);
   value_t rel = norm2(r) / den;
-  res.residual_history.push_back(rel);
+  if (opts.solve.record_history) res.residual_history.push_back(rel);
+  probe.iteration(0, rel);
 
-  for (index_t cycle = 0; cycle < opts.max_cycles; ++cycle) {
-    if (rel <= opts.tol) {
-      res.converged = true;
+  for (index_t cycle = 0; cycle < opts.solve.max_iters; ++cycle) {
+    if (rel <= opts.solve.tol) {
+      res.status = SolverStatus::kConverged;
+      break;
+    }
+    if (!std::isfinite(rel) || rel > opts.solve.divergence_limit) {
+      res.status = SolverStatus::kDiverged;
       break;
     }
     vcycle(0, b, res.x, opts);
     a.residual(b, res.x, r);
     rel = norm2(r) / den;
-    res.cycles = cycle + 1;
-    res.residual_history.push_back(rel);
+    res.iterations = cycle + 1;
+    if (opts.solve.record_history) res.residual_history.push_back(rel);
+    probe.iteration(res.iterations, rel);
   }
-  if (rel <= opts.tol) res.converged = true;
+  if (rel <= opts.solve.tol) res.status = SolverStatus::kConverged;
   res.final_residual = rel;
+  probe.finish(res.status, res.iterations, res.final_residual);
   return res;
 }
 
@@ -180,6 +193,41 @@ Smoother block_async_smoother(index_t block_size, index_t local_iters,
     const BlockAsyncResult r = block_async_solve(a, b, o, &x);
     x = r.solve.x;
   };
+}
+
+std::optional<index_t> poisson_grid_size(const Csr& a) {
+  if (a.rows() != a.cols() || a.rows() < 9) return std::nullopt;
+  const auto m = static_cast<index_t>(
+      std::lround(std::sqrt(static_cast<double>(a.rows()))));
+  if (m * m != a.rows() || !is_pow2_minus_1(m)) return std::nullopt;
+  // Recover c from the first diagonal entry, then demand an exact
+  // structural and numerical match with the generator's stencil.
+  const auto cols0 = a.row_cols(0);
+  const auto vals0 = a.row_vals(0);
+  value_t diag0 = 0.0;
+  bool found = false;
+  for (std::size_t k = 0; k < cols0.size(); ++k) {
+    if (cols0[k] == 0) {
+      diag0 = vals0[k];
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::nullopt;
+  const value_t c = diag0 - 4.0;
+  const Csr ref = fv_like(m, c);
+  if (ref.rows() != a.rows() || ref.nnz() != a.nnz()) return std::nullopt;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto ac = a.row_cols(i);
+    const auto av = a.row_vals(i);
+    const auto rc = ref.row_cols(i);
+    const auto rv = ref.row_vals(i);
+    if (ac.size() != rc.size()) return std::nullopt;
+    for (std::size_t k = 0; k < ac.size(); ++k) {
+      if (ac[k] != rc[k] || av[k] != rv[k]) return std::nullopt;
+    }
+  }
+  return m;
 }
 
 }  // namespace bars::mg

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/solver_types.hpp"
@@ -26,17 +27,12 @@ struct MgOptions {
   CycleType cycle = CycleType::kV;
   index_t pre_smooth = 2;
   index_t post_smooth = 2;
-  index_t max_cycles = 100;
-  value_t tol = 1e-10;          ///< relative residual on the fine grid
+  /// Shared stopping/telemetry knobs: max_iters counts V/W-cycles and
+  /// tol is the relative residual on the fine grid. Defaults differ
+  /// from a plain SolveOptions{} because a cycle is far more work than
+  /// a relaxation sweep.
+  SolveOptions solve = {.max_iters = 100, .tol = 1e-10};
   index_t coarsest_size = 7;    ///< direct-solve when m <= this
-};
-
-struct MgResult {
-  Vector x;
-  bool converged = false;
-  index_t cycles = 0;
-  value_t final_residual = 0.0;
-  std::vector<value_t> residual_history;  ///< per V-cycle
 };
 
 /// Multigrid hierarchy for the 5-point Laplacian (+ c*I) on m x m
@@ -46,8 +42,11 @@ class PoissonMultigrid {
   /// Throws unless m is 2^k - 1 for some k >= 2.
   PoissonMultigrid(index_t m, value_t c, Smoother smoother);
 
-  [[nodiscard]] MgResult solve(const Vector& b,
-                               const MgOptions& opts = {}) const;
+  /// Runs cycles until the fine-grid relative residual meets
+  /// opts.solve.tol. In the result, `iterations` counts cycles and
+  /// `residual_history` has one entry per cycle (plus the initial).
+  [[nodiscard]] SolveResult solve(const Vector& b,
+                                  const MgOptions& opts = {}) const;
 
   [[nodiscard]] const Csr& fine_matrix() const { return levels_.front(); }
   [[nodiscard]] index_t num_levels() const {
@@ -72,5 +71,12 @@ class PoissonMultigrid {
 [[nodiscard]] Smoother block_async_smoother(index_t block_size = 64,
                                             index_t local_iters = 2,
                                             std::uint64_t seed = 99);
+
+/// Returns the grid edge m when `a` is exactly fv_like(m, c) for some
+/// reaction coefficient c and m = 2^k - 1 (i.e. a matrix that
+/// PoissonMultigrid can coarsen), and std::nullopt otherwise. Used by
+/// the solver registry to validate matrices before building a
+/// hierarchy.
+[[nodiscard]] std::optional<index_t> poisson_grid_size(const Csr& a);
 
 }  // namespace bars::mg

@@ -1,5 +1,6 @@
 #include "core/registry.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "core/block_async.hpp"
@@ -11,10 +12,30 @@
 #include "core/jacobi.hpp"
 #include "core/thread_async.hpp"
 #include "eigen/condition.hpp"
+#include "mg/multigrid.hpp"
 
 namespace bars {
 
 namespace {
+
+/// Builds the multigrid hierarchy for `a`, or throws when `a` is not a
+/// matrix the geometric hierarchy can represent (fv_like(m, c) with
+/// m = 2^k - 1).
+mg::PoissonMultigrid make_hierarchy(const Csr& a, mg::Smoother smoother) {
+  const auto m = mg::poisson_grid_size(a);
+  if (!m) {
+    throw std::invalid_argument(
+        "multigrid solvers require an fv_like(m, c) matrix with "
+        "m = 2^k - 1");
+  }
+  value_t c = 0.0;
+  const auto cols = a.row_cols(0);
+  const auto vals = a.row_vals(0);
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (cols[k] == 0) c = vals[k] - 4.0;
+  }
+  return mg::PoissonMultigrid(*m, c, std::move(smoother));
+}
 
 struct Entry {
   const char* name;
@@ -59,6 +80,14 @@ SolveResult run_pcg_jacobi(const Csr& a, const Vector& b,
   co.solve = o.solve;
   co.jacobi_preconditioner = true;
   return cg_solve(a, b, co);
+}
+
+SolveResult run_fcg_jacobi(const Csr& a, const Vector& b,
+                           const RegistrySolveOptions& o) {
+  FcgOptions fo;
+  fo.solve = o.solve;
+  fo.preconditioner = jacobi_preconditioner();
+  return fcg_solve(a, b, fo);
 }
 
 SolveResult run_fcg_async(const Csr& a, const Vector& b,
@@ -106,6 +135,41 @@ SolveResult run_thread_async(const Csr& a, const Vector& b,
   return thread_async_solve(a, b, to).solve;
 }
 
+SolveResult run_mg(const Csr& a, const Vector& b,
+                   const RegistrySolveOptions& o) {
+  const auto hierarchy = make_hierarchy(a, mg::gauss_seidel_smoother());
+  mg::MgOptions mo;
+  mo.solve = o.solve;
+  return hierarchy.solve(b, mo);
+}
+
+SolveResult run_mg_async(const Csr& a, const Vector& b,
+                         const RegistrySolveOptions& o) {
+  const auto hierarchy = make_hierarchy(
+      a, mg::block_async_smoother(o.block_size, o.local_iters, o.seed));
+  mg::MgOptions mo;
+  mo.solve = o.solve;
+  return hierarchy.solve(b, mo);
+}
+
+SolveResult run_fcg_mg(const Csr& a, const Vector& b,
+                       const RegistrySolveOptions& o) {
+  // One V-cycle from a zero initial guess is a linear, SPD-friendly
+  // approximation of A^{-1} — exactly what FCG wants as z = M^{-1} r.
+  auto hierarchy = std::make_shared<mg::PoissonMultigrid>(
+      make_hierarchy(a, mg::gauss_seidel_smoother()));
+  FcgOptions fo;
+  fo.solve = o.solve;
+  fo.preconditioner = [hierarchy](const Csr&, const Vector& r, Vector& z) {
+    mg::MgOptions mo;
+    mo.solve.max_iters = 1;
+    mo.solve.tol = 0.0;
+    mo.solve.record_history = false;
+    z = hierarchy->solve(r, mo).x;
+  };
+  return fcg_solve(a, b, fo);
+}
+
 constexpr Entry kEntries[] = {
     {"jacobi", run_jacobi},
     {"scaled-jacobi", run_scaled_jacobi},
@@ -115,10 +179,14 @@ constexpr Entry kEntries[] = {
     {"cg", run_cg},
     {"gmres", run_gmres},
     {"pcg-jacobi", run_pcg_jacobi},
+    {"fcg-jacobi", run_fcg_jacobi},
     {"fcg-async", run_fcg_async},
     {"block-jacobi", run_block_jacobi},
     {"block-async", run_async},
     {"thread-async", run_thread_async},
+    {"mg", run_mg},
+    {"mg-async", run_mg_async},
+    {"fcg-mg", run_fcg_mg},
 };
 
 }  // namespace

@@ -1,0 +1,201 @@
+#include "telemetry/metrics.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace bars::telemetry {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; squash the rest.
+std::string sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const value_t> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      counts_(upper_bounds.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    BARS_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+}
+
+value_t Histogram::upper_bound(std::size_t i) const noexcept {
+  if (i >= bounds_.size()) return std::numeric_limits<value_t>::infinity();
+  return bounds_[i];
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(
+    std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (const Entry* e = find(name)) {
+    if (e->kind != Kind::kCounter) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered with another type");
+    }
+    return counters_[e->index];
+  }
+  entries_.push_back({std::string(name), Kind::kCounter, counters_.size()});
+  return counters_.emplace_back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (const Entry* e = find(name)) {
+    if (e->kind != Kind::kGauge) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered with another type");
+    }
+    return gauges_[e->index];
+  }
+  entries_.push_back({std::string(name), Kind::kGauge, gauges_.size()});
+  return gauges_.emplace_back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const value_t> upper_bounds) {
+  if (const Entry* e = find(name)) {
+    if (e->kind != Kind::kHistogram) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' already registered with another type");
+    }
+    return histograms_[e->index];
+  }
+  entries_.push_back({std::string(name), Kind::kHistogram, histograms_.size()});
+  return histograms_.emplace_back(upper_bounds);
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  for (const Entry& e : entries_) {
+    const std::string name = "bars_" + sanitize(e.name);
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << ' ' << counters_[e.index].value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << ' ' << gauges_[e.index].value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[e.index];
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+          cumulative += h.bucket_count(i);
+          os << name << "_bucket{le=\"";
+          if (i + 1 == h.num_buckets()) {
+            os << "+Inf";
+          } else {
+            os << h.upper_bound(i);
+          }
+          os << "\"} " << cumulative << '\n';
+        }
+        os << name << "_sum " << h.sum() << '\n'
+           << name << "_count " << h.total() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "metric,kind,field,value\n";
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << e.name << ",counter,value," << counters_[e.index].value()
+           << '\n';
+        break;
+      case Kind::kGauge:
+        os << e.name << ",gauge,value," << gauges_[e.index].value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[e.index];
+        for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+          os << e.name << ",histogram,le=";
+          if (i + 1 == h.num_buckets()) {
+            os << "inf";
+          } else {
+            os << h.upper_bound(i);
+          }
+          os << ',' << h.bucket_count(i) << '\n';
+        }
+        os << e.name << ",histogram,sum," << h.sum() << '\n'
+           << e.name << ",histogram,count," << h.total() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+constexpr std::array<value_t, 7> kStalenessBounds = {0.0, 1.0, 2.0, 3.0,
+                                                    4.0, 8.0, 16.0};
+// log10 of the relative residual; spans hard divergence to machine eps.
+constexpr std::array<value_t, 9> kResidualLog10Bounds = {
+    -16.0, -14.0, -12.0, -10.0, -8.0, -6.0, -4.0, -2.0, 0.0};
+
+}  // namespace
+
+MetricsObserver::MetricsObserver(MetricsRegistry& registry)
+    : solves_(&registry.counter("solve_starts")),
+      iterations_(&registry.counter("solve_iterations")),
+      commits_(&registry.counter("block_commits")),
+      recoveries_(&registry.counter("recovery_events")),
+      rollbacks_(&registry.counter("recovery_rollbacks")),
+      restarts_(&registry.counter("recovery_damped_restarts")),
+      last_residual_(&registry.gauge("last_residual")),
+      last_iteration_(&registry.gauge("last_iteration")),
+      wall_seconds_(&registry.gauge("last_solve_wall_seconds")),
+      staleness_(&registry.histogram("commit_staleness", kStalenessBounds)),
+      residual_log10_(
+          &registry.histogram("iteration_residual_log10",
+                              kResidualLog10Bounds)) {}
+
+void MetricsObserver::on_start(const SolveStartEvent& /*ev*/) {
+  solves_->inc();
+}
+
+void MetricsObserver::on_iteration(const IterationEvent& ev) {
+  iterations_->inc();
+  last_iteration_->set(static_cast<value_t>(ev.iteration));
+  last_residual_->set(ev.residual);
+  if (ev.residual > 0.0 && std::isfinite(ev.residual)) {
+    residual_log10_->record(std::log10(ev.residual));
+  }
+}
+
+void MetricsObserver::on_recovery_event(const RecoveryEvent& ev) {
+  recoveries_->inc();
+  if (ev.kind == RecoveryEvent::Kind::kRollback) rollbacks_->inc();
+  if (ev.kind == RecoveryEvent::Kind::kDampedRestart) restarts_->inc();
+}
+
+void MetricsObserver::on_finish(const SolveFinishEvent& ev) {
+  last_residual_->set(ev.final_residual);
+  wall_seconds_->set(ev.wall_seconds);
+}
+
+}  // namespace bars::telemetry

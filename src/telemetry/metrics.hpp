@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "telemetry/observer.hpp"
+
+/// \file metrics.hpp
+/// The metrics registry: named counters, gauges, and fixed-bucket
+/// histograms.
+///
+/// The split that makes this safe for the simulated-GPU hot loops:
+/// *registration* (counter()/gauge()/histogram()) happens once at
+/// setup and may allocate; the *record* path (inc()/set()/record())
+/// is BARS_HOT_NOALLOC and never touches the heap — bars_lint's
+/// `telemetry-record-hot` rule enforces the marker and its
+/// `hot-noalloc` rule audits the bodies. Instruments live in deques
+/// inside the registry, so handles returned by registration stay
+/// stable for the registry's lifetime.
+
+namespace bars::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  BARS_HOT_NOALLOC void inc(std::uint64_t delta = 1) noexcept {
+    value_ += delta;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written sample of a quantity that moves both ways.
+class Gauge {
+ public:
+  BARS_HOT_NOALLOC void set(value_t v) noexcept { value_ = v; }
+  [[nodiscard]] value_t value() const noexcept { return value_; }
+
+ private:
+  value_t value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket bounds are fixed at registration
+/// (sorted upper bounds; an implicit +Inf bucket catches the rest), so
+/// record() is a scan over a pre-sized array — no allocation, ever.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing. Registration-time
+  /// only; allocates the count array once.
+  explicit Histogram(std::span<const value_t> upper_bounds);
+
+  BARS_HOT_NOALLOC void record(value_t v) noexcept {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    ++total_;
+    sum_ += v;
+  }
+
+  /// Buckets including the final +Inf bucket.
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return counts_.size();
+  }
+  /// Upper bound of bucket i; the last bucket's bound is +infinity.
+  [[nodiscard]] value_t upper_bound(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] value_t sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<value_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  value_t sum_ = 0.0;
+};
+
+/// Owns named instruments and exports them. Requesting an existing
+/// name returns the same instrument; requesting it as a different
+/// type throws std::invalid_argument. Export order is registration
+/// order, so output is deterministic.
+///
+/// Not thread-safe: one registry belongs to one solve's bookkeeping
+/// thread (the same serial context SolveObserver callbacks run on).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Bounds are only consulted when the histogram is first created.
+  Histogram& histogram(std::string_view name,
+                       std::span<const value_t> upper_bounds);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Prometheus text exposition format (# TYPE lines, bars_ prefix,
+  /// cumulative `le` histogram buckets).
+  void write_prometheus(std::ostream& os) const;
+  /// Flat CSV: metric,kind,field,value — one row per scalar.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::size_t index;  // into the per-kind deque
+  };
+
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+
+  std::vector<Entry> entries_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+/// Bridges the observer stream into a MetricsRegistry: commit counts,
+/// staleness distribution, iteration/recovery counters, last-residual
+/// gauge. Instruments are registered at construction; the callbacks
+/// only touch pre-registered handles.
+class MetricsObserver final : public SolveObserver {
+ public:
+  explicit MetricsObserver(MetricsRegistry& registry);
+
+  void on_start(const SolveStartEvent& ev) override;
+  void on_iteration(const IterationEvent& ev) override;
+  BARS_HOT_NOALLOC void on_block_commit(const BlockCommitEvent& ev) override {
+    commits_->inc();
+    staleness_->record(static_cast<value_t>(ev.staleness));
+  }
+  void on_recovery_event(const RecoveryEvent& ev) override;
+  void on_finish(const SolveFinishEvent& ev) override;
+
+ private:
+  Counter* solves_;
+  Counter* iterations_;
+  Counter* commits_;
+  Counter* recoveries_;
+  Counter* rollbacks_;
+  Counter* restarts_;
+  Gauge* last_residual_;
+  Gauge* last_iteration_;
+  Gauge* wall_seconds_;
+  Histogram* staleness_;
+  Histogram* residual_log10_;
+};
+
+}  // namespace bars::telemetry

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "telemetry/events.hpp"
+
+/// \file observer.hpp
+/// SolveObserver — the callback interface every execution layer speaks
+/// — plus the composable multiplexer and an event recorder for tests.
+///
+/// Contract (see docs/OBSERVABILITY.md):
+///  - Callbacks are invoked serially, from the solve's bookkeeping
+///    thread (the event-loop / monitor thread, never a worker), so
+///    implementations need no locking against the solver itself.
+///  - Callbacks must not throw and must not mutate solve state.
+///  - on_block_commit is on the hot path of the simulated executors;
+///    implementations that cannot stay allocation-free there should be
+///    attached only when per-commit detail is actually wanted
+///    (TelemetryOptions::block_commits gates the stream).
+
+namespace bars::telemetry {
+
+/// Abstract observer. Every hook has an empty default so concrete
+/// observers override only what they consume.
+class SolveObserver {
+ public:
+  virtual ~SolveObserver() = default;
+
+  virtual void on_start(const SolveStartEvent& /*ev*/) {}
+  virtual void on_iteration(const IterationEvent& /*ev*/) {}
+  virtual void on_block_commit(const BlockCommitEvent& /*ev*/) {}
+  virtual void on_recovery_event(const RecoveryEvent& /*ev*/) {}
+  virtual void on_finish(const SolveFinishEvent& /*ev*/) {}
+};
+
+/// Fans every event out to a list of observers, in registration order.
+/// Non-owning: callers keep the children alive for the solve.
+class MultiObserver final : public SolveObserver {
+ public:
+  MultiObserver() = default;
+
+  /// Registration is setup-time and may allocate; ignores nullptr.
+  void add(SolveObserver* child) {
+    if (child != nullptr) children_.push_back(child);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return children_.size(); }
+
+  void on_start(const SolveStartEvent& ev) override {
+    for (SolveObserver* c : children_) c->on_start(ev);
+  }
+  void on_iteration(const IterationEvent& ev) override {
+    for (SolveObserver* c : children_) c->on_iteration(ev);
+  }
+  BARS_HOT_NOALLOC void on_block_commit(const BlockCommitEvent& ev) override {
+    for (SolveObserver* c : children_) c->on_block_commit(ev);
+  }
+  void on_recovery_event(const RecoveryEvent& ev) override {
+    for (SolveObserver* c : children_) c->on_recovery_event(ev);
+  }
+  void on_finish(const SolveFinishEvent& ev) override {
+    for (SolveObserver* c : children_) c->on_finish(ev);
+  }
+
+ private:
+  std::vector<SolveObserver*> children_;
+};
+
+/// Stores every event verbatim. Test helper — the vectors grow on the
+/// record path, so it is not for production hot loops.
+class RecordingObserver final : public SolveObserver {
+ public:
+  void on_start(const SolveStartEvent& ev) override { starts.push_back(ev); }
+  void on_iteration(const IterationEvent& ev) override {
+    iterations.push_back(ev);
+  }
+  void on_block_commit(const BlockCommitEvent& ev) override {
+    commits.push_back(ev);
+  }
+  void on_recovery_event(const RecoveryEvent& ev) override {
+    recoveries.push_back(ev);
+  }
+  void on_finish(const SolveFinishEvent& ev) override {
+    finishes.push_back(ev);
+  }
+
+  void clear() {
+    starts.clear();
+    iterations.clear();
+    commits.clear();
+    recoveries.clear();
+    finishes.clear();
+  }
+
+  std::vector<SolveStartEvent> starts;
+  std::vector<IterationEvent> iterations;
+  std::vector<BlockCommitEvent> commits;
+  std::vector<RecoveryEvent> recoveries;
+  std::vector<SolveFinishEvent> finishes;
+};
+
+}  // namespace bars::telemetry

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file options.hpp
+/// TelemetryOptions — the one knob every solver exposes, embedded in
+/// core SolveOptions (and mirrored down into the executor options).
+/// Deliberately dependency-free: forward declarations only, so the
+/// low-level option structs that carry it never pull in the event
+/// model or iostream machinery.
+
+namespace bars::telemetry {
+
+class SolveObserver;
+class MetricsRegistry;
+
+/// All pointers are non-owning and may be null (null = feature off —
+/// the disabled path is a single branch, preserving the ≤2 % overhead
+/// contract). The caller keeps observer/metrics alive for the solve.
+struct TelemetryOptions {
+  /// Receives the event stream (see events.hpp for the model).
+  SolveObserver* observer = nullptr;
+  /// Receives solver-specific instruments (phase timers, per-worker
+  /// pass distributions) in addition to anything a MetricsObserver
+  /// attached to `observer` derives from the event stream.
+  MetricsRegistry* metrics = nullptr;
+  /// Gate for the high-volume per-commit stream; iteration, recovery,
+  /// and start/finish events are always delivered when `observer` is
+  /// set.
+  bool block_commits = true;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return observer != nullptr || metrics != nullptr;
+  }
+};
+
+}  // namespace bars::telemetry

@@ -1,0 +1,81 @@
+#pragma once
+
+#include "telemetry/events.hpp"
+#include "telemetry/observer.hpp"
+#include "telemetry/options.hpp"
+#include "telemetry/timer.hpp"
+
+/// \file probe.hpp
+/// SolveProbe — the few lines a solver front-end needs to speak the
+/// observer protocol. Wraps the null checks and the wall timer so a
+/// CPU baseline adds telemetry with three calls:
+///
+///   telemetry::SolveProbe probe(opts.telemetry, "cg");
+///   probe.start(a.rows(), a.nnz());
+///   ... probe.iteration(it, rel); ...
+///   probe.finish(res);                 // stamps wall_seconds itself
+///
+/// Every method is a no-op when no observer is attached, so the
+/// disabled path costs one pointer test.
+
+namespace bars::telemetry {
+
+class SolveProbe {
+ public:
+  SolveProbe(const TelemetryOptions& opts, const char* solver)
+      : obs_(opts.observer), solver_(solver) {}
+
+  [[nodiscard]] bool active() const noexcept { return obs_ != nullptr; }
+
+  /// Real elapsed seconds since construction (or last restart()).
+  [[nodiscard]] value_t elapsed_seconds() const { return timer_.seconds(); }
+  void restart() { timer_.reset(); }
+
+  void start(index_t rows, index_t nnz, index_t num_blocks = 0,
+             index_t num_workers = 0, TimeDomain domain = TimeDomain::kNone) {
+    if (obs_ == nullptr) return;
+    SolveStartEvent ev;
+    ev.solver = solver_;
+    ev.rows = rows;
+    ev.nnz = nnz;
+    ev.num_blocks = num_blocks;
+    ev.num_workers = num_workers;
+    ev.time_domain = domain;
+    obs_->on_start(ev);
+  }
+
+  void iteration(index_t iter, value_t residual, value_t time = 0.0) {
+    if (obs_ == nullptr) return;
+    obs_->on_iteration({iter, residual, time});
+  }
+
+  void recovery(RecoveryEvent::Kind kind, index_t iter, value_t residual,
+                index_t detail = 0) {
+    if (obs_ == nullptr) return;
+    obs_->on_recovery_event({kind, iter, residual, detail});
+  }
+
+  /// Emits on_finish; wall_seconds is stamped from this probe's timer.
+  void finish(SolverStatus status, index_t iterations, value_t final_residual,
+              index_t block_commits = 0, index_t max_staleness = 0,
+              value_t virtual_time = 0.0, index_t recovery_actions = 0) {
+    if (obs_ == nullptr) return;
+    SolveFinishEvent ev;
+    ev.status = status;
+    ev.iterations = iterations;
+    ev.final_residual = final_residual;
+    ev.virtual_time = virtual_time;
+    ev.wall_seconds = timer_.seconds();
+    ev.block_commits = block_commits;
+    ev.max_staleness = max_staleness;
+    ev.recovery_actions = recovery_actions;
+    obs_->on_finish(ev);
+  }
+
+ private:
+  SolveObserver* obs_;
+  const char* solver_;
+  WallTimer timer_;
+};
+
+}  // namespace bars::telemetry

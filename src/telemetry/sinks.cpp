@@ -1,0 +1,102 @@
+#include "telemetry/sinks.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace bars::telemetry {
+
+namespace {
+
+/// Shortest representation that round-trips a double through JSON.
+void put_double(std::ostream& os, value_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void JsonLinesSink::on_start(const SolveStartEvent& ev) {
+  *os_ << R"({"event":"start","solver":")" << ev.solver
+       << R"(","rows":)" << ev.rows << R"(,"nnz":)" << ev.nnz
+       << R"(,"blocks":)" << ev.num_blocks << R"(,"workers":)"
+       << ev.num_workers << R"(,"time_domain":")"
+       << to_string(ev.time_domain) << "\"}\n";
+}
+
+void JsonLinesSink::on_iteration(const IterationEvent& ev) {
+  *os_ << R"({"event":"iteration","iter":)" << ev.iteration
+       << R"(,"residual":)";
+  put_double(*os_, ev.residual);
+  *os_ << R"(,"time":)";
+  put_double(*os_, ev.time);
+  *os_ << "}\n";
+}
+
+void JsonLinesSink::on_block_commit(const BlockCommitEvent& ev) {
+  *os_ << R"({"event":"block_commit","block":)" << ev.block
+       << R"(,"device":)" << ev.device << R"(,"generation":)"
+       << ev.generation << R"(,"virtual_time":)";
+  put_double(*os_, ev.virtual_time);
+  *os_ << R"(,"staleness":)" << ev.staleness << "}\n";
+}
+
+void JsonLinesSink::on_recovery_event(const RecoveryEvent& ev) {
+  *os_ << R"({"event":"recovery","kind":")" << to_string(ev.kind)
+       << R"(","iter":)" << ev.iteration << R"(,"residual":)";
+  put_double(*os_, ev.residual);
+  *os_ << R"(,"detail":)" << ev.detail << "}\n";
+}
+
+void JsonLinesSink::on_finish(const SolveFinishEvent& ev) {
+  *os_ << R"({"event":"finish","status":")" << to_string(ev.status)
+       << R"(","iterations":)" << ev.iterations << R"(,"final_residual":)";
+  put_double(*os_, ev.final_residual);
+  *os_ << R"(,"virtual_time":)";
+  put_double(*os_, ev.virtual_time);
+  *os_ << R"(,"wall_seconds":)";
+  put_double(*os_, ev.wall_seconds);
+  *os_ << R"(,"block_commits":)" << ev.block_commits
+       << R"(,"max_staleness":)" << ev.max_staleness
+       << R"(,"recovery_actions":)" << ev.recovery_actions << "}\n";
+}
+
+CsvSink::CsvSink(std::ostream& os) : os_(&os) {
+  *os_ << "event,solver,status,iter,residual,time,block,device,generation,"
+          "staleness,kind,detail\n";
+}
+
+void CsvSink::on_start(const SolveStartEvent& ev) {
+  *os_ << "start," << ev.solver << ",,,,,,,,,,\n";
+}
+
+void CsvSink::on_iteration(const IterationEvent& ev) {
+  *os_ << "iteration,,," << ev.iteration << ',';
+  put_double(*os_, ev.residual);
+  *os_ << ',';
+  put_double(*os_, ev.time);
+  *os_ << ",,,,,,\n";
+}
+
+void CsvSink::on_block_commit(const BlockCommitEvent& ev) {
+  *os_ << "block_commit,,,,,";
+  put_double(*os_, ev.virtual_time);
+  *os_ << ',' << ev.block << ',' << ev.device << ',' << ev.generation << ','
+       << ev.staleness << ",,\n";
+}
+
+void CsvSink::on_recovery_event(const RecoveryEvent& ev) {
+  *os_ << "recovery,,," << ev.iteration << ',';
+  put_double(*os_, ev.residual);
+  *os_ << ",,,,,," << to_string(ev.kind) << ',' << ev.detail << '\n';
+}
+
+void CsvSink::on_finish(const SolveFinishEvent& ev) {
+  *os_ << "finish,," << to_string(ev.status) << ',' << ev.iterations << ',';
+  put_double(*os_, ev.final_residual);
+  *os_ << ',';
+  put_double(*os_, ev.wall_seconds);
+  *os_ << ",,,,,,\n";
+}
+
+}  // namespace bars::telemetry

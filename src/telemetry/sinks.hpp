@@ -1,0 +1,59 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/observer.hpp"
+
+/// \file sinks.hpp
+/// Structured event sinks. Each sink serialises the SolveObserver
+/// stream to an ostream the caller owns; sinks never open files
+/// themselves. Formats:
+///
+///   JsonLinesSink — one JSON object per line ("event" discriminator);
+///                   the schema tools/validate_telemetry.py checks.
+///   CsvSink       — one wide CSV table, empty cells where a column
+///                   does not apply to the event type.
+///
+/// Prometheus text format is a *metrics* export, not an event stream —
+/// see MetricsRegistry::write_prometheus in metrics.hpp.
+///
+/// Sinks do buffered stream IO in their callbacks and so are not
+/// allocation-free; on the simulated executors attach them for
+/// analysis runs, not timing runs (or set
+/// TelemetryOptions::block_commits = false to keep only the
+/// per-iteration stream).
+
+namespace bars::telemetry {
+
+/// JSON Lines (one object per line). Doubles are printed with %.17g so
+/// the stream round-trips bit-exactly through a JSON parser.
+class JsonLinesSink final : public SolveObserver {
+ public:
+  explicit JsonLinesSink(std::ostream& os) : os_(&os) {}
+
+  void on_start(const SolveStartEvent& ev) override;
+  void on_iteration(const IterationEvent& ev) override;
+  void on_block_commit(const BlockCommitEvent& ev) override;
+  void on_recovery_event(const RecoveryEvent& ev) override;
+  void on_finish(const SolveFinishEvent& ev) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Wide-schema CSV. The header row is written on construction.
+class CsvSink final : public SolveObserver {
+ public:
+  explicit CsvSink(std::ostream& os);
+
+  void on_start(const SolveStartEvent& ev) override;
+  void on_iteration(const IterationEvent& ev) override;
+  void on_block_commit(const BlockCommitEvent& ev) override;
+  void on_recovery_event(const RecoveryEvent& ev) override;
+  void on_finish(const SolveFinishEvent& ev) override;
+
+ private:
+  std::ostream* os_;
+};
+
+}  // namespace bars::telemetry

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <chrono>
+
+#include "sparse/types.hpp"
+
+/// \file timer.hpp
+/// Real wall-clock timing for telemetry. Lives in src/telemetry on
+/// purpose: bars_lint's `nondeterminism` rule bans clock reads inside
+/// the deterministic core (src/core, src/gpusim, src/sparse), so the
+/// solvers measure wall time exclusively through this type rather
+/// than touching std::chrono themselves.
+
+namespace bars::telemetry {
+
+/// Monotonic stopwatch, started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] value_t seconds() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<value_t>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bars::telemetry

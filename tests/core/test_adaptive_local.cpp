@@ -61,7 +61,7 @@ TEST(AdaptiveLocal, SolveStillCorrect) {
   o.solve.max_iters = 2000;
   o.solve.tol = 1e-12;
   const BlockAsyncResult r = block_async_solve(a, b, o);
-  ASSERT_TRUE(r.solve.converged);
+  ASSERT_TRUE(r.solve.ok());
   const Vector xd = Dense::from_csr(a).solve(b);
   for (std::size_t i = 0; i < b.size(); ++i) {
     EXPECT_NEAR(r.solve.x[i], xd[i], 1e-9);
@@ -82,8 +82,8 @@ TEST(AdaptiveLocal, MatchesUniformOnChemStructure) {
   ad.adaptive_local_iters = true;
   const auto ru = block_async_solve(a, b, u);
   const auto ra = block_async_solve(a, b, ad);
-  ASSERT_TRUE(ru.solve.converged);
-  ASSERT_TRUE(ra.solve.converged);
+  ASSERT_TRUE(ru.solve.ok());
+  ASSERT_TRUE(ra.solve.ok());
   const double ratio = static_cast<double>(ra.solve.iterations) /
                        static_cast<double>(ru.solve.iterations);
   EXPECT_GT(ratio, 0.8);

@@ -20,7 +20,7 @@ TEST(BlockAsync, ConvergesOnFvLike) {
   o.solve.max_iters = 2000;
   o.solve.tol = 1e-12;
   const BlockAsyncResult r = block_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
   EXPECT_LE(relative_residual(a, b, r.solve.x), 1e-12);
 }
 
@@ -34,7 +34,7 @@ TEST(BlockAsync, SolutionMatchesDirectSolve) {
   o.solve.max_iters = 3000;
   o.solve.tol = 1e-13;
   const BlockAsyncResult r = block_async_solve(a, b, o);
-  ASSERT_TRUE(r.solve.converged);
+  ASSERT_TRUE(r.solve.ok());
   const Vector xd = Dense::from_csr(a).solve(b);
   for (std::size_t i = 0; i < b.size(); ++i) {
     EXPECT_NEAR(r.solve.x[i], xd[i], 1e-9);
@@ -54,8 +54,8 @@ TEST(BlockAsync, Async1RateSimilarToJacobi) {
   o.block_size = 64;
   o.local_iters = 1;
   const BlockAsyncResult as = block_async_solve(a, b, o);
-  ASSERT_TRUE(jac.converged);
-  ASSERT_TRUE(as.solve.converged);
+  ASSERT_TRUE(jac.ok());
+  ASSERT_TRUE(as.solve.ok());
   const double ratio = static_cast<double>(as.solve.iterations) /
                        static_cast<double>(jac.iterations);
   EXPECT_GT(ratio, 0.4);
@@ -76,8 +76,8 @@ TEST(BlockAsync, Async5BeatsGaussSeidelPerGlobalIteration) {
   o.block_size = 128;
   o.local_iters = 5;
   const BlockAsyncResult as = block_async_solve(a, b, o);
-  ASSERT_TRUE(gs.converged);
-  ASSERT_TRUE(as.solve.converged);
+  ASSERT_TRUE(gs.ok());
+  ASSERT_TRUE(as.solve.ok());
   EXPECT_LT(as.solve.iterations, gs.iterations);
 }
 
@@ -92,7 +92,7 @@ TEST(BlockAsync, MoreLocalItersFewerGlobalIters) {
   for (index_t k : {1, 3, 5}) {
     o.local_iters = k;
     const BlockAsyncResult r = block_async_solve(a, b, o);
-    ASSERT_TRUE(r.solve.converged) << "k=" << k;
+    ASSERT_TRUE(r.solve.ok()) << "k=" << k;
     if (prev > 0) EXPECT_LT(r.solve.iterations, prev) << "k=" << k;
     prev = r.solve.iterations;
   }
@@ -107,7 +107,7 @@ TEST(BlockAsync, DivergesOnStructuralLike) {
   o.solve.max_iters = 3000;
   o.solve.divergence_limit = 1e10;
   const BlockAsyncResult r = block_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.diverged);
+  EXPECT_TRUE(r.solve.status == bars::SolverStatus::kDiverged);
 }
 
 TEST(BlockAsync, VirtualTimeUsesCalibration) {

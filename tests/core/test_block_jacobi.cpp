@@ -52,7 +52,7 @@ TEST(BlockJacobi, MatchesDirectSolve) {
   o.solve.max_iters = 2000;
   o.solve.tol = 1e-12;
   const SolveResult r = block_jacobi_solve(a, b, o);
-  ASSERT_TRUE(r.converged);
+  ASSERT_TRUE(r.ok());
   const Vector xd = Dense::from_csr(a).solve(b);
   for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(r.x[i], xd[i], 1e-9);
 }
@@ -68,7 +68,7 @@ TEST(BlockJacobi, LocalItersAccelerate) {
     o.solve.max_iters = 5000;
     o.solve.tol = 1e-10;
     const SolveResult r = block_jacobi_solve(a, b, o);
-    ASSERT_TRUE(r.converged) << k;
+    ASSERT_TRUE(r.ok()) << k;
     EXPECT_LT(r.iterations, prev) << k;
     prev = r.iterations;
   }
@@ -93,8 +93,8 @@ TEST(BlockJacobi, AsyncConvergesComparablyToSyncTwoStage) {
   ao.solve = so.solve;
   const BlockAsyncResult async = block_async_solve(a, b, ao);
 
-  ASSERT_TRUE(sync.converged);
-  ASSERT_TRUE(async.solve.converged);
+  ASSERT_TRUE(sync.ok());
+  ASSERT_TRUE(async.solve.ok());
   const double ratio = static_cast<double>(async.solve.iterations) /
                        static_cast<double>(sync.iterations);
   EXPECT_GT(ratio, 0.5);
@@ -110,7 +110,7 @@ TEST(BlockJacobi, DivergesOnStructural) {
   o.solve.max_iters = 2000;
   o.solve.divergence_limit = 1e10;
   const SolveResult r = block_jacobi_solve(a, b, o);
-  EXPECT_TRUE(r.diverged);
+  EXPECT_TRUE(r.status == bars::SolverStatus::kDiverged);
 }
 
 TEST(BlockJacobi, RejectsDimensionMismatch) {

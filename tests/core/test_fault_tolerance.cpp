@@ -30,7 +30,7 @@ TEST(FaultTolerance, NoRecoveryStagnates) {
   plan.recover_after = std::nullopt;
   o.fault = plan;
   const auto r = block_async_solve(a, b, o);
-  EXPECT_FALSE(r.solve.converged);
+  EXPECT_FALSE(r.solve.ok());
   EXPECT_GT(r.solve.final_residual, 1e-6);
 }
 
@@ -44,7 +44,7 @@ TEST(FaultTolerance, RecoveryRetrievesConvergence) {
   plan.recover_after = 10;
   o.fault = plan;
   const auto r = block_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
 }
 
 TEST(FaultTolerance, LongerRecoveryTimeDelaysConvergenceMore) {
@@ -62,7 +62,7 @@ TEST(FaultTolerance, LongerRecoveryTimeDelaysConvergenceMore) {
       o.fault = plan;
     }
     const auto r = block_async_solve(a, b, o);
-    ASSERT_TRUE(r.solve.converged) << "tr=" << tr;
+    ASSERT_TRUE(r.solve.ok()) << "tr=" << tr;
     if (prev_iters > 0) {
       EXPECT_GE(r.solve.iterations, prev_iters) << "tr=" << tr;
     }
@@ -104,8 +104,8 @@ TEST(FaultTolerance, RecoveredRunMatchesNoFailureSolution) {
   o.fault = plan;
   const auto rec = block_async_solve(a, b, o);
   const auto clean = block_async_solve(a, b, base_options());
-  ASSERT_TRUE(rec.solve.converged);
-  ASSERT_TRUE(clean.solve.converged);
+  ASSERT_TRUE(rec.solve.ok());
+  ASSERT_TRUE(clean.solve.ok());
   for (std::size_t i = 0; i < clean.solve.x.size(); ++i) {
     EXPECT_NEAR(rec.solve.x[i], clean.solve.x[i], 1e-9);
   }
@@ -124,7 +124,7 @@ TEST(FaultTolerance, FullFractionFreezesTheWholeIterate) {
   plan.recover_after = std::nullopt;
   o.fault = plan;
   const auto r = block_async_solve(a, b, o);
-  EXPECT_FALSE(r.solve.converged);
+  EXPECT_FALSE(r.solve.ok());
   ASSERT_GT(r.solve.residual_history.size(), 11u);
   EXPECT_DOUBLE_EQ(r.solve.final_residual, r.solve.residual_history[10]);
 }

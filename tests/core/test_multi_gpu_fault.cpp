@@ -32,7 +32,7 @@ TEST(MultiGpuFault, NoRecoveryStagnatesOnTwoDevices) {
   plan.recover_after = std::nullopt;
   o.fault = plan;
   const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
-  EXPECT_FALSE(r.solve.converged);
+  EXPECT_FALSE(r.solve.ok());
   EXPECT_GT(r.solve.final_residual, 1e-8);
 }
 
@@ -49,7 +49,7 @@ TEST(MultiGpuFault, RecoveryRestoresConvergenceAcrossSchemes) {
     plan.recover_after = 10;
     o.fault = plan;
     const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
-    EXPECT_TRUE(r.solve.converged) << to_string(scheme);
+    EXPECT_TRUE(r.solve.ok()) << to_string(scheme);
   }
 }
 
@@ -65,8 +65,8 @@ TEST(MultiGpuFault, RecoveredSolutionMatchesCleanRun) {
   plan.recover_after = 8;
   faulty.fault = plan;
   const MultiGpuResult rf = multi_gpu_block_async_solve(a, b, faulty);
-  ASSERT_TRUE(rc.solve.converged);
-  ASSERT_TRUE(rf.solve.converged);
+  ASSERT_TRUE(rc.solve.ok());
+  ASSERT_TRUE(rf.solve.ok());
   for (std::size_t i = 0; i < rc.solve.x.size(); ++i) {
     EXPECT_NEAR(rf.solve.x[i], rc.solve.x[i], 1e-9);
   }
@@ -84,8 +84,8 @@ TEST(MultiGpuFault, FaultDelaysConvergence) {
   plan.recover_after = 12;
   faulty.fault = plan;
   const MultiGpuResult rf = multi_gpu_block_async_solve(a, b, faulty);
-  ASSERT_TRUE(rc.solve.converged);
-  ASSERT_TRUE(rf.solve.converged);
+  ASSERT_TRUE(rc.solve.ok());
+  ASSERT_TRUE(rf.solve.ok());
   EXPECT_GT(rf.solve.iterations, rc.solve.iterations);
 }
 
@@ -100,7 +100,7 @@ TEST(MultiGpuFault, DeviceDropoutConvergesAfterRejoin) {
   s.drop_device(/*at=*/5, /*device=*/1, /*rejoin_after=*/10);
   o.scenario = s;
   const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
 }
 
 TEST(MultiGpuFault, PermanentDeviceDropoutStagnates) {
@@ -114,7 +114,7 @@ TEST(MultiGpuFault, PermanentDeviceDropoutStagnates) {
   s.drop_device(5, 1, /*rejoin_after=*/std::nullopt);
   o.scenario = s;
   const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
-  EXPECT_FALSE(r.solve.converged);
+  EXPECT_FALSE(r.solve.ok());
   EXPECT_GT(r.solve.final_residual, 1e-8);
 }
 
@@ -128,7 +128,7 @@ TEST(MultiGpuFault, LinkFailureRetriesThenConverges) {
   s.fail_link(/*at=*/5, /*device=*/1, /*duration=*/10);
   o.scenario = s;
   const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
   EXPECT_GT(r.resilience.transfer_retries, 0);
 }
 
@@ -143,7 +143,7 @@ TEST(MultiGpuFault, DropoutWithRecoveryPolicyReportsActivity) {
   o.scenario = s;
   o.resilience = resilience::Policy{};
   const MultiGpuResult r = multi_gpu_block_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
   EXPECT_GT(r.resilience.checkpoints_saved, 0);
 }
 

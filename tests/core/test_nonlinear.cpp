@@ -33,7 +33,7 @@ TEST(NonlinearJacobi, SolvesCubicReactionSystem) {
   o.max_iters = 5000;
   o.tol = 1e-12;
   const SolveResult r = nonlinear_jacobi_solve(a, b, phi, o);
-  ASSERT_TRUE(r.converged);
+  ASSERT_TRUE(r.ok());
   // Verify the nonlinear equation holds component-wise.
   Vector ax(b.size());
   a.spmv(r.x, ax);
@@ -54,7 +54,7 @@ TEST(NonlinearAsync, MatchesSynchronousSolution) {
   so.max_iters = 5000;
   so.tol = 1e-12;
   const SolveResult sync = nonlinear_jacobi_solve(a, b, phi, so);
-  ASSERT_TRUE(sync.converged);
+  ASSERT_TRUE(sync.ok());
 
   NonlinearAsyncOptions ao;
   ao.block_size = 25;
@@ -62,7 +62,7 @@ TEST(NonlinearAsync, MatchesSynchronousSolution) {
   ao.solve = so;
   const NonlinearAsyncResult async =
       nonlinear_block_async_solve(a, b, phi, ao);
-  ASSERT_TRUE(async.solve.converged);
+  ASSERT_TRUE(async.solve.ok());
   for (std::size_t i = 0; i < b.size(); ++i) {
     EXPECT_NEAR(async.solve.x[i], sync.x[i], 1e-9);
   }
@@ -80,7 +80,7 @@ TEST(NonlinearAsync, LocalItersAccelerate) {
     o.solve.max_iters = 3000;
     o.solve.tol = 1e-10;
     const NonlinearAsyncResult r = nonlinear_block_async_solve(a, b, phi, o);
-    ASSERT_TRUE(r.solve.converged) << k;
+    ASSERT_TRUE(r.solve.ok()) << k;
     EXPECT_LE(r.solve.iterations, prev) << k;
     prev = r.solve.iterations;
   }
@@ -98,7 +98,7 @@ TEST(NonlinearAsync, ConvergesAcrossSeeds) {
     o.solve.max_iters = 2000;
     o.solve.tol = 1e-11;
     const NonlinearAsyncResult r = nonlinear_block_async_solve(a, b, phi, o);
-    EXPECT_TRUE(r.solve.converged) << seed;
+    EXPECT_TRUE(r.solve.ok()) << seed;
   }
 }
 
@@ -113,7 +113,7 @@ TEST(NonlinearAsync, DampingStabilizesStiffNonlinearity) {
   o.solve.max_iters = 5000;
   o.solve.tol = 1e-10;
   const NonlinearAsyncResult r = nonlinear_block_async_solve(a, b, phi, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
 }
 
 TEST(NonlinearAsync, RejectsBadArguments) {

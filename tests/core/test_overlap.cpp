@@ -71,7 +71,7 @@ TEST(Overlap, AcceleratesAsyncConvergenceOnBandedSystem) {
     o.solve.max_iters = 3000;
     o.solve.tol = 1e-10;
     const BlockAsyncResult r = block_async_solve(a, b, o);
-    ASSERT_TRUE(r.solve.converged);
+    ASSERT_TRUE(r.solve.ok());
     (pass == 0 ? iters_no_overlap : iters_overlap) = r.solve.iterations;
   }
   EXPECT_LT(iters_overlap, iters_no_overlap);
@@ -88,7 +88,7 @@ TEST(Overlap, SolutionStillMatchesDirectSolve) {
   o.solve.max_iters = 2000;
   o.solve.tol = 1e-12;
   const BlockAsyncResult r = block_async_solve(a, b, o);
-  ASSERT_TRUE(r.solve.converged);
+  ASSERT_TRUE(r.solve.ok());
   const Vector xd = Dense::from_csr(a).solve(b);
   for (std::size_t i = 0; i < b.size(); ++i) {
     EXPECT_NEAR(r.solve.x[i], xd[i], 1e-9);
@@ -107,8 +107,8 @@ TEST(Overlap, SyncBlockJacobiBenefitsToo) {
   o1.overlap = 14;
   const SolveResult r0 = block_jacobi_solve(a, b, o0);
   const SolveResult r1 = block_jacobi_solve(a, b, o1);
-  ASSERT_TRUE(r0.converged);
-  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
   EXPECT_LE(r1.iterations, r0.iterations);
 }
 

@@ -11,7 +11,9 @@ namespace {
 class RegistrySolvers : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(RegistrySolvers, SolvesWellConditionedSpdSystem) {
-  const Csr a = fv_like(10, 0.8);
+  // 15 = 2^4 - 1 so the multigrid entries can build a hierarchy and
+  // every registered solver round-trips through the same fixture.
+  const Csr a = fv_like(15, 0.8);
   Vector b(static_cast<std::size_t>(a.rows()));
   for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 + 0.01 * double(i);
 
@@ -22,7 +24,7 @@ TEST_P(RegistrySolvers, SolvesWellConditionedSpdSystem) {
   o.local_iters = 2;
   o.num_threads = 2;
   const SolveResult r = find_solver(GetParam())(a, b, o);
-  ASSERT_TRUE(r.converged) << GetParam();
+  ASSERT_TRUE(r.ok()) << GetParam();
 
   const Vector xd = Dense::from_csr(a).solve(b);
   for (std::size_t i = 0; i < b.size(); ++i) {
@@ -34,8 +36,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllSolvers, RegistrySolvers,
     ::testing::Values("jacobi", "scaled-jacobi", "gauss-seidel",
                       "symmetric-gs", "sor", "cg", "gmres", "pcg-jacobi",
-                      "fcg-async", "block-jacobi", "block-async",
-                      "thread-async"),
+                      "fcg-jacobi", "fcg-async", "block-jacobi",
+                      "block-async", "thread-async", "mg", "mg-async",
+                      "fcg-mg"),
     [](const ::testing::TestParamInfo<std::string>& info) {
       std::string n = info.param;
       for (char& c : n) {
@@ -46,8 +49,17 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Registry, NamesListsAllSolvers) {
   const auto names = solver_names();
-  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.size(), 16u);
   EXPECT_EQ(names.front(), "jacobi");
+}
+
+TEST(Registry, MultigridRejectsNonPoissonMatrix) {
+  // fv_like(10, ...) is 10x10 per side: not 2^k - 1, so no geometric
+  // hierarchy exists and the mg entries must refuse.
+  const Csr a = fv_like(10, 0.8);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  EXPECT_THROW((void)find_solver("mg")(a, b, {}), std::invalid_argument);
+  EXPECT_THROW((void)find_solver("fcg-mg")(a, b, {}), std::invalid_argument);
 }
 
 TEST(Registry, UnknownNameThrowsWithSuggestions) {
@@ -68,7 +80,7 @@ TEST(Registry, ScaledJacobiHandlesDivergentSystem) {
   o.solve.max_iters = 100000;
   o.solve.tol = 1e-8;
   const SolveResult r = find_solver("scaled-jacobi")(a, b, o);
-  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.ok());
 }
 
 }  // namespace

@@ -106,7 +106,7 @@ TEST(SdcRun, CleanRunNotFlaggedAndConverges) {
   o.solve.max_iters = 500;
   o.solve.tol = 1e-12;
   const SdcRunResult r = block_async_solve_with_sdc(a, b, o, std::nullopt);
-  EXPECT_TRUE(r.solve.solve.converged);
+  EXPECT_TRUE(r.solve.solve.ok());
   EXPECT_FALSE(r.report.detected);
 }
 
@@ -142,7 +142,7 @@ TEST(SdcRun, SolverHealsAfterCorruption) {
   sdc.at = 8;
   sdc.magnitude = 1e8;
   const SdcRunResult r = block_async_solve_with_sdc(a, b, o, sdc);
-  EXPECT_TRUE(r.solve.solve.converged);
+  EXPECT_TRUE(r.solve.solve.ok());
   EXPECT_LE(relative_residual(a, b, r.solve.solve.x), 1e-11);
 }
 

@@ -19,7 +19,7 @@ TEST(ThreadAsync, ConvergesOnStrictlyDominantSystem) {
   o.solve.max_iters = 5000;
   o.solve.tol = 1e-11;
   const ThreadAsyncResult r = thread_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
   EXPECT_LE(relative_residual(a, b, r.solve.x), 1e-10);
 }
 
@@ -33,7 +33,7 @@ TEST(ThreadAsync, SolutionMatchesDirectSolve) {
   o.solve.max_iters = 10000;
   o.solve.tol = 1e-12;
   const ThreadAsyncResult r = thread_async_solve(a, b, o);
-  ASSERT_TRUE(r.solve.converged);
+  ASSERT_TRUE(r.solve.ok());
   const Vector xd = Dense::from_csr(a).solve(b);
   for (std::size_t i = 0; i < b.size(); ++i) {
     EXPECT_NEAR(r.solve.x[i], xd[i], 1e-8);
@@ -53,8 +53,8 @@ TEST(ThreadAsync, LocalItersAccelerateConvergence) {
   o5.local_iters = 5;
   const auto r1 = thread_async_solve(a, b, o1);
   const auto r5 = thread_async_solve(a, b, o5);
-  ASSERT_TRUE(r1.solve.converged);
-  ASSERT_TRUE(r5.solve.converged);
+  ASSERT_TRUE(r1.solve.ok());
+  ASSERT_TRUE(r5.solve.ok());
   EXPECT_LT(r5.solve.iterations, r1.solve.iterations);
 }
 
@@ -67,7 +67,7 @@ TEST(ThreadAsync, SingleThreadStillWorks) {
   o.solve.max_iters = 20000;
   o.solve.tol = 1e-11;
   const auto r = thread_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
 }
 
 TEST(ThreadAsync, EveryBlockExecutes) {

@@ -28,21 +28,21 @@ struct Fixture {
 TEST(AsyncExecutor, ConvergesOnPoisson) {
   Fixture s(64, 16, 1);
   ExecutorOptions o;
-  o.max_global_iters = 60000;  // rho(B) = cos(pi/65): slow but sure
-  o.tol = 1e-12;
+  o.stopping.max_global_iters = 60000;  // rho(B) = cos(pi/65): slow but sure
+  o.stopping.tol = 1e-12;
   AsyncExecutor ex(s.kernel, o);
   Vector x(64, 0.0);
   const auto r = ex.run(x, [&](const Vector& v) { return s.residual(v); });
-  EXPECT_TRUE(r.converged);
-  EXPECT_FALSE(r.diverged);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.status == bars::SolverStatus::kDiverged);
   EXPECT_LE(r.residual_history.back(), 1e-12);
 }
 
 TEST(AsyncExecutor, DeterministicGivenSeed) {
   Fixture s(48, 8, 2);
   ExecutorOptions o;
-  o.max_global_iters = 30;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 30;
+  o.stopping.tol = 0.0;
   o.seed = 1234;
   Vector x1(48, 0.0), x2(48, 0.0);
   const auto r1 = AsyncExecutor(s.kernel, o).run(
@@ -59,8 +59,8 @@ TEST(AsyncExecutor, DeterministicGivenSeed) {
 TEST(AsyncExecutor, DifferentSeedsGiveDifferentTrajectories) {
   Fixture s(48, 8, 1);
   ExecutorOptions o;
-  o.max_global_iters = 20;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 20;
+  o.stopping.tol = 0.0;
   Vector x1(48, 0.0), x2(48, 0.0);
   o.seed = 1;
   const auto r1 = AsyncExecutor(s.kernel, o).run(
@@ -83,8 +83,8 @@ TEST(AsyncExecutor, BlockExecutionCountsBalanced) {
   // — with FIFO requeue the counts stay within a small spread.
   Fixture s(100, 10, 1);
   ExecutorOptions o;
-  o.max_global_iters = 50;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 50;
+  o.stopping.tol = 0.0;
   Vector x(100, 0.0);
   const auto r = AsyncExecutor(s.kernel, o).run(
       x, [&](const Vector& v) { return s.residual(v); });
@@ -100,8 +100,8 @@ TEST(AsyncExecutor, StalenessBounded) {
   // Chazan-Miranker condition 2: bounded shift.
   Fixture s(128, 8, 1);
   ExecutorOptions o;
-  o.max_global_iters = 100;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 100;
+  o.stopping.tol = 0.0;
   o.straggler_factor = 3.0;
   Vector x(128, 0.0);
   const auto r = AsyncExecutor(s.kernel, o).run(
@@ -113,8 +113,8 @@ TEST(AsyncExecutor, RoundRobinPolicyIsJitterFree) {
   Fixture s(32, 8, 1);
   ExecutorOptions o;
   o.policy = SchedulePolicy::kRoundRobin;
-  o.max_global_iters = 25;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 25;
+  o.stopping.tol = 0.0;
   o.seed = 5;
   Vector x1(32, 0.0), x2(32, 0.0);
   const auto r1 = AsyncExecutor(s.kernel, o).run(
@@ -128,8 +128,8 @@ TEST(AsyncExecutor, RoundRobinPolicyIsJitterFree) {
 TEST(AsyncExecutor, VirtualTimeAdvancesWithIterations) {
   Fixture s(64, 16, 1);
   ExecutorOptions o;
-  o.max_global_iters = 10;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 10;
+  o.stopping.tol = 0.0;
   o.global_iteration_time = 2.0e-3;
   Vector x(64, 0.0);
   const auto r = AsyncExecutor(s.kernel, o).run(
@@ -150,15 +150,15 @@ TEST(AsyncExecutor, DivergesOnRhoGreaterThanOne) {
   const BlockJacobiKernel kernel(a, b, RowPartition::uniform(a.rows(), 16),
                                  1);
   ExecutorOptions o;
-  o.max_global_iters = 4000;
-  o.tol = 1e-14;
-  o.divergence_limit = 1e12;
+  o.stopping.max_global_iters = 4000;
+  o.stopping.tol = 1e-14;
+  o.stopping.divergence_limit = 1e12;
   AsyncExecutor ex(kernel, o);
   Vector x(static_cast<std::size_t>(a.rows()), 0.0);
   const auto r =
       ex.run(x, [&](const Vector& v) { return relative_residual(a, b, v); });
-  EXPECT_TRUE(r.diverged);
-  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.status == bars::SolverStatus::kDiverged);
+  EXPECT_FALSE(r.ok());
 }
 
 TEST(AsyncExecutor, RejectsBadOptions) {

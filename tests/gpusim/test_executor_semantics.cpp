@@ -33,8 +33,8 @@ ExecutorResult run(const Sys& s, ExecutorOptions o) {
 TEST(ExecutorSemantics, ReadFractionChangesTrajectory) {
   Sys s;
   ExecutorOptions o;
-  o.max_global_iters = 15;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 15;
+  o.stopping.tol = 0.0;
   o.seed = 3;
   o.read_fraction = 0.0;
   const auto early = run(s, o);
@@ -47,8 +47,8 @@ TEST(ExecutorSemantics, ReadFractionChangesTrajectory) {
 TEST(ExecutorSemantics, ReadFractionClamped) {
   Sys s;
   ExecutorOptions o;
-  o.max_global_iters = 5;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 5;
+  o.stopping.tol = 0.0;
   o.read_fraction = 7.0;  // clamped to 1; must not throw or misorder
   const auto r = run(s, o);
   EXPECT_EQ(r.global_iterations, 5);
@@ -57,8 +57,8 @@ TEST(ExecutorSemantics, ReadFractionClamped) {
 TEST(ExecutorSemantics, PatternModeSharesScheduleAcrossSeeds) {
   Sys s;
   ExecutorOptions o;
-  o.max_global_iters = 20;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 20;
+  o.stopping.tol = 0.0;
   o.pattern_seed = 4242;
   o.run_noise = 0.0;  // no per-run noise: runs must be identical
   o.seed = 1;
@@ -74,8 +74,8 @@ TEST(ExecutorSemantics, PatternModeSharesScheduleAcrossSeeds) {
 TEST(ExecutorSemantics, PatternModeWithNoiseVariesSlightly) {
   Sys s;
   ExecutorOptions o;
-  o.max_global_iters = 20;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 20;
+  o.stopping.tol = 0.0;
   o.pattern_seed = 4242;
   o.run_noise = 1.0e-3;
   o.seed = 1;
@@ -98,8 +98,8 @@ TEST(ExecutorSemantics, PatternModeWithNoiseVariesSlightly) {
 TEST(ExecutorSemantics, FaultFreezesExactFraction) {
   Sys s(16, 16, 1);
   ExecutorOptions o;
-  o.max_global_iters = 12;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 12;
+  o.stopping.tol = 0.0;
   FaultPlan plan;
   plan.fail_at = 2;
   plan.fraction = 0.5;
@@ -135,15 +135,15 @@ TEST(ExecutorSemantics, RecoveryTimingHonored) {
   plan.fraction = 0.4;
   plan.recover_after = 6;
   ExecutorOptions o;
-  o.max_global_iters = 500;
-  o.tol = 1e-11;
+  o.stopping.max_global_iters = 500;
+  o.stopping.tol = 1e-11;
   o.fault = plan;
   const auto faulty = run(s, o);
-  ASSERT_TRUE(faulty.converged);
+  ASSERT_TRUE(faulty.ok());
   ExecutorOptions clean = o;
   clean.fault.reset();
   const auto ok = run(s, clean);
-  ASSERT_TRUE(ok.converged);
+  ASSERT_TRUE(ok.ok());
   // The outage window (6 iterations) must show up as extra iterations.
   EXPECT_GE(faulty.global_iterations, ok.global_iterations + 3);
 }
@@ -151,8 +151,8 @@ TEST(ExecutorSemantics, RecoveryTimingHonored) {
 TEST(ExecutorSemantics, HistoryAlignsWithIterationCount) {
   Sys s;
   ExecutorOptions o;
-  o.max_global_iters = 17;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 17;
+  o.stopping.tol = 0.0;
   const auto r = run(s, o);
   EXPECT_EQ(r.global_iterations, 17);
   EXPECT_EQ(r.residual_history.size(), 18u);
@@ -163,10 +163,10 @@ TEST(ExecutorSemantics, ShuffledPolicyStillConverges) {
   Sys s(12, 12, 1);
   ExecutorOptions o;
   o.policy = SchedulePolicy::kShuffled;
-  o.max_global_iters = 4000;
-  o.tol = 1e-11;
+  o.stopping.max_global_iters = 4000;
+  o.stopping.tol = 1e-11;
   const auto r = run(s, o);
-  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.ok());
 }
 
 }  // namespace

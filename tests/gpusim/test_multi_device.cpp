@@ -30,8 +30,8 @@ MultiDeviceResult run_with(Fixture& s, TransferScheme scheme, index_t devices,
   MultiDeviceOptions o;
   o.num_devices = devices;
   o.scheme = scheme;
-  o.max_global_iters = max_iters;
-  o.tol = tol;
+  o.stopping.max_global_iters = max_iters;
+  o.stopping.tol = tol;
   o.seed = 77;
   MultiDeviceExecutor ex(s.kernel, o);
   Vector x(s.b.size(), 0.0);
@@ -43,7 +43,7 @@ TEST(MultiDevice, AllSchemesConvergeSingleDevice) {
   for (auto scheme :
        {TransferScheme::kAMC, TransferScheme::kDC, TransferScheme::kDK}) {
     const auto r = run_with(s, scheme, 1);
-    EXPECT_TRUE(r.converged) << to_string(scheme);
+    EXPECT_TRUE(r.ok()) << to_string(scheme);
   }
 }
 
@@ -52,7 +52,7 @@ TEST(MultiDevice, AllSchemesConvergeOnFourDevices) {
   for (auto scheme :
        {TransferScheme::kAMC, TransferScheme::kDC, TransferScheme::kDK}) {
     const auto r = run_with(s, scheme, 4);
-    EXPECT_TRUE(r.converged) << to_string(scheme);
+    EXPECT_TRUE(r.ok()) << to_string(scheme);
     EXPECT_LE(r.residual_history.back(), 1e-11) << to_string(scheme);
   }
 }
@@ -61,8 +61,8 @@ TEST(MultiDevice, AmcTwoDevicesFasterThanOne) {
   Fixture s(16, 16, 2);
   const auto r1 = run_with(s, TransferScheme::kAMC, 1);
   const auto r2 = run_with(s, TransferScheme::kAMC, 2);
-  ASSERT_TRUE(r1.converged);
-  ASSERT_TRUE(r2.converged);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
   EXPECT_LT(r2.virtual_time, r1.virtual_time);
 }
 
@@ -108,8 +108,8 @@ TEST(MultiDevice, ResultMatchesSolutionAcrossSchemes) {
     Vector x(s.b.size(), 0.0);
     MultiDeviceOptions o;
     o.num_devices = 1;
-    o.tol = 1e-12;
-    o.max_global_iters = 20000;
+    o.stopping.tol = 1e-12;
+    o.stopping.max_global_iters = 20000;
     MultiDeviceExecutor ex(s.kernel, o);
     (void)ex.run(x, [&](const Vector& v) { return s.residual(v); });
     return x;
@@ -118,8 +118,8 @@ TEST(MultiDevice, ResultMatchesSolutionAcrossSchemes) {
     MultiDeviceOptions o;
     o.num_devices = 3;
     o.scheme = scheme;
-    o.tol = 1e-12;
-    o.max_global_iters = 20000;
+    o.stopping.tol = 1e-12;
+    o.stopping.max_global_iters = 20000;
     MultiDeviceExecutor ex(s.kernel, o);
     Vector x(s.b.size(), 0.0);
     (void)ex.run(x, [&](const Vector& v) { return s.residual(v); });
@@ -144,7 +144,7 @@ TEST(MultiDevice, RejectsBadOptions) {
 TEST(MultiDevice, MoreDevicesThanBlocksClamps) {
   Fixture s(6, 18, 1);  // n = 36: only 2 blocks
   const auto r = run_with(s, TransferScheme::kAMC, 4);
-  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.ok());
 }
 
 }  // namespace

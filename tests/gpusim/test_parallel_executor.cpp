@@ -88,7 +88,7 @@ void expect_identical(const ExecutorResult& a, const Vector& xa,
   EXPECT_EQ(a.block_executions, b.block_executions);
   EXPECT_EQ(a.global_iterations, b.global_iterations);
   EXPECT_EQ(a.max_staleness, b.max_staleness);
-  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.status, b.status);
   ASSERT_EQ(a.trace.events().size(), b.trace.events().size());
   for (std::size_t i = 0; i < a.trace.events().size(); ++i) {
     const TraceEvent& ea = a.trace.events()[i];
@@ -104,8 +104,8 @@ void expect_identical(const ExecutorResult& a, const Vector& xa,
 TEST(ParallelExecutor, RoundRobinBitIdenticalToSerial) {
   Sys s(640, 8, 1);  // q = 80 blocks
   ExecutorOptions o;
-  o.max_global_iters = 40;
-  o.tol = 1e-30;
+  o.stopping.max_global_iters = 40;
+  o.stopping.tol = 1e-30;
   o.policy = SchedulePolicy::kRoundRobin;
   o.concurrent_slots = 80;  // full-width batches
   o.record_trace = true;
@@ -120,8 +120,8 @@ TEST(ParallelExecutor, RoundRobinBitIdenticalToSerial) {
 TEST(ParallelExecutor, BitIdenticalWithPartialSlotsAndLocalSweeps) {
   Sys s(640, 8, 5);  // async-(5)
   ExecutorOptions o;
-  o.max_global_iters = 30;
-  o.tol = 1e-30;
+  o.stopping.max_global_iters = 30;
+  o.stopping.tol = 1e-30;
   o.policy = SchedulePolicy::kRoundRobin;
   o.concurrent_slots = 13;  // batches smaller than q, uneven waves
   o.record_trace = true;
@@ -140,8 +140,8 @@ TEST(ParallelExecutor, BitIdenticalWhenConvergingMidBatch) {
   // inside the iteration budget.
   Sys s(320, 8, 2, /*dominant=*/true);
   ExecutorOptions o;
-  o.max_global_iters = 400;
-  o.tol = 1e-10;
+  o.stopping.max_global_iters = 400;
+  o.stopping.tol = 1e-10;
   o.policy = SchedulePolicy::kRoundRobin;
   o.concurrent_slots = 40;
   Vector xs, xp;
@@ -149,7 +149,7 @@ TEST(ParallelExecutor, BitIdenticalWhenConvergingMidBatch) {
   const auto serial = run_exec(s, o, xs);
   o.num_workers = 4;
   const auto parallel = run_exec(s, o, xp);
-  EXPECT_TRUE(serial.converged);
+  EXPECT_TRUE(serial.ok());
   expect_identical(serial, xs, parallel, xp);
 }
 
@@ -158,8 +158,8 @@ TEST(ParallelExecutor, JitteredPolicyAlsoIdentical) {
   // size one — the path must still agree bit-for-bit.
   Sys s(320, 8, 1);
   ExecutorOptions o;
-  o.max_global_iters = 25;
-  o.tol = 1e-30;
+  o.stopping.max_global_iters = 25;
+  o.stopping.tol = 1e-30;
   o.seed = 7;
   o.policy = SchedulePolicy::kJittered;
   o.concurrent_slots = 20;

@@ -20,8 +20,8 @@ ExecutorResult traced_run(index_t n, index_t block, index_t iters,
   kernel = std::make_unique<BlockJacobiKernel>(
       a, b, RowPartition::uniform(a.rows(), block), 1);
   o.record_trace = true;
-  o.max_global_iters = iters;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = iters;
+  o.stopping.tol = 0.0;
   AsyncExecutor ex(*kernel, o);
   Vector x(b.size(), 0.0);
   return ex.run(x, [&](const Vector& v) { return relative_residual(a, b, v); });
@@ -76,8 +76,8 @@ TEST(Trace, DisabledByDefault) {
   static Vector b(16, 1.0);
   static BlockJacobiKernel kernel(a, b, RowPartition::uniform(16, 4), 1);
   ExecutorOptions o;
-  o.max_global_iters = 5;
-  o.tol = 0.0;
+  o.stopping.max_global_iters = 5;
+  o.stopping.tol = 0.0;
   AsyncExecutor ex(kernel, o);
   Vector x(16, 0.0);
   const auto r =

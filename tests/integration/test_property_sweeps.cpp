@@ -42,7 +42,7 @@ TEST_P(AsyncAlwaysConverges, OnDominantSystem) {
   o.solve.max_iters = 3000;
   o.solve.tol = 1e-11;
   const BlockAsyncResult r = block_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged)
+  EXPECT_TRUE(r.solve.ok())
       << "block=" << c.block_size << " k=" << c.local_iters
       << " seed=" << c.seed << " jitter=" << c.jitter;
   EXPECT_LE(relative_residual(a, b, r.solve.x), 1e-10);
@@ -168,7 +168,7 @@ TEST(AsyncRate, ImprovesWithDominance) {
     o.solve.max_iters = 5000;
     o.solve.tol = 1e-10;
     const BlockAsyncResult r = block_async_solve(a, b, o);
-    ASSERT_TRUE(r.solve.converged) << "c=" << c;
+    ASSERT_TRUE(r.solve.ok()) << "c=" << c;
     EXPECT_LT(r.solve.iterations, prev_iters) << "c=" << c;
     prev_iters = r.solve.iterations;
   }

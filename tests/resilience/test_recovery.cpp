@@ -222,13 +222,13 @@ TEST(Recovery, SdcRollbackConvergesFasterThanRunThrough) {
   sdc.magnitude = 1.0e6;
 
   const auto through = block_async_solve_with_sdc(a, b, base_options(), sdc);
-  ASSERT_TRUE(through.solve.solve.converged);
+  ASSERT_TRUE(through.solve.solve.ok());
   ASSERT_TRUE(through.report.detected);  // post-hoc batch scan sees it
 
   BlockAsyncOptions o = base_options();
   o.resilience = resilience::Policy{};
   const auto rolled = block_async_solve_with_sdc(a, b, o, sdc);
-  ASSERT_TRUE(rolled.solve.solve.converged);
+  ASSERT_TRUE(rolled.solve.solve.ok());
   EXPECT_GE(rolled.solve.resilience.detections, 1);
   EXPECT_GE(rolled.solve.resilience.rollbacks, 1);
   EXPECT_GT(rolled.solve.resilience.checkpoints_saved, 0);
@@ -249,13 +249,13 @@ TEST(Recovery, WatchdogReassignsPermanentlyFailedComponents) {
   plain.solve.max_iters = 200;
   plain.scenario = s;
   const auto stuck = block_async_solve(a, b, plain);
-  EXPECT_FALSE(stuck.solve.converged);
+  EXPECT_FALSE(stuck.solve.ok());
 
   BlockAsyncOptions guarded = base_options();
   guarded.scenario = s;
   guarded.resilience = resilience::Policy{};
   const auto rescued = block_async_solve(a, b, guarded);
-  ASSERT_TRUE(rescued.solve.converged);
+  ASSERT_TRUE(rescued.solve.ok());
   EXPECT_GE(rescued.resilience.watchdog_reassignments, 1);
   EXPECT_GT(rescued.resilience.components_reassigned, 0);
 }
@@ -270,8 +270,8 @@ TEST(Recovery, DampedRestartFiresOnDivergence) {
   o.solve.max_iters = 300;
   o.resilience = resilience::Policy{};
   const auto r = block_async_solve(a, b, o);
-  EXPECT_FALSE(r.solve.converged);
-  EXPECT_TRUE(r.solve.diverged);
+  EXPECT_FALSE(r.solve.ok());
+  EXPECT_TRUE(r.solve.status == bars::SolverStatus::kDiverged);
   EXPECT_GE(r.resilience.damped_restarts, 1);
 }
 
@@ -284,8 +284,8 @@ TEST(Recovery, PolicyOnCleanRunIsInert) {
   BlockAsyncOptions o = base_options();
   o.resilience = resilience::Policy{};
   const auto guarded = block_async_solve(a, b, o);
-  ASSERT_TRUE(plain.solve.converged);
-  ASSERT_TRUE(guarded.solve.converged);
+  ASSERT_TRUE(plain.solve.ok());
+  ASSERT_TRUE(guarded.solve.ok());
   EXPECT_EQ(guarded.solve.iterations, plain.solve.iterations);
   EXPECT_GT(guarded.resilience.checkpoints_saved, 0);
   EXPECT_EQ(guarded.resilience.rollbacks, 0);

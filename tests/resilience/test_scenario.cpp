@@ -167,7 +167,7 @@ TEST(ScenarioSolve, TwoFailureWavesRecoverToFaultFreeAccuracy) {
   const Csr a = test_matrix();
   const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
   const auto clean = block_async_solve(a, b, base_options());
-  ASSERT_TRUE(clean.solve.converged);
+  ASSERT_TRUE(clean.solve.ok());
 
   BlockAsyncOptions o = base_options();
   resilience::FaultScenario s;
@@ -175,7 +175,7 @@ TEST(ScenarioSolve, TwoFailureWavesRecoverToFaultFreeAccuracy) {
       .fail_components(40, 0.10, 20, /*seed=*/22);
   o.scenario = s;
   const auto rec = block_async_solve(a, b, o);
-  ASSERT_TRUE(rec.solve.converged);
+  ASSERT_TRUE(rec.solve.ok());
   EXPECT_LE(rec.solve.final_residual, 1e-13);
   // Bounded delay: both failure windows (2 x 20 iterations) plus slack.
   EXPECT_LE(rec.solve.iterations, clean.solve.iterations + 80);
@@ -195,7 +195,7 @@ TEST(ScenarioSolve, RepeatedFailuresOfSameComponentsConverge) {
       .fail_components(30, 0.3, 10, /*seed=*/9);
   o.scenario = s;
   const auto r = block_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
 }
 
 TEST(ScenarioSolve, TransientHaloCorruptionIsRelaxedAway) {
@@ -210,7 +210,7 @@ TEST(ScenarioSolve, TransientHaloCorruptionIsRelaxedAway) {
                  /*probability=*/0.2);
   o.scenario = s;
   const auto r = block_async_solve(a, b, o);
-  EXPECT_TRUE(r.solve.converged);
+  EXPECT_TRUE(r.solve.ok());
   EXPECT_GT(r.resilience.halo_corruptions, 0);
 }
 

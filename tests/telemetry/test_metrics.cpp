@@ -1,0 +1,134 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+namespace bars::telemetry {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, KeepsLastSample) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, RoutesSamplesToBuckets) {
+  constexpr std::array<value_t, 3> bounds{1.0, 2.0, 4.0};
+  Histogram h{std::span<const value_t>(bounds)};
+  ASSERT_EQ(h.num_buckets(), 4u);  // three finite + the +Inf bucket
+
+  h.record(0.5);   // <= 1
+  h.record(1.0);   // <= 1 (bounds are inclusive)
+  h.record(1.5);   // <= 2
+  h.record(100.0); // +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.0);
+}
+
+TEST(HistogramDeathTest, RejectsNonIncreasingBounds) {
+  constexpr std::array<value_t, 2> bad{2.0, 2.0};
+  EXPECT_DEATH(Histogram{std::span<const value_t>(bad)},
+               "strictly increasing");
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hits");
+  a.inc(7);
+  EXPECT_EQ(reg.counter("hits").value(), 7u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, HandlesStayStableAcrossRegistrations) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("first");
+  // Force internal growth; deque-backed storage must not move `first`.
+  for (int i = 0; i < 64; ++i) {
+    reg.counter("c" + std::to_string(i)).inc();
+  }
+  first.inc(5);
+  EXPECT_EQ(reg.counter("first").value(), 5u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", {}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("block_commits").inc(3);
+  reg.gauge("last_residual").set(0.5);
+  constexpr std::array<value_t, 2> bounds{1.0, 2.0};
+  Histogram& h = reg.histogram("staleness", std::span<const value_t>(bounds));
+  h.record(0.5);
+  h.record(3.0);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE bars_block_commits counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("bars_block_commits 3"), std::string::npos);
+  EXPECT_NE(text.find("bars_last_residual 0.5"), std::string::npos);
+  // Cumulative le buckets ending in +Inf, plus _sum/_count.
+  EXPECT_NE(text.find("bars_staleness_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("bars_staleness_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("bars_staleness_count 2"), std::string::npos);
+  EXPECT_NE(text.find("bars_staleness_sum 3.5"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CsvExport) {
+  MetricsRegistry reg;
+  reg.counter("events").inc(2);
+  reg.gauge("level").set(1.5);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("events,counter,value,2"), std::string::npos);
+  EXPECT_NE(text.find("level,gauge,value,1.5"), std::string::npos);
+}
+
+TEST(MetricsObserver, BridgesEventsIntoInstruments) {
+  MetricsRegistry reg;
+  MetricsObserver obs(reg);
+
+  obs.on_start({"test-solver", 10, 50, 2, 1, TimeDomain::kVirtual});
+  obs.on_iteration({1, 1e-3, 0.5});
+  obs.on_block_commit({0, 0, 1, 0.25, 2});
+  obs.on_block_commit({1, 0, 1, 0.5, 0});
+  obs.on_recovery_event({RecoveryEvent::Kind::kRollback, 1, 1e-2, 0});
+  obs.on_finish({SolverStatus::kConverged, 1, 1e-3, 0.5, 0.01, 2, 2, 1});
+
+  EXPECT_EQ(reg.counter("solve_starts").value(), 1u);
+  EXPECT_EQ(reg.counter("solve_iterations").value(), 1u);
+  EXPECT_EQ(reg.counter("block_commits").value(), 2u);
+  EXPECT_EQ(reg.counter("recovery_events").value(), 1u);
+  EXPECT_EQ(reg.counter("recovery_rollbacks").value(), 1u);
+  EXPECT_EQ(reg.histogram("commit_staleness", {}).total(), 2u);
+  EXPECT_EQ(reg.gauge("last_residual").value(), 1e-3);
+}
+
+}  // namespace
+}  // namespace bars::telemetry

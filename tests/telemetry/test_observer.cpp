@@ -1,0 +1,137 @@
+#include "telemetry/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "telemetry/options.hpp"
+#include "telemetry/probe.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace bars::telemetry {
+namespace {
+
+TEST(EventEnums, ToStringNamesAreHyphenated) {
+  EXPECT_STREQ(to_string(TimeDomain::kVirtual), "virtual");
+  EXPECT_STREQ(to_string(RecoveryEvent::Kind::kDampedRestart),
+               "damped-restart");
+  EXPECT_STREQ(to_string(SolverStatus::kRecoveredConverged),
+               "recovered-converged");
+  EXPECT_STREQ(to_string(SolverStatus::kMaxIterations), "max-iterations");
+}
+
+TEST(SolverStatusTest, SucceededCoversBothConvergedStates) {
+  EXPECT_TRUE(succeeded(SolverStatus::kConverged));
+  EXPECT_TRUE(succeeded(SolverStatus::kRecoveredConverged));
+  EXPECT_FALSE(succeeded(SolverStatus::kMaxIterations));
+  EXPECT_FALSE(succeeded(SolverStatus::kDiverged));
+  EXPECT_FALSE(succeeded(SolverStatus::kAborted));
+}
+
+TEST(MultiObserver, FansOutInRegistrationOrderAndIgnoresNull) {
+  RecordingObserver first, second;
+  MultiObserver multi;
+  multi.add(&first);
+  multi.add(nullptr);
+  multi.add(&second);
+  EXPECT_EQ(multi.size(), 2u);
+
+  multi.on_start({"s", 4, 8, 1, 1, TimeDomain::kNone});
+  multi.on_iteration({1, 0.5, 0.0});
+  multi.on_block_commit({2, 0, 3, 1.0, 1});
+  multi.on_recovery_event({RecoveryEvent::Kind::kRollback, 1, 0.5, 0});
+  multi.on_finish({SolverStatus::kConverged, 1, 0.5, 1.0, 0.0, 1, 1, 1});
+
+  for (const RecordingObserver* obs : {&first, &second}) {
+    EXPECT_EQ(obs->starts.size(), 1u);
+    EXPECT_EQ(obs->iterations.size(), 1u);
+    EXPECT_EQ(obs->commits.size(), 1u);
+    EXPECT_EQ(obs->recoveries.size(), 1u);
+    EXPECT_EQ(obs->finishes.size(), 1u);
+  }
+  EXPECT_EQ(first.commits[0].block, 2);
+  EXPECT_EQ(first.finishes[0].status, SolverStatus::kConverged);
+}
+
+TEST(SolveProbe, InactiveWithoutObserver) {
+  const TelemetryOptions off{};
+  SolveProbe probe(off, "probe-test");
+  EXPECT_FALSE(probe.active());
+  // All hooks are no-ops; nothing to assert beyond "does not crash".
+  probe.start(10, 20);
+  probe.iteration(1, 0.5);
+  probe.finish(SolverStatus::kConverged, 1, 0.5);
+}
+
+TEST(SolveProbe, EmitsPairedStartAndFinishWithWallClock) {
+  RecordingObserver rec;
+  TelemetryOptions opts;
+  opts.observer = &rec;
+  SolveProbe probe(opts, "probe-test");
+  EXPECT_TRUE(probe.active());
+
+  probe.start(10, 20, 2, 1, TimeDomain::kVirtual);
+  probe.iteration(0, 1.0);
+  probe.iteration(1, 0.5);
+  probe.finish(SolverStatus::kConverged, 1, 0.5, /*block_commits=*/4,
+               /*max_staleness=*/2, /*virtual_time=*/3.0,
+               /*recovery_actions=*/0);
+
+  ASSERT_EQ(rec.starts.size(), 1u);
+  EXPECT_STREQ(rec.starts[0].solver, "probe-test");
+  EXPECT_EQ(rec.starts[0].rows, 10);
+  EXPECT_EQ(rec.starts[0].time_domain, TimeDomain::kVirtual);
+  ASSERT_EQ(rec.iterations.size(), 2u);
+  EXPECT_EQ(rec.iterations[0].iteration, 0);
+  ASSERT_EQ(rec.finishes.size(), 1u);
+  EXPECT_EQ(rec.finishes[0].block_commits, 4);
+  EXPECT_GE(rec.finishes[0].wall_seconds, 0.0);
+}
+
+TEST(JsonLinesSinkTest, OneWellFormedObjectPerEvent) {
+  std::ostringstream os;
+  JsonLinesSink sink(os);
+  sink.on_start({"jsonl-test", 3, 9, 1, 1, TimeDomain::kWall});
+  sink.on_iteration({1, 0.25, 0.5});
+  sink.on_block_commit({2, 1, 3, 0.75, 4});
+  sink.on_recovery_event({RecoveryEvent::Kind::kLinkRetry, 1, 0.25, 7});
+  sink.on_finish({SolverStatus::kDiverged, 1, 0.25, 0.75, 0.0, 1, 4, 1});
+
+  std::istringstream lines(os.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"event\":\""), std::string::npos) << line;
+  }
+  EXPECT_EQ(n, 5);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"solver\":\"jsonl-test\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"link-retry\""), std::string::npos);
+  EXPECT_NE(text.find("\"status\":\"diverged\""), std::string::npos);
+  EXPECT_NE(text.find("\"staleness\":4"), std::string::npos);
+}
+
+TEST(CsvSinkTest, HeaderAndOneRowPerEvent) {
+  std::ostringstream os;
+  CsvSink sink(os);
+  sink.on_start({"csv-test", 3, 9, 1, 1, TimeDomain::kNone});
+  sink.on_finish({SolverStatus::kConverged, 2, 0.1, 0.0, 0.0, 0, 0, 0});
+
+  std::istringstream lines(os.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header,
+            "event,solver,status,iter,residual,time,block,device,"
+            "generation,staleness,kind,detail");
+  std::string row;
+  int rows = 0;
+  while (std::getline(lines, row)) ++rows;
+  EXPECT_EQ(rows, 2);
+}
+
+}  // namespace
+}  // namespace bars::telemetry

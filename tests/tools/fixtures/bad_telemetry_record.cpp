@@ -1,0 +1,54 @@
+// Seeded violations for the telemetry-record-hot rule: record-path
+// methods (inc / set / record) in src/telemetry must carry
+// BARS_HOT_NOALLOC so the hot-noalloc rule audits their bodies.
+// Linted with --treat-as src/telemetry; never compiled.
+
+namespace bars::telemetry {
+
+class BadCounter {
+ public:
+  void inc(unsigned delta = 1) noexcept { value_ += delta; }  // finding
+
+ private:
+  unsigned value_ = 0;
+};
+
+class BadGauge {
+ public:
+  void set(double v) noexcept { value_ = v; }  // finding
+
+ private:
+  double value_ = 0.0;
+};
+
+class BadHistogram {
+ public:
+  void record(double v) noexcept { sum_ += v; }  // finding
+
+ private:
+  double sum_ = 0.0;
+};
+
+class GoodCounter {
+ public:
+  // Correctly marked: must NOT be flagged.
+  BARS_HOT_NOALLOC void inc(unsigned delta = 1) noexcept { value_ += delta; }
+
+ private:
+  unsigned value_ = 0;
+};
+
+class StreamishSink {
+ public:
+  // Sink on_* callbacks are exempt (stream IO by design); and member
+  // *calls* to record() are not declarations, so neither line below
+  // may be flagged.
+  void on_block_commit(int staleness) {
+    sideband_.record(static_cast<double>(staleness));
+  }
+
+ private:
+  BadHistogram sideband_;
+};
+
+}  // namespace bars::telemetry

@@ -67,6 +67,21 @@ class FixtureViolations(unittest.TestCase):
         self.assertIn("results.resize", out)
         self.assertNotIn("scratch_a", out)
 
+    def test_telemetry_record_rule_catches_fixture(self):
+        code, out = run_lint("--strict", "--treat-as", "src/telemetry",
+                             fixture("bad_telemetry_record.cpp"))
+        self.assertEqual(code, 1, out)
+        hits = out.count("[telemetry-record-hot]")
+        self.assertEqual(
+            hits, 3,
+            "expected exactly the three unmarked record-path methods "
+            f"(marked methods and on_* callbacks are exempt):\n{out}")
+
+    def test_telemetry_record_rule_scoped_to_telemetry_dir(self):
+        _, out = run_lint("--treat-as", "src/core",
+                          fixture("bad_telemetry_record.cpp"))
+        self.assertNotIn("[telemetry-record-hot]", out)
+
     def test_unmarked_functions_may_allocate(self):
         _, out = run_lint("--strict", "--treat-as", "src/core",
                           fixture("bad_hot_noalloc.cpp"))
@@ -116,7 +131,8 @@ class RuleSelection(unittest.TestCase):
         self.assertEqual(code, 0)
         for rule in ("nondeterminism", "hot-noalloc", "raw-mutex",
                      "raw-assert", "fp-literal", "include-hygiene",
-                     "header-guard", "unordered-iteration"):
+                     "header-guard", "unordered-iteration",
+                     "telemetry-record-hot"):
             self.assertIn(rule, out)
 
 

@@ -306,7 +306,8 @@ class IncludeHygiene(Rule):
            "headers, no quotes for system headers.")
     _inc = re.compile(r'^\s*#\s*include\s*(["<])([^">]+)([">])')
     _project_dirs = ("common/", "core/", "gpusim/", "sparse/", "stats/",
-                     "eigen/", "matrices/", "mg/", "report/", "resilience/")
+                     "eigen/", "matrices/", "mg/", "report/", "resilience/",
+                     "telemetry/")
 
     def check(self, sf: SourceFile) -> list[Finding]:
         out = []
@@ -424,6 +425,43 @@ class HotNoAlloc(Rule):
                 "BARS_HOT_NOALLOC body (non-scratch receiver)"))
 
 
+class TelemetryRecordHot(Rule):
+    name = "telemetry-record-hot"
+    doc = ("Metric record-path methods (inc / set / record) declared in "
+           "src/telemetry must carry BARS_HOT_NOALLOC: solvers call them "
+           "from the simulated GPU's bookkeeping loop, and the marker is "
+           "what routes their bodies into the hot-noalloc audit. Sink "
+           "on_* callbacks are exempt — they do stream IO by design and "
+           "are never invoked from the allocation-free path.")
+    # A declaration/definition: one or more type tokens, whitespace, then
+    # the method name and its parameter list. Member *calls* never match
+    # because `.` / `->` are not in the token character class, so there is
+    # no whitespace immediately before the name.
+    _def = re.compile(
+        r"^\s*(?:[A-Za-z_][\w:<>&*\[\]]*\s+)+(inc|set|record)\s*\(")
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.in_dirs(("src/telemetry/",))
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        out = []
+        for idx, line in enumerate(sf.code, start=1):
+            m = self._def.search(line)
+            if not m:
+                continue
+            prev = sf.code[idx - 2] if idx >= 2 else ""
+            if "BARS_HOT_NOALLOC" in line or "BARS_HOT_NOALLOC" in prev:
+                continue
+            if sf.allowed(self.name, idx):
+                continue
+            out.append(self._finding(
+                sf, idx,
+                f"record-path method `{m.group(1)}(` lacks "
+                "BARS_HOT_NOALLOC; the telemetry record path must stay "
+                "allocation-free"))
+        return out
+
+
 ALL_RULES: list[Rule] = [
     Nondeterminism(),
     UnorderedIteration(),
@@ -433,6 +471,7 @@ ALL_RULES: list[Rule] = [
     IncludeHygiene(),
     HeaderGuard(),
     HotNoAlloc(),
+    TelemetryRecordHot(),
 ]
 
 # ---------------------------------------------------------------------- main

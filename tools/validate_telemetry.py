@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""validate_telemetry: schema and stream-invariant checker for BARS
+JSON Lines telemetry (telemetry::JsonLinesSink output).
+
+A telemetry file is a concatenation of solve segments. Each segment is
+bracketed by exactly one `start` and one `finish` event; `iteration`,
+`block_commit`, and `recovery` events may only appear inside an open
+segment. Within a segment, iteration indices are strictly increasing
+and per-block commit generations count 0,1,2,... — the same invariants
+tests/telemetry/test_telemetry_integration.cpp asserts in-process.
+This tool re-checks them on the artifact CI actually ships, so a sink
+regression (bad escaping, truncated line, interleaved streams) cannot
+slip through while the unit tests stay green.
+
+Stdlib-only. Usage:
+    tools/validate_telemetry.py FILE [FILE ...]
+Exit status: 0 = all files valid, 1 = violations found, 2 = bad usage.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+# event -> {key: required JSON type(s)}
+SCHEMAS = {
+    "start": {
+        "solver": str, "rows": int, "nnz": int, "blocks": int,
+        "workers": int, "time_domain": str,
+    },
+    "iteration": {"iter": int, "residual": (int, float),
+                  "time": (int, float)},
+    "block_commit": {"block": int, "device": int, "generation": int,
+                     "virtual_time": (int, float), "staleness": int},
+    "recovery": {"kind": str, "iter": int, "residual": (int, float),
+                 "detail": int},
+    "finish": {
+        "status": str, "iterations": int, "final_residual": (int, float),
+        "virtual_time": (int, float), "wall_seconds": (int, float),
+        "block_commits": int, "max_staleness": int, "recovery_actions": int,
+    },
+}
+
+STATUSES = {"max-iterations", "converged", "diverged", "aborted",
+            "recovered-converged"}
+TIME_DOMAINS = {"none", "virtual", "wall"}
+
+
+class Segment:
+    """One start..finish bracket currently being scanned."""
+
+    def __init__(self, start_line: int):
+        self.start_line = start_line
+        self.last_iter: int | None = None
+        self.iterations = 0
+        self.commits = 0
+        self.recoveries = 0
+        self.next_generation: dict[int, int] = {}
+
+
+def check_file(path: str) -> list[str]:
+    errors: list[str] = []
+    segment: Segment | None = None
+    segments = 0
+
+    def err(line_no: int, msg: str) -> None:
+        errors.append(f"{path}:{line_no}: {msg}")
+
+    try:
+        fh = open(path, encoding="utf-8")
+    except OSError as e:
+        return [f"{path}: cannot open: {e}"]
+
+    with fh:
+        for line_no, raw in enumerate(fh, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                err(line_no, "blank line in JSONL stream")
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                err(line_no, f"not valid JSON: {e.msg}")
+                continue
+            if not isinstance(obj, dict):
+                err(line_no, "line is not a JSON object")
+                continue
+
+            event = obj.get("event")
+            schema = SCHEMAS.get(event)
+            if schema is None:
+                err(line_no, f"unknown event type {event!r}")
+                continue
+            for key, types in schema.items():
+                if key not in obj:
+                    err(line_no, f"{event}: missing key {key!r}")
+                elif not isinstance(obj[key], types) or isinstance(
+                        obj[key], bool):
+                    err(line_no, f"{event}: key {key!r} has wrong type "
+                                 f"{type(obj[key]).__name__}")
+            extra = set(obj) - set(schema) - {"event"}
+            if extra:
+                err(line_no, f"{event}: unexpected key(s) "
+                             f"{', '.join(sorted(extra))}")
+
+            if event == "start":
+                if segment is not None:
+                    err(line_no, "start inside an open segment (missing "
+                                 f"finish for start at line "
+                                 f"{segment.start_line})")
+                if obj.get("time_domain") not in TIME_DOMAINS:
+                    err(line_no, f"start: bad time_domain "
+                                 f"{obj.get('time_domain')!r}")
+                segment = Segment(line_no)
+                segments += 1
+                continue
+
+            if segment is None:
+                err(line_no, f"{event} outside any start..finish segment")
+                continue
+
+            if event == "iteration":
+                it = obj.get("iter")
+                if isinstance(it, int):
+                    if segment.last_iter is not None \
+                            and it <= segment.last_iter:
+                        err(line_no, "iteration index not strictly "
+                                     f"increasing ({segment.last_iter} -> "
+                                     f"{it})")
+                    segment.last_iter = it
+                segment.iterations += 1
+            elif event == "block_commit":
+                blk = obj.get("block")
+                gen = obj.get("generation")
+                if isinstance(blk, int) and isinstance(gen, int):
+                    want = segment.next_generation.get(blk, 0)
+                    if gen != want:
+                        err(line_no, f"block {blk}: generation {gen}, "
+                                     f"expected {want}")
+                    segment.next_generation[blk] = gen + 1
+                segment.commits += 1
+            elif event == "recovery":
+                segment.recoveries += 1
+            elif event == "finish":
+                if obj.get("status") not in STATUSES:
+                    err(line_no, f"finish: bad status {obj.get('status')!r}")
+                # The summary may only claim commit/recovery totals the
+                # stream backs up (commits can exceed the stream count
+                # only when the per-commit stream is muted or absent,
+                # e.g. thread-async / block_commits=false).
+                if segment.commits and obj.get("block_commits") \
+                        != segment.commits:
+                    err(line_no, f"finish: block_commits="
+                                 f"{obj.get('block_commits')} but stream "
+                                 f"has {segment.commits} commit events")
+                if isinstance(obj.get("recovery_actions"), int) \
+                        and obj["recovery_actions"] < segment.recoveries:
+                    err(line_no, f"finish: recovery_actions="
+                                 f"{obj.get('recovery_actions')} < "
+                                 f"{segment.recoveries} recovery events "
+                                 "in stream")
+                segment = None
+
+    if segment is not None:
+        errors.append(f"{path}: unterminated segment (start at line "
+                      f"{segment.start_line}, no finish)")
+    if segments == 0 and not errors:
+        errors.append(f"{path}: no solve segments found")
+    if not errors:
+        print(f"{path}: OK ({segments} solve segment(s))")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    all_errors: list[str] = []
+    for path in argv:
+        all_errors.extend(check_file(path))
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    if all_errors:
+        print(f"validate_telemetry: {len(all_errors)} violation(s)",
+              file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
