@@ -71,6 +71,16 @@ std::string json_escape(const std::string& s) {
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  const auto unknown = args.unknown_keys(
+      {"out", "repeats", "iters", "workers", "telemetry", "telemetry-out",
+       "help"});
+  if (!unknown.empty()) {
+    std::cerr << "perf_suite: unknown flag --" << unknown.front()
+              << "\nvalid flags: --out --repeats --iters --workers "
+                 "--telemetry --telemetry-out; the harness and its "
+                 "regression workflow are documented in docs/PERFORMANCE.md\n";
+    return 2;
+  }
   bench::banner("perf suite — wall-clock hot-path timings",
                 "perf regression harness (real seconds, not virtual)");
 

@@ -29,6 +29,16 @@ int main(int argc, char** argv) {
   using namespace bars;
   const report::Args args(argc, argv);
 
+  const auto unknown = args.unknown_keys(
+      {"matrix", "solver", "tol", "max-iters", "block-size", "local-iters",
+       "omega", "seed", "rcm", "events", "help"});
+  if (!unknown.empty()) {
+    std::cerr << "solve_mtx: unknown flag --" << unknown.front()
+              << "\nrun with --help for the flag list; the solver knobs are "
+                 "documented in docs/API.md and docs/TUTORIAL.md\n";
+    return 2;
+  }
+
   if (args.has("help")) {
     std::cout << "usage: solve_mtx [--matrix=A.mtx] [--solver=NAME] "
                  "[--tol=..] [--max-iters=..]\n       [--block-size=..] "

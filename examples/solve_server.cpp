@@ -1,0 +1,231 @@
+/// Line-protocol front end for the solver-as-a-service layer: reads
+/// commands from stdin, drives a SolveService, and answers on stdout —
+/// the transcript format documented (with a worked example) in
+/// docs/SERVICE.md.
+///
+///   build/examples/solve_server [--workers=2] [--queue=64] [--cache=8]
+///       [--max-batch=8] [--no-batching] [--deadline-ms=0] [--demo]
+///
+/// Protocol (one command per line; responses are single lines):
+///   matrix NAME fv N RHO        register fv_like(N, RHO) under NAME
+///   matrix NAME tref N          register trefethen(N) under NAME
+///   matrix NAME mtx PATH        register a MatrixMarket file under NAME
+///   set KEY VALUE               tol | max-iters | block-size |
+///                               local-iters | seed | deadline-ms |
+///                               solver (applies to later submits)
+///   submit NAME                 enqueue a solve; replies "ticket K"
+///   wait K                      block for ticket K; replies "done K ..."
+///   cancel K                    cooperative cancel of ticket K
+///   stats                       one-line service counters
+///   quit                        drain and exit
+///
+/// --demo ignores stdin and runs a built-in transcript (used by the
+/// ctest smoke test), exercising a cache miss, a hit, and a batch.
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "matrices/generators.hpp"
+#include "report/args.hpp"
+#include "service/solve_service.hpp"
+#include "sparse/matrix_market.hpp"
+
+namespace {
+
+using namespace bars;
+
+struct SessionDefaults {
+  value_t tol = 1e-10;
+  index_t max_iters = 5000;
+  index_t block_size = 448;
+  index_t local_iters = 5;
+  std::uint64_t seed = 99;
+  std::chrono::milliseconds deadline{0};
+  std::string solver = "block-async";
+};
+
+void print_done(std::ostream& os, std::size_t id,
+                const service::SolveResponse& r) {
+  os << "done " << id << " outcome=" << service::to_string(r.outcome)
+     << " status=" << to_string(r.result.status)
+     << " iters=" << r.result.iterations
+     << " residual=" << r.result.final_residual
+     << " hit=" << (r.plan_cache_hit ? 1 : 0)
+     << " batched=" << (r.batched ? 1 : 0) << " batch=" << r.batch_size
+     << " queue_s=" << r.queue_seconds << " solve_s=" << r.solve_seconds;
+  if (!r.error.empty()) os << " error=\"" << r.error << '"';
+  os << '\n';
+}
+
+int serve(std::istream& in, std::ostream& os, service::SolveService& svc,
+          SessionDefaults d) {
+  std::map<std::string, std::shared_ptr<const Csr>> matrices;
+  std::vector<std::shared_ptr<service::Ticket>> tickets;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd) || cmd[0] == '#') continue;
+    try {
+      if (cmd == "quit") break;
+      if (cmd == "matrix") {
+        std::string name, kind;
+        ls >> name >> kind;
+        if (kind == "fv") {
+          index_t n = 0;
+          value_t rho = 0.5;
+          ls >> n >> rho;
+          matrices[name] = std::make_shared<const Csr>(fv_like(n, rho));
+        } else if (kind == "tref") {
+          index_t n = 0;
+          ls >> n;
+          matrices[name] = std::make_shared<const Csr>(trefethen(n));
+        } else if (kind == "mtx") {
+          std::string path;
+          ls >> path;
+          matrices[name] =
+              std::make_shared<const Csr>(read_matrix_market_file(path));
+        } else {
+          os << "error unknown matrix kind '" << kind << "'\n";
+          continue;
+        }
+        os << "matrix " << name << " n=" << matrices[name]->rows()
+           << " nnz=" << matrices[name]->nnz() << '\n';
+      } else if (cmd == "set") {
+        std::string key;
+        ls >> key;
+        if (key == "tol") {
+          ls >> d.tol;
+        } else if (key == "max-iters") {
+          ls >> d.max_iters;
+        } else if (key == "block-size") {
+          ls >> d.block_size;
+        } else if (key == "local-iters") {
+          ls >> d.local_iters;
+        } else if (key == "seed") {
+          ls >> d.seed;
+        } else if (key == "deadline-ms") {
+          long long ms = 0;
+          ls >> ms;
+          d.deadline = std::chrono::milliseconds(ms);
+        } else if (key == "solver") {
+          ls >> d.solver;
+        } else {
+          os << "error unknown setting '" << key << "'\n";
+          continue;
+        }
+        os << "ok\n";
+      } else if (cmd == "submit") {
+        std::string name;
+        ls >> name;
+        const auto it = matrices.find(name);
+        if (it == matrices.end()) {
+          os << "error unknown matrix '" << name << "'\n";
+          continue;
+        }
+        service::SolveRequest req;
+        req.matrix = it->second;
+        req.b = Vector(static_cast<std::size_t>(it->second->rows()), 1.0);
+        req.solver = d.solver;
+        req.options.solve.tol = d.tol;
+        req.options.solve.max_iters = d.max_iters;
+        req.options.block_size = d.block_size;
+        req.options.local_iters = d.local_iters;
+        req.options.seed = d.seed;
+        req.deadline = d.deadline;
+        tickets.push_back(svc.submit(std::move(req)));
+        os << "ticket " << tickets.size() - 1 << '\n';
+      } else if (cmd == "wait" || cmd == "cancel") {
+        std::size_t id = 0;
+        ls >> id;
+        if (id >= tickets.size()) {
+          os << "error no ticket " << id << '\n';
+          continue;
+        }
+        if (cmd == "cancel") {
+          tickets[id]->cancel();
+          os << "ok\n";
+        } else {
+          print_done(os, id, tickets[id]->wait());
+        }
+      } else if (cmd == "stats") {
+        const service::ServiceStats s = svc.stats();
+        os << "stats submitted=" << s.submitted << " solved=" << s.solved
+           << " rejected_queue_full=" << s.rejected_queue_full
+           << " deadline_expired=" << s.deadline_expired
+           << " cancelled=" << s.cancelled << " failed=" << s.failed
+           << " batches=" << s.batches
+           << " batched_requests=" << s.batched_requests
+           << " cache_hits=" << s.plan_cache.hits
+           << " cache_misses=" << s.plan_cache.misses
+           << " cache_evictions=" << s.plan_cache.evictions << '\n';
+      } else {
+        os << "error unknown command '" << cmd << "'\n";
+      }
+    } catch (const std::exception& e) {
+      os << "error " << e.what() << '\n';
+    }
+  }
+  return 0;
+}
+
+constexpr const char* kDemoScript = R"(# built-in smoke transcript
+matrix demo fv 15 0.8
+set tol 1e-9
+set block-size 32
+set local-iters 2
+submit demo
+wait 0
+submit demo
+submit demo
+submit demo
+wait 1
+wait 2
+wait 3
+set solver cg
+submit demo
+wait 4
+stats
+quit
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  const auto unknown = args.unknown_keys({"workers", "queue", "cache",
+                                          "max-batch", "no-batching",
+                                          "deadline-ms", "demo", "help"});
+  if (!unknown.empty()) {
+    std::cerr << "solve_server: unknown flag --" << unknown.front()
+              << "\nrun with --help; the protocol and every flag are "
+                 "documented in docs/SERVICE.md\n";
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << "usage: solve_server [--workers=2] [--queue=64] [--cache=8]\n"
+                 "       [--max-batch=8] [--no-batching] [--deadline-ms=0] "
+                 "[--demo]\nprotocol: see docs/SERVICE.md\n";
+    return 0;
+  }
+
+  service::ServiceOptions so;
+  so.num_workers = static_cast<index_t>(args.get_int("workers", 2));
+  so.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 64));
+  so.plan_cache_capacity = static_cast<std::size_t>(args.get_int("cache", 8));
+  so.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  so.batching = !args.has("no-batching");
+  so.default_deadline = std::chrono::milliseconds(args.get_int("deadline-ms", 0));
+  service::SolveService svc(so);
+
+  if (args.has("demo")) {
+    std::istringstream script{std::string(kDemoScript)};
+    return serve(script, std::cout, svc, SessionDefaults{});
+  }
+  return serve(std::cin, std::cout, svc, SessionDefaults{});
+}

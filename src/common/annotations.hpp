@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -117,6 +118,18 @@ class ConditionVariable {
 
   void wait(MutexLock& lock) BARS_NO_THREAD_SAFETY_ANALYSIS {
     cv_.wait(lock.lock_);
+  }
+
+  /// Timed wait; returns false on timeout, true when notified. Same
+  /// capability story as wait(): held at entry and exit, the internal
+  /// release invisible to the analysis. Used by supervisors that must
+  /// wake on a schedule (the service layer's deadline reaper) as well
+  /// as on state changes.
+  template <class Rep, class Period>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout)
+      BARS_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
   }
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }

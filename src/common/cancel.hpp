@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+
+/// \file cancel.hpp
+/// Cooperative cancellation for solver runs.
+///
+/// A CancelToken is a shared flag the embedding application (or the
+/// service layer's deadline reaper) trips from another thread; solvers
+/// poll it at iteration boundaries through SolveOptions::cancel and
+/// stop with SolverStatus::kAborted. Polling is a single relaxed
+/// atomic load, so the disabled path (null token) costs one branch and
+/// the enabled path stays off every hot inner loop — only
+/// per-global-iteration code checks it.
+///
+/// The token is intentionally one-way within a solve: once requested it
+/// stays requested until reset(), so a solver can never "miss" a
+/// cancellation between the trip and its next boundary check.
+
+namespace bars::common {
+
+/// Reason recorded alongside a cancellation request, so callers can
+/// distinguish a user-initiated abort from a deadline expiry when both
+/// surface as SolverStatus::kAborted.
+enum class CancelReason : int {
+  kNone = 0,
+  kUser = 1,      ///< explicit request_cancel() by the embedder
+  kDeadline = 2,  ///< tripped by a deadline supervisor (service layer)
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trip the token. Safe from any thread; idempotent (the first
+  /// reason wins so a late deadline cannot relabel a user abort).
+  void request_cancel(CancelReason reason = CancelReason::kUser) noexcept {
+    int expected = static_cast<int>(CancelReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_relaxed);
+    requested_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Polled by solvers at iteration boundaries.
+  [[nodiscard]] bool requested() const noexcept {
+    return requested_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Re-arm a token for reuse (tests, pooled request slots). Only call
+  /// between solves — never while a solver may still poll it.
+  void reset() noexcept {
+    requested_.store(false, std::memory_order_relaxed);
+    reason_.store(static_cast<int>(CancelReason::kNone),
+                  std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> requested_{false};
+  std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+};
+
+/// Null-safe poll helper: `if (cancel_requested(opts.cancel)) ...`.
+[[nodiscard]] inline bool cancel_requested(const CancelToken* t) noexcept {
+  return t != nullptr && t->requested();
+}
+
+}  // namespace bars::common

@@ -20,8 +20,9 @@ enum class SolverStatus {
   /// Residual went non-finite or exceeded the divergence limit.
   kDiverged,
   /// Stopped by an external supervisor (cancellation) before any
-  /// mathematical verdict. Reserved for embedding applications; no
-  /// in-tree solver currently produces it.
+  /// mathematical verdict: a tripped SolveOptions::cancel token, a
+  /// service-layer deadline expiry, or admission-control rejection
+  /// (see common/cancel.hpp and docs/SERVICE.md).
   kAborted,
   /// Converged, but only after the resilience layer rewrote the
   /// iterate at least once (checkpoint rollback or damped restart) —

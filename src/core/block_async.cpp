@@ -57,6 +57,23 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
     kernel.set_per_block_iters(
         adaptive_local_iter_counts(a, part, opts.local_iters));
   }
+  return block_async_solve_with_kernel(a, b, kernel, opts, x0);
+}
+
+BlockAsyncResult block_async_solve_with_kernel(const Csr& a, const Vector& b,
+                                               BlockJacobiKernel& kernel,
+                                               const BlockAsyncOptions& opts,
+                                               const Vector* x0) {
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(b.size()) != a.rows()) {
+    throw std::invalid_argument("block_async_solve: dimension mismatch");
+  }
+  if (kernel.num_rows() != a.rows()) {
+    throw std::invalid_argument(
+        "block_async_solve_with_kernel: kernel built for a different size");
+  }
+  kernel.set_rhs(b);
+  const RowPartition& part = kernel.partition();
 
   static const gpusim::CostModel kDefaultModel =
       gpusim::CostModel::calibrated_to_paper();
@@ -68,6 +85,7 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
   exec.stopping.max_global_iters = opts.solve.max_iters;
   exec.stopping.tol = opts.solve.tol;
   exec.stopping.divergence_limit = opts.solve.divergence_limit;
+  exec.stopping.cancel = opts.solve.cancel;
   exec.telemetry = opts.solve.telemetry;
   exec.concurrent_slots = opts.concurrent_slots;
   exec.global_iteration_time =
@@ -120,6 +138,40 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
                out.solve.final_residual, commits, out.max_staleness,
                r.virtual_time,
                out.resilience.rollbacks + out.resilience.damped_restarts);
+  return out;
+}
+
+std::vector<BlockAsyncResult> block_async_solve_multi(
+    const Csr& a, std::span<const Vector> bs, const BlockAsyncOptions& opts,
+    const Vector* x0) {
+  if (bs.empty()) {
+    throw std::invalid_argument("block_async_solve_multi: no right-hand sides");
+  }
+  if (a.rows() != a.cols() ||
+      static_cast<index_t>(bs.front().size()) != a.rows()) {
+    throw std::invalid_argument("block_async_solve_multi: dimension mismatch");
+  }
+  if (opts.block_size <= 0) {
+    throw std::invalid_argument(
+        "block_async_solve_multi: block_size must be > 0");
+  }
+
+  // The expensive part — partition + per-block analysis — happens once;
+  // each RHS then replays the same (value-independent, seeded) executor
+  // schedule, so every result is bit-identical to its standalone solve.
+  const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
+  BlockJacobiKernel kernel(a, bs.front(), part, opts.local_iters,
+                           opts.local_sweep, opts.local_omega, opts.overlap);
+  if (opts.adaptive_local_iters) {
+    kernel.set_per_block_iters(
+        adaptive_local_iter_counts(a, part, opts.local_iters));
+  }
+
+  std::vector<BlockAsyncResult> out;
+  out.reserve(bs.size());
+  for (const Vector& b : bs) {
+    out.push_back(block_async_solve_with_kernel(a, b, kernel, opts, x0));
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 
 #include "core/block_jacobi_kernel.hpp"
@@ -92,6 +93,28 @@ struct BlockAsyncResult {
 [[nodiscard]] BlockAsyncResult block_async_solve(
     const Csr& a, const Vector& b, const BlockAsyncOptions& opts = {},
     const Vector* x0 = nullptr);
+
+/// Solve A x = b reusing a prebuilt kernel (the expensive per-matrix
+/// analysis: partition, halo lists, local/global splits, diagonal
+/// factors, sized scratch). The kernel is repointed at `b` via
+/// set_rhs() and must have been built from `a` with the same partition
+/// and sweep configuration that `opts` describes — then the run is
+/// bit-identical to block_async_solve(a, b, opts, x0), because the
+/// executor schedule depends only on options and seed, never on values.
+/// This is the amortization point the service layer's plan cache rides
+/// on (see docs/SERVICE.md).
+[[nodiscard]] BlockAsyncResult block_async_solve_with_kernel(
+    const Csr& a, const Vector& b, BlockJacobiKernel& kernel,
+    const BlockAsyncOptions& opts = {}, const Vector* x0 = nullptr);
+
+/// Batched multi-RHS solve: one kernel build amortized over every
+/// right-hand side in `bs`. Each RHS runs the full executor schedule
+/// independently (same options, same seed), so result k is
+/// bit-identical to block_async_solve(a, bs[k], opts, x0) — asserted by
+/// tests/service/test_service_batching.cpp. Throws on empty `bs`.
+[[nodiscard]] std::vector<BlockAsyncResult> block_async_solve_multi(
+    const Csr& a, std::span<const Vector> bs,
+    const BlockAsyncOptions& opts = {}, const Vector* x0 = nullptr);
 
 /// The adaptive sweep-count heuristic used by
 /// BlockAsyncOptions::adaptive_local_iters, exposed for inspection:

@@ -43,6 +43,10 @@ SolveResult block_jacobi_solve(const Csr& a, const Vector& b,
       res.status = SolverStatus::kDiverged;
       break;
     }
+    if (common::cancel_requested(opts.solve.cancel)) {
+      res.status = SolverStatus::kAborted;
+      break;
+    }
     // Synchronous: all blocks read the same snapshot.
     snapshot = res.x;
     for (index_t blk = 0; blk < q; ++blk) {

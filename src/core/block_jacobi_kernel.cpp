@@ -12,7 +12,7 @@ BlockJacobiKernel::BlockJacobiKernel(const Csr& a, const Vector& b,
                                      RowPartition partition,
                                      index_t local_iters, LocalSweep sweep,
                                      value_t local_omega, index_t overlap)
-    : b_(b),
+    : b_(&b),
       partition_(std::move(partition)),
       local_iters_(local_iters),
       sweep_(sweep),
@@ -109,6 +109,13 @@ void BlockJacobiKernel::set_per_block_iters(std::vector<index_t> per_block) {
   per_block_iters_ = std::move(per_block);
 }
 
+void BlockJacobiKernel::set_rhs(const Vector& b) {
+  if (static_cast<index_t>(b.size()) != num_rows()) {
+    throw std::invalid_argument("set_rhs: size must equal num_rows()");
+  }
+  b_ = &b;
+}
+
 index_t BlockJacobiKernel::block_local_iters(index_t block) const {
   return per_block_iters_.empty()
              ? local_iters_
@@ -155,9 +162,11 @@ BARS_HOT_NOALLOC void BlockJacobiKernel::update(
   value_t* nxt = blk.scratch_b.data();
   const value_t* xw = x.data() + blk.work_lo;  // working range, old values
 
+  const value_t* rhs = b_->data();
+
   if (sweep_ == LocalSweep::kJacobi) {
     for (index_t li = 0; li < m; ++li) {
-      value_t acc = b_[blk.work_lo + li];
+      value_t acc = rhs[blk.work_lo + li];
       for (index_t k = blk.grow_ptr[li]; k < blk.grow_ptr[li + 1]; ++k) {
         acc -= blk.gval[k] * halo_values[blk.gcol[k]];
       }
@@ -181,7 +190,7 @@ BARS_HOT_NOALLOC void BlockJacobiKernel::update(
     // Gauss-Seidel sweeps are in place, so seed the iterate first.
     std::copy(xw, xw + m, cur);
     for (index_t li = 0; li < m; ++li) {
-      value_t acc = b_[blk.work_lo + li];
+      value_t acc = rhs[blk.work_lo + li];
       for (index_t k = blk.grow_ptr[li]; k < blk.grow_ptr[li + 1]; ++k) {
         acc -= blk.gval[k] * halo_values[blk.gcol[k]];
       }

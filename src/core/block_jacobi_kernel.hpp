@@ -73,6 +73,19 @@ class BlockJacobiKernel final : public gpusim::BlockKernel {
 
   [[nodiscard]] index_t overlap() const noexcept { return overlap_; }
 
+  /// Repoint the right-hand side without rebuilding the per-block
+  /// analysis (halo lists, local/global splits, diagonal factors) —
+  /// those depend only on the matrix structure and partition, never on
+  /// b. This is what lets the service layer's plan cache reuse one
+  /// kernel across requests and run multi-RHS batches. The new vector
+  /// must match num_rows() and outlive all subsequent update() calls;
+  /// callers must serialize set_rhs() against concurrent update()s
+  /// (the plan cache holds a per-plan lock for exactly this reason).
+  void set_rhs(const Vector& b);
+
+  /// The right-hand side currently bound to the kernel.
+  [[nodiscard]] const Vector& rhs() const noexcept { return *b_; }
+
  private:
   struct BlockData {
     index_t lo = 0;       ///< owned range (committed rows)
@@ -103,7 +116,7 @@ class BlockJacobiKernel final : public gpusim::BlockKernel {
     mutable std::vector<value_t> scratch_b;   ///< Jacobi double buffer
   };
 
-  const Vector& b_;
+  const Vector* b_;  ///< current RHS (never null; repointed by set_rhs)
   RowPartition partition_;
   index_t local_iters_;
   LocalSweep sweep_;

@@ -60,6 +60,10 @@ SolveResult cg_solve(const Csr& a, const Vector& b, const CgOptions& opts,
       res.status = SolverStatus::kDiverged;
       break;
     }
+    if (common::cancel_requested(opts.solve.cancel)) {
+      res.status = SolverStatus::kAborted;
+      break;
+    }
     a.spmv(p, ap);
     const value_t pap = dot(p, ap);
     if (pap <= 0.0) {

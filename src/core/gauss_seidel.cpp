@@ -70,6 +70,10 @@ SolveResult sor_solve(const Csr& a, const Vector& b, value_t omega,
       res.status = SolverStatus::kDiverged;
       break;
     }
+    if (common::cancel_requested(opts.cancel)) {
+      res.status = SolverStatus::kAborted;
+      break;
+    }
     switch (dir) {
       case SweepDirection::kForward:
         sweep(a, b, res.x, d, omega, /*forward=*/true);

@@ -50,6 +50,12 @@ SolveResult gmres_solve(const Csr& a, const Vector& b,
       res.status = SolverStatus::kDiverged;
       break;
     }
+    // Cancellation is honored at restart boundaries (a partial Arnoldi
+    // cycle would be discarded anyway).
+    if (common::cancel_requested(opts.solve.cancel)) {
+      res.status = SolverStatus::kAborted;
+      break;
+    }
     // Start a cycle from the true residual.
     a.residual(b, res.x, r);
     beta = norm2(r);

@@ -45,6 +45,10 @@ SolveResult jacobi_impl(const Csr& a, const Vector& b, value_t tau,
       res.status = SolverStatus::kDiverged;
       break;
     }
+    if (common::cancel_requested(opts.cancel)) {
+      res.status = SolverStatus::kAborted;
+      break;
+    }
     for (std::size_t i = 0; i < n; ++i) res.x[i] += tau * r[i] / d[i];
     a.residual(b, res.x, r);
     rel = norm2(r) / scale_den;

@@ -32,6 +32,7 @@ MultiGpuResult multi_gpu_block_async_solve(const Csr& a, const Vector& b,
   exec.stopping.max_global_iters = opts.solve.max_iters;
   exec.stopping.tol = opts.solve.tol;
   exec.stopping.divergence_limit = opts.solve.divergence_limit;
+  exec.stopping.cancel = opts.solve.cancel;
   exec.telemetry = opts.solve.telemetry;
   exec.slots_per_device = opts.slots_per_device;
   exec.global_iteration_time =

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/solver_status.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/types.hpp"
@@ -28,6 +29,12 @@ struct SolveOptions {
   /// Observability hooks (observer + metrics registry). Null members
   /// disable the feature; see docs/OBSERVABILITY.md.
   telemetry::TelemetryOptions telemetry{};
+  /// Cooperative cancellation: when non-null, every solver polls the
+  /// token at iteration boundaries and exits with
+  /// SolverStatus::kAborted once it is tripped (the iterate computed so
+  /// far is returned). Null disables the check. The pointee must
+  /// outlive the solve; see common/cancel.hpp.
+  const common::CancelToken* cancel = nullptr;
 };
 
 /// Result of a solver run.

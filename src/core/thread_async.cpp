@@ -195,6 +195,11 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
       verdict_on_snap = true;
       break;
     }
+    if (common::cancel_requested(opts.solve.cancel)) {
+      sr.status = SolverStatus::kAborted;
+      verdict_on_snap = true;
+      break;
+    }
     if (sr.iterations >= opts.solve.max_iters) break;
   }
   stop.store(true, std::memory_order_relaxed);

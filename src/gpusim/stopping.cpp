@@ -61,6 +61,14 @@ StopVerdict IterationMonitor::on_global_iteration(
   if (observer_) observer_->on_iteration({iter, r, now});
   if (timeline_) timeline_->advance(iter);
 
+  // Cooperative cancellation, honored before the recovery machinery
+  // runs (an abandoned solve must not roll back, restart, or save
+  // checkpoints). A converged iterate still reports convergence:
+  // tripping the token cannot un-converge a finished solve.
+  if (crit_.cancel != nullptr && crit_.cancel->requested() && r > crit_.tol) {
+    return StopVerdict::kCancelled;
+  }
+
   bool anomalous = false;
   if (detector_) {
     if (const auto anomaly = detector_->push(r)) {

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/solver_status.hpp"
 #include "resilience/recovery.hpp"
 #include "resilience/scenario.hpp"
@@ -25,13 +26,17 @@ struct StoppingCriteria {
   index_t max_global_iters = 1000;
   value_t tol = 1e-14;
   value_t divergence_limit = 1e30;
+  /// Cooperative cancellation token (SolveOptions::cancel), polled once
+  /// per global-iteration boundary. Null disables the check.
+  const common::CancelToken* cancel = nullptr;
 };
 
 enum class StopVerdict {
   kContinue,
-  kConverged,  ///< residual reached tol
-  kDiverged,   ///< residual non-finite or above the divergence limit
-  kIterLimit,  ///< max_global_iters reached
+  kConverged,   ///< residual reached tol
+  kDiverged,    ///< residual non-finite or above the divergence limit
+  kIterLimit,   ///< max_global_iters reached
+  kCancelled,   ///< the cancel token was tripped mid-solve
 };
 
 /// Drives one solve's global-iteration boundaries. `policy` and
@@ -90,6 +95,8 @@ class IterationMonitor {
                                        : SolverStatus::kConverged;
       case StopVerdict::kDiverged:
         return SolverStatus::kDiverged;
+      case StopVerdict::kCancelled:
+        return SolverStatus::kAborted;
       case StopVerdict::kContinue:
       case StopVerdict::kIterLimit:
         break;

@@ -143,6 +143,10 @@ SolveResult PoissonMultigrid::solve(const Vector& b,
       res.status = SolverStatus::kDiverged;
       break;
     }
+    if (common::cancel_requested(opts.solve.cancel)) {
+      res.status = SolverStatus::kAborted;
+      break;
+    }
     vcycle(0, b, res.x, opts);
     a.residual(b, res.x, r);
     rel = norm2(r) / den;

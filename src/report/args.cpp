@@ -51,4 +51,20 @@ std::vector<std::string> Args::keys() const {
   return out;
 }
 
+std::vector<std::string> Args::unknown_keys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    bool found = false;
+    for (const std::string& want : known) {
+      if (k == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.push_back(k);
+  }
+  return out;
+}
+
 }  // namespace bars::report

@@ -24,6 +24,12 @@ class Args {
   /// Keys that were supplied but never queried (typo detection).
   [[nodiscard]] std::vector<std::string> keys() const;
 
+  /// Supplied keys that are not in `known` — the typo guard the
+  /// harness entry points use to fail fast (with a pointer at the
+  /// relevant doc) instead of silently ignoring a misspelled flag.
+  [[nodiscard]] std::vector<std::string> unknown_keys(
+      const std::vector<std::string>& known) const;
+
  private:
   std::vector<std::pair<std::string, std::string>> kv_;
   [[nodiscard]] const std::string* find(const std::string& key) const;

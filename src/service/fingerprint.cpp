@@ -1,0 +1,29 @@
+#include "service/fingerprint.hpp"
+
+namespace bars::service {
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t matrix_fingerprint(const Csr& a) noexcept {
+  constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  const index_t dims[2] = {a.rows(), a.cols()};
+  std::uint64_t h = fnv1a64(dims, sizeof(dims), kOffsetBasis);
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto vs = a.values();
+  h = fnv1a64(rp.data(), rp.size() * sizeof(index_t), h);
+  h = fnv1a64(ci.data(), ci.size() * sizeof(index_t), h);
+  h = fnv1a64(vs.data(), vs.size() * sizeof(value_t), h);
+  return h;
+}
+
+}  // namespace bars::service

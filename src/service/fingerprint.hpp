@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+/// \file fingerprint.hpp
+/// Content fingerprint for sparse matrices — the plan-cache key.
+///
+/// Two matrices with equal dimensions, sparsity pattern, and values
+/// produce the same fingerprint; any structural or numerical change
+/// produces (with overwhelming probability) a different one. The hash
+/// is FNV-1a over the CSR arrays' bytes, so it is deterministic across
+/// runs and platforms of equal endianness and costs one O(nnz) pass —
+/// negligible next to the per-block analysis it lets the cache skip.
+
+namespace bars::service {
+
+/// 64-bit FNV-1a over (rows, cols, row_ptr, col_idx, values).
+[[nodiscard]] std::uint64_t matrix_fingerprint(const Csr& a) noexcept;
+
+/// The raw FNV-1a primitive, exposed for composing derived keys
+/// (the plan cache folds partition config into the matrix hash).
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                                    std::uint64_t seed) noexcept;
+
+}  // namespace bars::service

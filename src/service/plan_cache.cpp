@@ -1,0 +1,85 @@
+#include "service/plan_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "service/fingerprint.hpp"
+
+namespace bars::service {
+
+std::size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
+  // Fold the config into the matrix fingerprint with the same FNV-1a
+  // primitive the fingerprint itself uses.
+  const index_t cfg[2] = {k.config.block_size, k.config.local_iters};
+  return static_cast<std::size_t>(
+      fnv1a64(cfg, sizeof(cfg), k.fingerprint ^ 0xcbf29ce484222325ULL));
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("PlanCache: capacity must be >= 1");
+  }
+}
+
+std::shared_ptr<SolvePlan> PlanCache::acquire(const Csr& a,
+                                              const PlanConfig& config,
+                                              bool* hit) {
+  const Key key{matrix_fingerprint(a), config};
+  common::MutexLock lock(mu_);
+  if (auto it = map_.find(key); it != map_.end()) {
+    ++hits_;
+    if (hit != nullptr) *hit = true;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.plan;
+  }
+  ++misses_;
+  if (hit != nullptr) *hit = false;
+
+  // Build under the lock: misses are the rare path by design, and
+  // holding the lock guarantees no two workers duplicate the same
+  // expensive analysis.
+  auto plan = std::make_shared<SolvePlan>();
+  plan->fingerprint = key.fingerprint;
+  plan->config = config;
+  plan->matrix = a;
+  plan->partition = RowPartition::uniform(a.rows(), config.block_size);
+  plan->owner_table = plan->partition.owner_table();
+  plan->seed_rhs.assign(static_cast<std::size_t>(a.rows()), 0.0);
+  try {
+    plan->kernel = std::make_unique<BlockJacobiKernel>(
+        plan->matrix, plan->seed_rhs, plan->partition, config.local_iters);
+  } catch (const std::exception& e) {
+    plan->kernel = nullptr;
+    plan->kernel_error = e.what();
+  }
+
+  if (map_.size() >= capacity_) {
+    const Key& victim = lru_.back();
+    map_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{plan, lru_.begin()});
+  return plan;
+}
+
+std::shared_ptr<SolvePlan> PlanCache::peek(std::uint64_t fingerprint,
+                                           const PlanConfig& config) const {
+  common::MutexLock lock(mu_);
+  const auto it = map_.find(Key{fingerprint, config});
+  return it == map_.end() ? nullptr : it->second.plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  common::MutexLock lock(mu_);
+  return {hits_, misses_, evictions_, map_.size(), capacity_};
+}
+
+void PlanCache::clear() {
+  common::MutexLock lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace bars::service

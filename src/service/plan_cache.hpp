@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "core/block_jacobi_kernel.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+/// \file plan_cache.hpp
+/// The solve-plan cache: amortizes per-matrix setup across requests.
+///
+/// A *plan* is everything a block-async solve computes before its first
+/// global iteration that depends only on the matrix and the partition
+/// config — never on the right-hand side: the row partition, the dense
+/// owner table, the per-block halo lists / local-global splits /
+/// diagonal factors (all inside BlockJacobiKernel), and the kernel's
+/// construction-sized scratch arenas. BlockJacobiKernel::set_rhs
+/// repoints the RHS without rebuilding any of it, which is what makes
+/// one plan serve many requests and multi-RHS batches.
+///
+/// Keying and eviction (docs/SERVICE.md has the full contract):
+///   key   = (matrix fingerprint, block_size, local_iters)
+///   evict = least-recently-used once `capacity` distinct plans exist.
+/// Plans are handed out as shared_ptr, so eviction never destroys a
+/// plan a worker is still solving with.
+
+namespace bars::service {
+
+/// Partition/sweep configuration a plan is built for. Requests with a
+/// different config on the same matrix get a distinct plan (the kernel
+/// analysis depends on these).
+struct PlanConfig {
+  index_t block_size = 448;
+  index_t local_iters = 5;
+  friend bool operator==(const PlanConfig&, const PlanConfig&) = default;
+};
+
+/// One cached per-matrix setup. Workers must hold `mu` while using
+/// `kernel` (set_rhs repoints shared state) — the cache itself never
+/// touches the kernel after construction.
+struct SolvePlan {
+  std::uint64_t fingerprint = 0;
+  PlanConfig config{};
+  /// The service solves against this owned copy, so a plan (and any
+  /// batch riding on it) never dangles when the submitter's matrix
+  /// goes away.
+  Csr matrix;
+  RowPartition partition;
+  std::vector<index_t> owner_table;
+  /// Zero vector the kernel is bound to at construction; every request
+  /// repoints the kernel at its own RHS via set_rhs(). Also reused as
+  /// the default initial guess (x0 = 0) without reallocating.
+  Vector seed_rhs;
+  /// Null when kernel construction failed (e.g. zero diagonal): such
+  /// matrices are still cached so repeat offenders fail fast, and the
+  /// failure reason is kept in `kernel_error`.
+  std::unique_ptr<BlockJacobiKernel> kernel;
+  std::string kernel_error;
+  /// Serializes kernel use across workers: set_rhs + the executor run
+  /// must be one critical section per request/batch.
+  common::Mutex mu;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;      ///< plans currently resident
+  std::size_t capacity = 0;
+};
+
+/// LRU map from (fingerprint, config) to shared SolvePlan. Thread-safe;
+/// all members may be called concurrently.
+class PlanCache {
+ public:
+  /// `capacity` >= 1 (throws otherwise).
+  explicit PlanCache(std::size_t capacity);
+
+  /// Return the plan for (a, config), building and inserting it on a
+  /// miss (evicting the least-recently-used entry when full). The
+  /// returned pointer is never null; a plan whose kernel failed to
+  /// build has plan->kernel == nullptr and a non-empty kernel_error.
+  /// When `hit` is non-null it reports whether this call was served
+  /// from cache.
+  [[nodiscard]] std::shared_ptr<SolvePlan> acquire(const Csr& a,
+                                                   const PlanConfig& config,
+                                                   bool* hit = nullptr);
+
+  /// Like acquire() but never builds: null on miss, and the LRU order
+  /// is untouched (peeking is not a use).
+  [[nodiscard]] std::shared_ptr<SolvePlan> peek(std::uint64_t fingerprint,
+                                                const PlanConfig& config) const;
+
+  [[nodiscard]] PlanCacheStats stats() const;
+
+  /// Drop every cached plan (in-flight shared_ptrs stay valid).
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint;
+    PlanConfig config;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Entry {
+    std::shared_ptr<SolvePlan> plan;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  mutable common::Mutex mu_;
+  std::size_t capacity_ BARS_GUARDED_BY(mu_);
+  std::list<Key> lru_ BARS_GUARDED_BY(mu_);  ///< front = most recent
+  std::unordered_map<Key, Entry, KeyHash> map_ BARS_GUARDED_BY(mu_);
+  std::uint64_t hits_ BARS_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ BARS_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ BARS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace bars::service

@@ -1,0 +1,406 @@
+#include "service/solve_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/block_async.hpp"
+#include "resilience/recovery.hpp"
+#include "service/fingerprint.hpp"
+
+namespace bars::service {
+
+namespace {
+
+[[nodiscard]] value_t seconds_between(std::chrono::steady_clock::time_point a,
+                                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<value_t>(b - a).count();
+}
+
+}  // namespace
+
+SolveService::SolveService(ServiceOptions opts)
+    : opts_(opts),
+      cache_(opts.plan_cache_capacity == 0 ? 1 : opts.plan_cache_capacity) {
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  if (opts_.metrics != nullptr) {
+    telemetry::MetricsRegistry& m = *opts_.metrics;
+    m_requests_ = &m.counter("service_requests_total");
+    m_rejected_ = &m.counter("service_rejected_queue_full");
+    m_deadline_ = &m.counter("service_deadline_expired");
+    m_cancelled_ = &m.counter("service_cancelled");
+    m_failed_ = &m.counter("service_failed");
+    m_solved_ = &m.counter("service_solved");
+    m_batches_ = &m.counter("service_batches");
+    m_cache_hits_ = &m.counter("service_plan_cache_hits");
+    m_cache_misses_ = &m.counter("service_plan_cache_misses");
+    m_queue_depth_ = &m.gauge("service_queue_depth");
+    m_active_ = &m.gauge("service_active_solves");
+    m_cache_size_ = &m.gauge("service_plan_cache_size");
+    static constexpr value_t kLatencyBuckets[] = {1e-4, 1e-3, 1e-2,
+                                                  1e-1, 1.0,  10.0};
+    m_queue_seconds_ = &m.histogram("service_queue_seconds", kLatencyBuckets);
+    m_solve_seconds_ = &m.histogram("service_solve_seconds", kLatencyBuckets);
+  }
+
+  const index_t n = std::max<index_t>(1, opts_.num_workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  reaper_ = std::thread([this] { reaper_loop(); });
+}
+
+SolveService::~SolveService() { shutdown(/*drain=*/true); }
+
+RequestOutcome SolveService::aborted_outcome(const common::CancelToken& token) {
+  return token.reason() == common::CancelReason::kDeadline
+             ? RequestOutcome::kDeadlineExpired
+             : RequestOutcome::kCancelled;
+}
+
+std::shared_ptr<Ticket> SolveService::submit(SolveRequest req) {
+  auto ticket = std::make_shared<Ticket>();
+
+  const auto reject = [&](RequestOutcome outcome, std::string error) {
+    SolveResponse r;
+    r.outcome = outcome;
+    r.result.status = SolverStatus::kAborted;
+    r.error = std::move(error);
+    ticket->complete(std::move(r));
+    return ticket;
+  };
+
+  if (!req.matrix) {
+    common::MutexLock lock(mu_);
+    ++stats_.submitted;
+    ++stats_.failed;
+    if (m_requests_ != nullptr) m_requests_->inc();
+    if (m_failed_ != nullptr) m_failed_->inc();
+    return reject(RequestOutcome::kFailed, "SolveRequest::matrix is null");
+  }
+
+  auto p = std::make_shared<Pending>();
+  p->plan_path = req.solver == "block-async";
+  if (p->plan_path) {
+    if (req.options.block_size <= 0 || req.options.local_iters <= 0) {
+      common::MutexLock lock(mu_);
+      ++stats_.submitted;
+      ++stats_.failed;
+      if (m_requests_ != nullptr) m_requests_->inc();
+      if (m_failed_ != nullptr) m_failed_->inc();
+      return reject(RequestOutcome::kFailed,
+                    "block_size and local_iters must be > 0");
+    }
+    // Fingerprint outside the service lock: O(nnz), but it buys the
+    // cache lookup and the batching key.
+    p->fingerprint = matrix_fingerprint(*req.matrix);
+    p->config = PlanConfig{req.options.block_size, req.options.local_iters};
+  }
+  p->req = std::move(req);
+  p->ticket = ticket;
+  p->enqueued = Clock::now();
+  const auto deadline = p->req.deadline.count() != 0 ? p->req.deadline
+                                                     : opts_.default_deadline;
+  if (deadline.count() > 0) p->deadline = p->enqueued + deadline;
+
+  {
+    common::MutexLock lock(mu_);
+    ++stats_.submitted;
+    if (m_requests_ != nullptr) m_requests_->inc();
+    if (stopping_) {
+      ++stats_.rejected_shutdown;
+      return reject(RequestOutcome::kRejectedShutdown,
+                    "service is shutting down");
+    }
+    if (queue_.size() >= opts_.queue_capacity) {
+      ++stats_.rejected_queue_full;
+      if (m_rejected_ != nullptr) m_rejected_->inc();
+      return reject(RequestOutcome::kRejectedQueueFull,
+                    "request queue at capacity");
+    }
+    queue_.push_back(p);
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->set(static_cast<value_t>(queue_.size()));
+    }
+  }
+  work_cv_.notify_one();
+  reaper_cv_.notify_one();
+  return ticket;
+}
+
+SolveResponse SolveService::solve(SolveRequest req) {
+  return submit(std::move(req))->wait();
+}
+
+void SolveService::worker_loop() {
+  for (;;) {
+    std::vector<std::shared_ptr<Pending>> batch;
+    {
+      common::MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) work_cv_.wait(lock);
+      if (queue_.empty()) return;  // stopping and drained
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+      const Pending& first = *batch.front();
+      if (opts_.batching && first.plan_path && opts_.max_batch > 1) {
+        // Fuse queued requests that would use the very same plan. Order
+        // within the queue is preserved for everyone else.
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch.size() < opts_.max_batch;) {
+          const Pending& cand = **it;
+          if (cand.plan_path && cand.fingerprint == first.fingerprint &&
+              cand.config == first.config) {
+            batch.push_back(*it);
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      for (const auto& p : batch) running_.push_back(p);
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->set(static_cast<value_t>(queue_.size()));
+      }
+      if (m_active_ != nullptr) {
+        m_active_->set(static_cast<value_t>(running_.size()));
+      }
+      if (batch.size() > 1) {
+        ++stats_.batches;
+        stats_.batched_requests += batch.size();
+        if (m_batches_ != nullptr) m_batches_->inc();
+      }
+    }
+    execute_batch(std::move(batch));
+  }
+}
+
+void SolveService::execute_batch(std::vector<std::shared_ptr<Pending>> batch) {
+  std::shared_ptr<SolvePlan> plan;
+  bool cache_hit = false;
+  const Pending& first = *batch.front();
+  if (first.plan_path) {
+    plan = cache_.acquire(*first.req.matrix, first.config, &cache_hit);
+    common::MutexLock lock(mu_);
+    if (cache_hit) {
+      if (m_cache_hits_ != nullptr) m_cache_hits_->inc();
+    } else if (m_cache_misses_ != nullptr) {
+      m_cache_misses_->inc();
+    }
+    if (m_cache_size_ != nullptr) {
+      m_cache_size_->set(static_cast<value_t>(cache_.stats().size));
+    }
+  }
+  for (const auto& p : batch) {
+    run_one(*p, plan, cache_hit, batch.size());
+  }
+}
+
+void SolveService::run_one(Pending& p, const std::shared_ptr<SolvePlan>& plan,
+                           bool cache_hit, std::size_t batch_size) {
+  SolveResponse resp;
+  resp.plan_cache_hit = p.plan_path && cache_hit;
+  resp.batch_size = batch_size;
+  resp.batched = batch_size > 1;
+  const Clock::time_point start = Clock::now();
+  resp.queue_seconds = seconds_between(p.enqueued, start);
+
+  const common::CancelToken& token = p.ticket->token_;
+  if (token.requested()) {
+    // Cancelled or expired while queued: never dispatch the solver.
+    resp.outcome = aborted_outcome(token);
+    resp.result.status = SolverStatus::kAborted;
+    finish(p, std::move(resp));
+    return;
+  }
+
+  RegistrySolveOptions o = p.req.options;
+  o.solve.cancel = &p.ticket->token_;
+  try {
+    if (p.plan_path && plan != nullptr) {
+      if (plan->kernel == nullptr) {
+        throw std::invalid_argument(plan->kernel_error);
+      }
+      // Mirror the registry's block-async entry exactly (same options
+      // from the same RegistrySolveOptions fields), so a served solve
+      // is bit-identical to find_solver("block-async") — the kernel is
+      // just prebuilt.
+      BlockAsyncOptions ao;
+      ao.solve = o.solve;
+      ao.block_size = o.block_size;
+      ao.local_iters = o.local_iters;
+      ao.seed = o.seed;
+      if (opts_.watchdog) {
+        resilience::Policy policy;
+        policy.online_detection = false;
+        ao.resilience = policy;
+      }
+      // One request at a time per plan: set_rhs repoints shared kernel
+      // state, so the executor run is part of the critical section.
+      common::MutexLock plan_lock(plan->mu);
+      resp.result =
+          block_async_solve_with_kernel(plan->matrix, p.req.b, *plan->kernel,
+                                        ao)
+              .solve;
+      // Re-point the kernel at plan-owned storage so it never dangles
+      // into a completed request's RHS while the plan sits in cache.
+      plan->kernel->set_rhs(plan->seed_rhs);
+    } else {
+      resp.result = find_solver(p.req.solver)(*p.req.matrix, p.req.b, o);
+    }
+    resp.outcome = resp.result.status == SolverStatus::kAborted
+                       ? aborted_outcome(token)
+                       : RequestOutcome::kSolved;
+  } catch (const std::exception& e) {
+    resp.outcome = RequestOutcome::kFailed;
+    resp.result.status = SolverStatus::kAborted;
+    resp.error = e.what();
+  }
+  resp.solve_seconds = seconds_between(start, Clock::now());
+  finish(p, std::move(resp));
+}
+
+void SolveService::finish(Pending& p, SolveResponse&& resp) {
+  {
+    common::MutexLock lock(mu_);
+    switch (resp.outcome) {
+      case RequestOutcome::kSolved:
+        ++stats_.solved;
+        if (m_solved_ != nullptr) m_solved_->inc();
+        break;
+      case RequestOutcome::kDeadlineExpired:
+        ++stats_.deadline_expired;
+        if (m_deadline_ != nullptr) m_deadline_->inc();
+        break;
+      case RequestOutcome::kCancelled:
+        ++stats_.cancelled;
+        if (m_cancelled_ != nullptr) m_cancelled_->inc();
+        break;
+      case RequestOutcome::kFailed:
+        ++stats_.failed;
+        if (m_failed_ != nullptr) m_failed_->inc();
+        break;
+      case RequestOutcome::kRejectedQueueFull:
+      case RequestOutcome::kRejectedShutdown:
+        break;  // counted at rejection time
+    }
+    if (m_queue_seconds_ != nullptr) {
+      m_queue_seconds_->record(resp.queue_seconds);
+    }
+    if (m_solve_seconds_ != nullptr) {
+      m_solve_seconds_->record(resp.solve_seconds);
+    }
+    for (auto it = running_.begin(); it != running_.end(); ++it) {
+      if (it->get() == &p) {
+        running_.erase(it);
+        break;
+      }
+    }
+    if (m_active_ != nullptr) {
+      m_active_->set(static_cast<value_t>(running_.size()));
+    }
+  }
+  p.ticket->complete(std::move(resp));
+  reaper_cv_.notify_one();
+}
+
+void SolveService::reaper_loop() {
+  common::MutexLock lock(mu_);
+  while (!reaper_stop_) {
+    Clock::time_point earliest = Clock::time_point::max();
+    for (const auto& p : queue_) earliest = std::min(earliest, p->deadline);
+    // Running requests whose token is already tripped are the solver's
+    // to finish — re-arming on them would spin this loop (their
+    // deadline stays in the past until finish() removes them).
+    for (const auto& p : running_) {
+      if (!p->ticket->token_.requested()) {
+        earliest = std::min(earliest, p->deadline);
+      }
+    }
+    if (earliest == Clock::time_point::max()) {
+      reaper_cv_.wait(lock);  // woken on submit / finish / shutdown
+      continue;
+    }
+    const Clock::time_point now = Clock::now();
+    if (earliest > now) {
+      reaper_cv_.wait_for(lock, earliest - now);
+      continue;  // re-evaluate: the set may have changed
+    }
+
+    // Queued past-deadline requests complete right here, without ever
+    // dispatching; running ones get their token tripped and stop at
+    // the next iteration boundary.
+    std::vector<std::shared_ptr<Pending>> expired;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if ((*it)->deadline <= now) {
+        expired.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& p : running_) {
+      if (p->deadline <= now && !p->ticket->token_.requested()) {
+        p->ticket->token_.request_cancel(common::CancelReason::kDeadline);
+      }
+    }
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->set(static_cast<value_t>(queue_.size()));
+    }
+    for (const auto& p : expired) {
+      ++stats_.deadline_expired;
+      if (m_deadline_ != nullptr) m_deadline_->inc();
+      SolveResponse r;
+      r.outcome = RequestOutcome::kDeadlineExpired;
+      r.result.status = SolverStatus::kAborted;
+      r.queue_seconds = seconds_between(p->enqueued, now);
+      p->ticket->token_.request_cancel(common::CancelReason::kDeadline);
+      p->ticket->complete(std::move(r));
+    }
+  }
+}
+
+void SolveService::shutdown(bool drain) {
+  std::vector<std::shared_ptr<Pending>> rejected;
+  {
+    common::MutexLock lock(mu_);
+    if (stopping_ && workers_.empty() && !reaper_.joinable()) return;
+    stopping_ = true;
+    if (!drain) {
+      rejected.assign(queue_.begin(), queue_.end());
+      queue_.clear();
+      stats_.rejected_shutdown += rejected.size();
+    }
+  }
+  work_cv_.notify_all();
+  for (const auto& p : rejected) {
+    SolveResponse r;
+    r.outcome = RequestOutcome::kRejectedShutdown;
+    r.result.status = SolverStatus::kAborted;
+    p->ticket->complete(std::move(r));
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  {
+    common::MutexLock lock(mu_);
+    reaper_stop_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats out;
+  {
+    common::MutexLock lock(mu_);
+    out = stats_;
+    out.queue_depth = queue_.size();
+    out.active = running_.size();
+  }
+  out.plan_cache = cache_.stats();
+  return out;
+}
+
+}  // namespace bars::service

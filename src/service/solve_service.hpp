@@ -1,0 +1,282 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/cancel.hpp"
+#include "core/registry.hpp"
+#include "service/plan_cache.hpp"
+#include "telemetry/metrics.hpp"
+
+/// \file solve_service.hpp
+/// The solver-as-a-service layer: a long-lived SolveService that
+/// accepts solve requests, amortizes per-matrix setup through a
+/// PlanCache, runs requests on a worker pool with per-request
+/// deadline/cancellation, applies admission control when saturated,
+/// and fuses queued same-matrix block-async requests into one
+/// multi-RHS batch (one kernel analysis, N right-hand sides — each
+/// bit-identical to its standalone solve).
+///
+/// docs/SERVICE.md is the contract document: plan-cache keying and
+/// eviction, batching rules, admission control, and a worked
+/// solve_server transcript.
+
+namespace bars::service {
+
+/// How a request left the service. kSolved means the solver itself ran
+/// to a verdict — inspect SolveResponse::result.status for the
+/// mathematical outcome; every other value means the service stopped
+/// the request before or during the solve (result.status is then
+/// SolverStatus::kAborted).
+enum class RequestOutcome {
+  kSolved = 0,
+  kRejectedQueueFull,  ///< admission control: queue at capacity
+  kRejectedShutdown,   ///< submitted to (or queued in) a stopping service
+  kDeadlineExpired,    ///< per-request deadline passed (queued or mid-solve)
+  kCancelled,          ///< Ticket::cancel() before a verdict
+  kFailed,             ///< solver threw; see SolveResponse::error
+};
+
+[[nodiscard]] constexpr const char* to_string(RequestOutcome o) noexcept {
+  switch (o) {
+    case RequestOutcome::kSolved:
+      return "solved";
+    case RequestOutcome::kRejectedQueueFull:
+      return "rejected-queue-full";
+    case RequestOutcome::kRejectedShutdown:
+      return "rejected-shutdown";
+    case RequestOutcome::kDeadlineExpired:
+      return "deadline-expired";
+    case RequestOutcome::kCancelled:
+      return "cancelled";
+    case RequestOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+/// One solve job. The matrix rides in a shared_ptr because the request
+/// may outlive the submitting scope (queued, batched); the service
+/// additionally keeps its own copy inside cached plans, so block-async
+/// requests never touch `matrix` after plan acquisition.
+struct SolveRequest {
+  std::shared_ptr<const Csr> matrix;
+  Vector b;
+  /// Any name from core/registry.hpp (all 16 solvers are servable).
+  /// "block-async" requests go through the plan cache and are
+  /// batch-fusable; every other solver runs unplanned.
+  std::string solver = "block-async";
+  /// Per-request knobs, including per-request telemetry
+  /// (options.solve.telemetry.observer receives this request's event
+  /// stream). options.solve.cancel is service-owned — anything the
+  /// caller puts there is ignored; use Ticket::cancel() instead.
+  RegistrySolveOptions options{};
+  /// Zero uses ServiceOptions::default_deadline; negative means "no
+  /// deadline" even when a default exists.
+  std::chrono::milliseconds deadline{0};
+};
+
+struct SolveResponse {
+  RequestOutcome outcome = RequestOutcome::kFailed;
+  /// The solver's result for kSolved; for kDeadlineExpired/kCancelled
+  /// that fired mid-solve, the partial iterate with status kAborted;
+  /// default-constructed (status kAborted) otherwise.
+  SolveResult result;
+  bool plan_cache_hit = false;
+  bool batched = false;          ///< fused with other same-plan requests
+  std::size_t batch_size = 1;    ///< requests in the fused batch (>= 1)
+  value_t queue_seconds = 0.0;   ///< submit -> dispatch
+  value_t solve_seconds = 0.0;   ///< dispatch -> completion
+  std::string error;             ///< kFailed: what the solver threw
+
+  /// Service accepted it AND the solver converged.
+  [[nodiscard]] bool ok() const noexcept {
+    return outcome == RequestOutcome::kSolved && result.ok();
+  }
+};
+
+/// Handle to an in-flight request. Self-contained (own mutex/cv), so it
+/// stays valid even after the service is destroyed.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  [[nodiscard]] bool done() const {
+    common::MutexLock lock(mu_);
+    return done_;
+  }
+
+  /// Block until the response is ready, then return it (stable
+  /// reference, valid for the ticket's lifetime).
+  [[nodiscard]] const SolveResponse& wait() {
+    common::MutexLock lock(mu_);
+    while (!done_) cv_.wait(lock);
+    return response_;
+  }
+
+  /// Cooperative cancel: queued requests complete as kCancelled without
+  /// running; a mid-solve request stops at its next iteration boundary.
+  /// No-op once done.
+  void cancel() noexcept {
+    token_.request_cancel(common::CancelReason::kUser);
+  }
+
+ private:
+  friend class SolveService;
+
+  void complete(SolveResponse&& r) {
+    {
+      common::MutexLock lock(mu_);
+      response_ = std::move(r);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  mutable common::Mutex mu_;
+  common::ConditionVariable cv_;
+  bool done_ BARS_GUARDED_BY(mu_) = false;
+  SolveResponse response_ BARS_GUARDED_BY(mu_);
+  common::CancelToken token_;
+};
+
+struct ServiceOptions {
+  /// Distinct (matrix, config) plans kept resident (LRU beyond this).
+  std::size_t plan_cache_capacity = 8;
+  /// Concurrent solver threads (>= 1 enforced).
+  index_t num_workers = 2;
+  /// Admission control: submissions beyond this many queued requests
+  /// are rejected with kRejectedQueueFull. Requests being solved do
+  /// not count against the queue.
+  std::size_t queue_capacity = 64;
+  /// Fuse queued same-plan block-async requests into one batch.
+  bool batching = true;
+  /// Max requests fused per batch (>= 1; 1 disables fusion).
+  std::size_t max_batch = 8;
+  /// Attach a per-request resilience watchdog (checkpoint + supervisor,
+  /// online detection off) to plan-path solves. Healthy solves are
+  /// numerically unaffected; diverging or stalled ones get damped
+  /// restarts / component reassignment (docs/RESILIENCE.md).
+  bool watchdog = false;
+  /// Deadline applied when a request does not set one (0 = none).
+  std::chrono::milliseconds default_deadline{0};
+  /// Optional service-level metrics: request counters, queue/solve
+  /// latency histograms, plan-cache and queue gauges. The registry is
+  /// not thread-safe, so the service records strictly under its own
+  /// lock; do not record into it from other threads while the service
+  /// is alive.
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+/// Monotonic service counters (since construction), plus two
+/// point-in-time snapshots (queue_depth, active) taken when stats() is
+/// called.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t solved = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;           ///< fused batches executed
+  std::uint64_t batched_requests = 0;  ///< requests that rode in a batch
+  std::size_t queue_depth = 0;         ///< snapshot: requests waiting
+  std::size_t active = 0;              ///< snapshot: requests being solved
+  PlanCacheStats plan_cache{};
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceOptions opts = {});
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+  /// Drains the queue (workers finish every accepted request), then
+  /// joins the threads.
+  ~SolveService();
+
+  /// Asynchronous submission. Always returns a ticket; admission
+  /// failures (queue full, shutting down, missing matrix) complete the
+  /// ticket immediately with the rejection outcome.
+  [[nodiscard]] std::shared_ptr<Ticket> submit(SolveRequest req);
+
+  /// Synchronous convenience: submit and wait.
+  [[nodiscard]] SolveResponse solve(SolveRequest req);
+
+  /// Stop accepting work. drain=true (the destructor's mode) lets
+  /// workers finish everything already queued; drain=false completes
+  /// queued-but-unstarted requests as kRejectedShutdown. Idempotent.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// The plan cache, exposed for prewarming and inspection.
+  [[nodiscard]] PlanCache& plan_cache() { return cache_; }
+  [[nodiscard]] const PlanCache& plan_cache() const { return cache_; }
+
+  [[nodiscard]] const ServiceOptions& options() const { return opts_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    SolveRequest req;
+    std::shared_ptr<Ticket> ticket;
+    Clock::time_point enqueued{};
+    Clock::time_point deadline{Clock::time_point::max()};
+    std::uint64_t fingerprint = 0;  ///< 0 when not plan-path
+    PlanConfig config{};
+    bool plan_path = false;  ///< block-async: plan cache + batchable
+  };
+
+  void worker_loop();
+  void reaper_loop();
+  void execute_batch(std::vector<std::shared_ptr<Pending>> batch);
+  void run_one(Pending& p, const std::shared_ptr<SolvePlan>& plan,
+               bool cache_hit, std::size_t batch_size);
+  void finish(Pending& p, SolveResponse&& resp);
+  /// Map a kAborted solver exit to the outcome the token reason implies.
+  static RequestOutcome aborted_outcome(const common::CancelToken& token);
+
+  ServiceOptions opts_;
+  PlanCache cache_;
+
+  mutable common::Mutex mu_;
+  common::ConditionVariable work_cv_;       ///< workers: queue/stop changed
+  common::ConditionVariable reaper_cv_;     ///< reaper: deadlines changed
+  std::deque<std::shared_ptr<Pending>> queue_ BARS_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<Pending>> running_ BARS_GUARDED_BY(mu_);
+  bool stopping_ BARS_GUARDED_BY(mu_) = false;
+  bool reaper_stop_ BARS_GUARDED_BY(mu_) = false;
+  ServiceStats stats_ BARS_GUARDED_BY(mu_);
+
+  // Pre-registered metric handles (null when opts_.metrics is null).
+  // Recorded only under mu_ — MetricsRegistry is not thread-safe.
+  telemetry::Counter* m_requests_ = nullptr;
+  telemetry::Counter* m_rejected_ = nullptr;
+  telemetry::Counter* m_deadline_ = nullptr;
+  telemetry::Counter* m_cancelled_ = nullptr;
+  telemetry::Counter* m_failed_ = nullptr;
+  telemetry::Counter* m_solved_ = nullptr;
+  telemetry::Counter* m_batches_ = nullptr;
+  telemetry::Counter* m_cache_hits_ = nullptr;
+  telemetry::Counter* m_cache_misses_ = nullptr;
+  telemetry::Gauge* m_queue_depth_ = nullptr;
+  telemetry::Gauge* m_active_ = nullptr;
+  telemetry::Gauge* m_cache_size_ = nullptr;
+  telemetry::Histogram* m_queue_seconds_ = nullptr;
+  telemetry::Histogram* m_solve_seconds_ = nullptr;
+
+  std::vector<std::thread> workers_;
+  std::thread reaper_;
+};
+
+}  // namespace bars::service

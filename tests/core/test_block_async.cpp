@@ -178,6 +178,55 @@ TEST(BlockAsync, RejectsBadBlockSize) {
   EXPECT_THROW((void)block_async_solve(a, b, o), std::invalid_argument);
 }
 
+TEST(BlockAsync, PrebuiltKernelRunIsBitIdentical) {
+  // The amortization contract the service plan cache rides on: reusing
+  // one kernel across right-hand sides reproduces the standalone solve
+  // exactly (the executor schedule never depends on values).
+  const Csr a = fv_like(9, 0.6);
+  BlockAsyncOptions o;
+  o.block_size = 20;
+  o.local_iters = 2;
+  o.solve.max_iters = 3000;
+  o.solve.tol = 1e-11;
+
+  std::vector<Vector> bs;
+  for (int k = 0; k < 3; ++k) {
+    Vector b(static_cast<std::size_t>(a.rows()));
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = std::cos(0.2 * double(i) + double(k));
+    }
+    bs.push_back(std::move(b));
+  }
+
+  BlockJacobiKernel kernel(a, bs.front(),
+                           RowPartition::uniform(a.rows(), o.block_size),
+                           o.local_iters);
+  const std::vector<BlockAsyncResult> multi = block_async_solve_multi(a, bs, o);
+  ASSERT_EQ(multi.size(), bs.size());
+  for (std::size_t k = 0; k < bs.size(); ++k) {
+    const BlockAsyncResult standalone = block_async_solve(a, bs[k], o);
+    const BlockAsyncResult reused =
+        block_async_solve_with_kernel(a, bs[k], kernel, o);
+    ASSERT_TRUE(standalone.solve.ok());
+    EXPECT_EQ(standalone.solve.iterations, reused.solve.iterations);
+    EXPECT_EQ(standalone.solve.iterations, multi[k].solve.iterations);
+    EXPECT_EQ(standalone.solve.final_residual, reused.solve.final_residual);
+    EXPECT_EQ(standalone.solve.final_residual, multi[k].solve.final_residual);
+    for (std::size_t i = 0; i < standalone.solve.x.size(); ++i) {
+      EXPECT_EQ(standalone.solve.x[i], reused.solve.x[i]) << "rhs " << k;
+      EXPECT_EQ(standalone.solve.x[i], multi[k].solve.x[i]) << "rhs " << k;
+    }
+  }
+}
+
+TEST(BlockAsync, MultiRejectsEmptyAndMismatched) {
+  const Csr a = poisson1d(8);
+  EXPECT_THROW((void)block_async_solve_multi(a, {}, {}), std::invalid_argument);
+  const std::vector<Vector> bad{Vector(7, 1.0)};
+  EXPECT_THROW((void)block_async_solve_multi(a, bad, {}),
+               std::invalid_argument);
+}
+
 TEST(BlockAsync, BlockExecutionCountsReturned) {
   const Csr a = poisson1d(64);
   const Vector b(64, 1.0);

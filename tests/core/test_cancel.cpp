@@ -1,0 +1,103 @@
+#include "common/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/registry.hpp"
+#include "matrices/generators.hpp"
+
+namespace bars {
+namespace {
+
+TEST(CancelToken, FirstReasonWins) {
+  common::CancelToken t;
+  EXPECT_FALSE(t.requested());
+  EXPECT_EQ(t.reason(), common::CancelReason::kNone);
+
+  t.request_cancel(common::CancelReason::kDeadline);
+  EXPECT_TRUE(t.requested());
+  EXPECT_EQ(t.reason(), common::CancelReason::kDeadline);
+
+  // A later request cannot relabel the abort.
+  t.request_cancel(common::CancelReason::kUser);
+  EXPECT_EQ(t.reason(), common::CancelReason::kDeadline);
+}
+
+TEST(CancelToken, ResetRearms) {
+  common::CancelToken t;
+  t.request_cancel();
+  EXPECT_TRUE(t.requested());
+  EXPECT_EQ(t.reason(), common::CancelReason::kUser);
+  t.reset();
+  EXPECT_FALSE(t.requested());
+  EXPECT_EQ(t.reason(), common::CancelReason::kNone);
+}
+
+TEST(CancelToken, NullSafeHelper) {
+  EXPECT_FALSE(common::cancel_requested(nullptr));
+  common::CancelToken t;
+  EXPECT_FALSE(common::cancel_requested(&t));
+  t.request_cancel();
+  EXPECT_TRUE(common::cancel_requested(&t));
+}
+
+/// Every registry solver must honor SolveOptions::cancel: with a
+/// pre-tripped token and an unreachable tolerance, the solve exits
+/// kAborted at its first iteration boundary instead of burning through
+/// max_iters.
+class CancelAllSolvers : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CancelAllSolvers, PreTrippedTokenAbortsPromptly) {
+  // 15 = 2^4 - 1 so the multigrid entries can build a hierarchy.
+  const Csr a = fv_like(15, 0.8);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+
+  common::CancelToken token;
+  token.request_cancel();
+
+  RegistrySolveOptions o;
+  o.solve.max_iters = 50000;
+  o.solve.tol = 1e-300;  // unreachable: nothing converges before the poll
+  o.solve.cancel = &token;
+  o.block_size = 32;
+  o.local_iters = 2;
+  o.num_threads = 2;
+  const SolveResult r = find_solver(GetParam())(a, b, o);
+  EXPECT_EQ(r.status, SolverStatus::kAborted) << GetParam();
+  // Aborted at an early iteration boundary, not after max_iters.
+  EXPECT_LT(r.iterations, 100) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolvers, CancelAllSolvers, ::testing::ValuesIn(solver_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(Cancel, ConvergenceBeatsCancellation) {
+  // Cancellation never downgrades a solve whose iterate already passes
+  // the tolerance test: every solver checks convergence before polling
+  // the token. With a tolerance the initial iterate already satisfies
+  // (x0 = 0 starts at relative residual 1.0), even a pre-tripped token
+  // yields kConverged.
+  const Csr a = fv_like(8, 0.5);
+  const Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+
+  common::CancelToken token;
+  token.request_cancel();
+  RegistrySolveOptions o;
+  o.solve.max_iters = 1000;
+  o.solve.tol = 1.0;
+  o.solve.cancel = &token;
+  const SolveResult r = find_solver("jacobi")(a, b, o);
+  EXPECT_EQ(r.status, SolverStatus::kConverged);
+  EXPECT_LE(r.final_residual, 1.0);
+}
+
+}  // namespace
+}  // namespace bars

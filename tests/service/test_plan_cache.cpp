@@ -1,0 +1,141 @@
+#include "service/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "matrices/generators.hpp"
+#include "service/fingerprint.hpp"
+
+namespace bars::service {
+namespace {
+
+TEST(Fingerprint, DeterministicAndValueSensitive) {
+  const Csr a = fv_like(8, 0.5);
+  const Csr b = fv_like(8, 0.5);
+  EXPECT_EQ(matrix_fingerprint(a), matrix_fingerprint(b));
+  const Csr c = fv_like(8, 0.6);   // same structure, different values
+  const Csr d = fv_like(9, 0.5);   // different structure
+  EXPECT_NE(matrix_fingerprint(a), matrix_fingerprint(c));
+  EXPECT_NE(matrix_fingerprint(a), matrix_fingerprint(d));
+}
+
+TEST(PlanCache, ZeroCapacityThrows) {
+  EXPECT_THROW(PlanCache(0), std::invalid_argument);
+}
+
+TEST(PlanCache, MissBuildsThenHits) {
+  PlanCache cache(4);
+  const Csr a = fv_like(6, 0.5);
+  bool hit = true;
+  const auto p1 = cache.acquire(a, PlanConfig{}, &hit);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(p1->kernel, nullptr);
+  EXPECT_EQ(p1->matrix.rows(), a.rows());
+  EXPECT_EQ(p1->fingerprint, matrix_fingerprint(a));
+  EXPECT_EQ(p1->seed_rhs.size(), static_cast<std::size_t>(a.rows()));
+
+  const auto p2 = cache.acquire(a, PlanConfig{}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(p1.get(), p2.get());
+
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.size, 1u);
+  EXPECT_EQ(s.capacity, 4u);
+}
+
+TEST(PlanCache, DistinctConfigsGetDistinctPlans) {
+  PlanCache cache(4);
+  const Csr a = fv_like(6, 0.5);
+  const auto p1 = cache.acquire(a, PlanConfig{.block_size = 8, .local_iters = 2});
+  const auto p2 = cache.acquire(a, PlanConfig{.block_size = 16, .local_iters = 2});
+  EXPECT_NE(p1.get(), p2.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(PlanCache, LruEvictionUnderChurn) {
+  PlanCache cache(2);
+  const Csr a = fv_like(4, 0.5);
+  const Csr b = fv_like(5, 0.5);
+  const Csr c = fv_like(6, 0.5);
+  bool hit = false;
+  (void)cache.acquire(a, PlanConfig{}, &hit);
+  (void)cache.acquire(b, PlanConfig{}, &hit);
+  (void)cache.acquire(c, PlanConfig{}, &hit);  // evicts a (LRU)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().size, 2u);
+
+  (void)cache.acquire(b, PlanConfig{}, &hit);  // still resident
+  EXPECT_TRUE(hit);
+  (void)cache.acquire(a, PlanConfig{}, &hit);  // evicted above -> rebuild
+  EXPECT_FALSE(hit);
+  // b was touched after c, so rebuilding a evicted c.
+  EXPECT_EQ(cache.peek(matrix_fingerprint(c), PlanConfig{}), nullptr);
+  EXPECT_NE(cache.peek(matrix_fingerprint(b), PlanConfig{}), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(PlanCache, PeekDoesNotRefreshLru) {
+  PlanCache cache(2);
+  const Csr a = fv_like(4, 0.5);
+  const Csr b = fv_like(5, 0.5);
+  const Csr c = fv_like(6, 0.5);
+  (void)cache.acquire(a, PlanConfig{});
+  (void)cache.acquire(b, PlanConfig{});
+  // Peeking a must not promote it: the next insertion still evicts a.
+  EXPECT_NE(cache.peek(matrix_fingerprint(a), PlanConfig{}), nullptr);
+  (void)cache.acquire(c, PlanConfig{});
+  EXPECT_EQ(cache.peek(matrix_fingerprint(a), PlanConfig{}), nullptr);
+  EXPECT_NE(cache.peek(matrix_fingerprint(b), PlanConfig{}), nullptr);
+}
+
+TEST(PlanCache, EvictedPlanStaysValidWhileHeld) {
+  PlanCache cache(1);
+  const Csr a = fv_like(6, 0.5);
+  const auto held = cache.acquire(a, PlanConfig{});
+  ASSERT_NE(held->kernel, nullptr);
+  // Churn far past capacity while holding the original plan.
+  for (int n = 7; n < 12; ++n) {
+    (void)cache.acquire(fv_like(n, 0.5), PlanConfig{});
+  }
+  EXPECT_GE(cache.stats().evictions, 4u);
+  // The held plan is untouched by eviction: kernel still usable.
+  EXPECT_EQ(held->kernel->num_rows(), a.rows());
+  EXPECT_EQ(held->matrix.rows(), a.rows());
+}
+
+TEST(PlanCache, KernelFailureIsCachedWithReason) {
+  // Off-diagonal-only matrix: BlockJacobiKernel construction fails
+  // (zero diagonal), and the failure itself is cached.
+  const Csr bad(2, 2, {0, 1, 2}, {1, 0}, {1.0, 1.0});
+  PlanCache cache(2);
+  bool hit = true;
+  const auto p1 = cache.acquire(bad, PlanConfig{}, &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->kernel, nullptr);
+  EXPECT_FALSE(p1->kernel_error.empty());
+
+  const auto p2 = cache.acquire(bad, PlanConfig{}, &hit);
+  EXPECT_TRUE(hit);  // repeat offenders fail fast, no rebuild attempt
+  EXPECT_EQ(p1.get(), p2.get());
+}
+
+TEST(PlanCache, ClearDropsEverything) {
+  PlanCache cache(4);
+  const Csr a = fv_like(6, 0.5);
+  const auto held = cache.acquire(a, PlanConfig{});
+  cache.clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.peek(matrix_fingerprint(a), PlanConfig{}), nullptr);
+  EXPECT_NE(held->kernel, nullptr);  // in-flight handle survives clear()
+}
+
+}  // namespace
+}  // namespace bars::service

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/block_async.hpp"
+#include "matrices/generators.hpp"
+#include "service/solve_service.hpp"
+
+namespace bars::service {
+namespace {
+
+constexpr index_t kBlockSize = 32;
+constexpr index_t kLocalIters = 2;
+
+[[nodiscard]] std::vector<Vector> make_rhs_set(index_t rows, std::size_t n) {
+  std::vector<Vector> out;
+  for (std::size_t k = 0; k < n; ++k) {
+    Vector b(static_cast<std::size_t>(rows));
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = std::sin(0.1 * double(i + 1) * double(k + 1)) + 1.5;
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+[[nodiscard]] SolveRequest request_for(std::shared_ptr<const Csr> a, Vector b) {
+  SolveRequest req;
+  req.matrix = std::move(a);
+  req.b = std::move(b);
+  req.options.solve.max_iters = 20000;
+  req.options.solve.tol = 1e-10;
+  req.options.block_size = kBlockSize;
+  req.options.local_iters = kLocalIters;
+  return req;
+}
+
+void wait_until_active(const SolveService& svc, std::size_t n) {
+  while (svc.stats().active < n) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+/// Submit `bs` while the single worker is parked, so releasing it makes
+/// the queued same-plan requests fuse into one batch.
+[[nodiscard]] std::vector<SolveResponse> run_batched(
+    SolveService& svc, const std::shared_ptr<const Csr>& a,
+    const std::vector<Vector>& bs) {
+  const auto plan =
+      svc.plan_cache().acquire(*a, PlanConfig{kBlockSize, kLocalIters});
+  std::shared_ptr<Ticket> blocker;
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  {
+    common::MutexLock hold(plan->mu);
+    blocker = svc.submit(request_for(a, Vector(bs.front().size(), 1.0)));
+    wait_until_active(svc, 1);
+    for (const Vector& b : bs) tickets.push_back(svc.submit(request_for(a, b)));
+  }
+  EXPECT_TRUE(blocker->wait().ok());
+  std::vector<SolveResponse> out;
+  for (const auto& t : tickets) out.push_back(t->wait());
+  return out;
+}
+
+TEST(ServiceBatching, FusedBatchIsBitIdenticalToSequentialAndDirect) {
+  const auto a = std::make_shared<const Csr>(fv_like(10, 0.6));
+  const std::vector<Vector> bs = make_rhs_set(a->rows(), 4);
+
+  ServiceOptions batched_opts;
+  batched_opts.num_workers = 1;
+  batched_opts.max_batch = 8;
+  SolveService batched_svc(batched_opts);
+  const std::vector<SolveResponse> fused = run_batched(batched_svc, a, bs);
+
+  // The queued same-plan requests actually rode in one batch.
+  ASSERT_EQ(fused.size(), bs.size());
+  for (const SolveResponse& r : fused) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.batched);
+    EXPECT_EQ(r.batch_size, bs.size());
+    EXPECT_TRUE(r.plan_cache_hit);
+  }
+  EXPECT_EQ(batched_svc.stats().batches, 1u);
+  EXPECT_EQ(batched_svc.stats().batched_requests, bs.size());
+
+  // Identical to the same requests served one at a time...
+  ServiceOptions seq_opts;
+  seq_opts.num_workers = 1;
+  seq_opts.batching = false;
+  SolveService seq_svc(seq_opts);
+  for (std::size_t k = 0; k < bs.size(); ++k) {
+    const SolveResponse r = seq_svc.solve(request_for(a, bs[k]));
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_FALSE(r.batched);
+    ASSERT_EQ(r.result.x.size(), fused[k].result.x.size());
+    EXPECT_EQ(r.result.iterations, fused[k].result.iterations);
+    for (std::size_t i = 0; i < r.result.x.size(); ++i) {
+      EXPECT_EQ(r.result.x[i], fused[k].result.x[i]) << "rhs " << k;
+    }
+  }
+
+  // ...and to standalone block_async_solve with the same options.
+  for (std::size_t k = 0; k < bs.size(); ++k) {
+    BlockAsyncOptions ao;
+    ao.solve.max_iters = 20000;
+    ao.solve.tol = 1e-10;
+    ao.block_size = kBlockSize;
+    ao.local_iters = kLocalIters;
+    const SolveResult direct = block_async_solve(*a, bs[k], ao).solve;
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(direct.iterations, fused[k].result.iterations);
+    EXPECT_EQ(direct.final_residual, fused[k].result.final_residual);
+    for (std::size_t i = 0; i < direct.x.size(); ++i) {
+      EXPECT_EQ(direct.x[i], fused[k].result.x[i]) << "rhs " << k;
+    }
+  }
+}
+
+TEST(ServiceBatching, MaxBatchCapsFusion) {
+  const auto a = std::make_shared<const Csr>(fv_like(8, 0.5));
+  const std::vector<Vector> bs = make_rhs_set(a->rows(), 5);
+
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.max_batch = 3;
+  SolveService svc(so);
+  const std::vector<SolveResponse> rs = run_batched(svc, a, bs);
+  for (const SolveResponse& r : rs) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_LE(r.batch_size, 3u);
+  }
+  // 5 queued requests under a cap of 3 need at least two pops.
+  EXPECT_GE(svc.stats().batches, 1u);
+  EXPECT_EQ(svc.stats().solved, bs.size() + 1);  // + the blocker
+}
+
+TEST(ServiceBatching, DifferentPlansNeverFuse) {
+  const auto a = std::make_shared<const Csr>(fv_like(8, 0.5));
+  const auto c = std::make_shared<const Csr>(fv_like(9, 0.5));
+
+  ServiceOptions so;
+  so.num_workers = 1;
+  SolveService svc(so);
+  const auto plan =
+      svc.plan_cache().acquire(*a, PlanConfig{kBlockSize, kLocalIters});
+  std::vector<std::shared_ptr<Ticket>> tickets;
+  std::shared_ptr<Ticket> blocker;
+  {
+    common::MutexLock hold(plan->mu);
+    blocker = svc.submit(
+        request_for(a, Vector(static_cast<std::size_t>(a->rows()), 1.0)));
+    wait_until_active(svc, 1);
+    // Same matrix, same config; different matrix; different config —
+    // only the first pair may fuse.
+    tickets.push_back(svc.submit(
+        request_for(a, Vector(static_cast<std::size_t>(a->rows()), 2.0))));
+    tickets.push_back(svc.submit(
+        request_for(a, Vector(static_cast<std::size_t>(a->rows()), 3.0))));
+    tickets.push_back(svc.submit(
+        request_for(c, Vector(static_cast<std::size_t>(c->rows()), 1.0))));
+    auto other_cfg =
+        request_for(a, Vector(static_cast<std::size_t>(a->rows()), 4.0));
+    other_cfg.options.local_iters = kLocalIters + 1;
+    tickets.push_back(svc.submit(std::move(other_cfg)));
+  }
+  EXPECT_TRUE(blocker->wait().ok());
+  const SolveResponse& r0 = tickets[0]->wait();
+  const SolveResponse& r1 = tickets[1]->wait();
+  const SolveResponse& r2 = tickets[2]->wait();
+  const SolveResponse& r3 = tickets[3]->wait();
+  EXPECT_TRUE(r0.batched);
+  EXPECT_EQ(r0.batch_size, 2u);
+  EXPECT_TRUE(r1.batched);
+  EXPECT_FALSE(r2.batched) << "different matrix must not fuse";
+  EXPECT_FALSE(r3.batched) << "different config must not fuse";
+  for (const auto& t : tickets) EXPECT_TRUE(t->wait().ok());
+}
+
+TEST(ServiceBatching, BatchingOffNeverFuses) {
+  const auto a = std::make_shared<const Csr>(fv_like(8, 0.5));
+  const std::vector<Vector> bs = make_rhs_set(a->rows(), 3);
+
+  ServiceOptions so;
+  so.num_workers = 1;
+  so.batching = false;
+  SolveService svc(so);
+  const std::vector<SolveResponse> rs = run_batched(svc, a, bs);
+  for (const SolveResponse& r : rs) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_FALSE(r.batched);
+    EXPECT_EQ(r.batch_size, 1u);
+  }
+  EXPECT_EQ(svc.stats().batches, 0u);
+}
+
+}  // namespace
+}  // namespace bars::service

@@ -307,7 +307,7 @@ class IncludeHygiene(Rule):
     _inc = re.compile(r'^\s*#\s*include\s*(["<])([^">]+)([">])')
     _project_dirs = ("common/", "core/", "gpusim/", "sparse/", "stats/",
                      "eigen/", "matrices/", "mg/", "report/", "resilience/",
-                     "telemetry/")
+                     "telemetry/", "service/")
 
     def check(self, sf: SourceFile) -> list[Finding]:
         out = []
