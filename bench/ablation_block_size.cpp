@@ -13,6 +13,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_block_size", {"ufmc"}))
+    return rc;
   bench::banner("Ablation — block size vs convergence",
                 "paper Section 4.1 (block-size discussion)");
 

@@ -31,6 +31,9 @@ index_t run(const TestProblem& p, const Vector& b, LocalSweep sweep,
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_local_sweep", {"ufmc"}))
+    return rc;
   bench::banner("Ablation — local sweep type and damping",
                 "paper Section 5 (tuning outlook)");
 

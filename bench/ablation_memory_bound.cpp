@@ -30,6 +30,9 @@ value_t bytes_per_iteration(const gpusim::MatrixShape& m, index_t k) {
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_memory_bound", {}))
+    return rc;
   bench::banner("Ablation — memory-bound analysis",
                 "paper Sections 4.6 / 5 (\"the application is memory "
                 "bound\")");

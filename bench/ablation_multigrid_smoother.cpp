@@ -14,6 +14,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_multigrid_smoother", {"m"}))
+    return rc;
   bench::banner("Ablation — multigrid smoothers",
                 "paper Section 5 (future work: multigrid smoothing)");
   const auto m = static_cast<index_t>(args.get_int("m", 63));

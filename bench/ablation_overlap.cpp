@@ -13,6 +13,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_overlap", {"ufmc"}))
+    return rc;
   bench::banner("Ablation — subdomain overlap",
                 "asynchronous additive Schwarz (paper refs [5], [18])");
 

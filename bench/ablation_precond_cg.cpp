@@ -14,6 +14,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_precond_cg", {"ufmc"}))
+    return rc;
   bench::banner("Ablation — async-preconditioned flexible CG",
                 "paper Section 5 (relaxation as preconditioner)");
 

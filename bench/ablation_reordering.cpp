@@ -28,6 +28,9 @@ index_t iters_to_tol(const Csr& a, const Vector& b, index_t local_iters) {
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_reordering", {"ufmc"}))
+    return rc;
   bench::banner("Ablation — RCM reordering of Chem97ZtZ",
                 "paper Section 4.3 (reordering remark)");
 

@@ -31,6 +31,9 @@ index_t run_policy(const TestProblem& p, const Vector& b,
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_scheduler_policy", {"ufmc"}))
+    return rc;
   bench::banner("Ablation — scheduler policy vs convergence",
                 "Chazan-Miranker update-order freedom (paper Section 2.2)");
 

@@ -17,6 +17,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_sync_vs_async", {"ufmc"}))
+    return rc;
   bench::banner("Ablation — synchronous two-stage vs asynchronous",
                 "the paper's central trade-off (Sections 2.2, 4.3)");
 

@@ -19,6 +19,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "ablation_two_stage_theory", {"m"}))
+    return rc;
   bench::banner("Ablation — two-stage operator theory vs async measurement",
                 "synchronous rate rho(T_k) against measured async-(k)");
 

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "matrices/paper_suite.hpp"
 #include "report/args.hpp"
@@ -23,6 +24,20 @@ inline Vector unit_rhs(index_t n) {
 inline std::optional<std::string> ufmc_dir(const report::Args& args) {
   const std::string dir = args.get_string("ufmc", "");
   return dir.empty() ? std::nullopt : std::make_optional(dir);
+}
+
+/// Uniform typo guard for the harness entry points: a flag the binary
+/// never reads is a hard error (exit 2), not a silent no-op. Call right
+/// after constructing Args and propagate a non-zero return; `known`
+/// lists the binary's own flags (include "ufmc" wherever ufmc_dir() is
+/// consulted).
+inline int require_known_flags(const report::Args& args,
+                               const std::string& binary,
+                               const std::vector<std::string>& known) {
+  const auto unknown = args.unknown_keys(known);
+  if (unknown.empty()) return 0;
+  std::cerr << binary << ": unknown flag --" << unknown.front() << '\n';
+  return 2;
 }
 
 /// Print the standard bench banner.

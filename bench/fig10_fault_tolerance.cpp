@@ -35,6 +35,9 @@ value_t at(const std::vector<value_t>& h, index_t i) {
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "fig10_fault_tolerance", {"ufmc", "fraction", "fail-at"}))
+    return rc;
   bench::banner("Fig. 10 / Table 6 — fault tolerance of async-(5)",
                 "paper Section 4.5");
   const value_t fraction = args.get_double("fraction", 0.25);

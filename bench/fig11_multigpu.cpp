@@ -15,6 +15,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "fig11_multigpu", {"ufmc", "tol"}))
+    return rc;
   bench::banner("Fig. 11 — multi-GPU time-to-convergence (Trefethen_20000)",
                 "paper Section 4.6");
   const value_t tol = args.get_double("tol", 1e-10);

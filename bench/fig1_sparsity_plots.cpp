@@ -13,6 +13,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "fig1_sparsity_plots", {"ufmc"}))
+    return rc;
   bench::banner("Fig. 1 — sparsity plots", "paper Section 3.1, Fig. 1");
 
   for (PaperMatrix id :

@@ -71,6 +71,9 @@ void study(const TestProblem& p, index_t runs,
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "fig5_stochastic_variation", {"ufmc", "runs", "jitter", "straggler", "run-noise"}))
+    return rc;
   bench::banner("Fig. 5 / Tables 2-3 — stochastic variation",
                 "paper Section 4.1");
   const auto runs = static_cast<index_t>(args.get_int("runs", 200));

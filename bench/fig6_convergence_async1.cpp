@@ -29,6 +29,9 @@ value_t at(const std::vector<value_t>& h, index_t i) {
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "fig6_convergence_async1", {"ufmc", "csv", "iters"}))
+    return rc;
   bench::banner("Fig. 6 — convergence of async-(1) vs Gauss-Seidel/Jacobi",
                 "paper Section 4.2");
   const bool csv = args.has("csv");

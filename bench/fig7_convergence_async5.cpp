@@ -31,6 +31,9 @@ index_t iters_to(const std::vector<value_t>& h, value_t tol) {
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "fig7_convergence_async5", {"ufmc", "csv", "iters"}))
+    return rc;
   bench::banner("Fig. 7 — convergence of async-(5) vs Gauss-Seidel",
                 "paper Section 4.3");
   const bool csv = args.has("csv");

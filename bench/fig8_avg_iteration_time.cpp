@@ -12,6 +12,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "fig8_avg_iteration_time", {}))
+    return rc;
   bench::banner("Fig. 8 — average iteration time vs total iterations (fv3)",
                 "paper Section 4.3, Fig. 8");
 

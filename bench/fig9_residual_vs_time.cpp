@@ -38,6 +38,9 @@ std::string cell(value_t t) {
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "fig9_residual_vs_time", {"ufmc", "tol", "csv"}))
+    return rc;
   bench::banner("Fig. 9 — residual vs (virtual) runtime",
                 "paper Section 4.4");
   const value_t tol = args.get_double("tol", 1e-12);

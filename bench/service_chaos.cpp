@@ -1,0 +1,402 @@
+/// Chaos-injection harness for the hardened service layer: drives a
+/// fully-hardened SolveService through a scripted timeline of
+/// service-level faults (worker stalls, plan-failure bursts, queue
+/// floods, deadline storms) and gates the hardening invariants:
+///
+///   - no request is lost: every ticket reaches a terminal outcome and
+///     the outcome counters add back up to the submission count;
+///   - the circuit breaker both trips during the failure burst AND
+///     recovers once the burst is over;
+///   - load shedding both engages under the flood AND releases when
+///     the queue drains;
+///   - p99 latency after the chaos window is bounded relative to the
+///     fault-free baseline (the service recovers, not just survives);
+///   - with no faults injected, the hardened configuration is
+///     bit-identical to the plain service (hardening that is armed but
+///     never fires must not change numerics).
+///
+///   build/bench/service_chaos [--seconds=2.0] [--n=31] [--iters=30]
+///       [--baseline=40] [--out=BENCH_service.json]
+///
+/// The fault timeline is fixed (relative to --seconds) and the traffic
+/// generator is deterministic (priorities cycle, no RNG), so runs are
+/// reproducible up to wall-clock scheduling. Exit code 1 when any gate
+/// fails — CI runs this as a smoke test and archives the JSON.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "matrices/generators.hpp"
+#include "report/args.hpp"
+#include "report/table.hpp"
+#include "resilience/service_faults.hpp"
+#include "service/solve_service.hpp"
+
+namespace {
+
+using namespace bars;
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+[[nodiscard]] double p99(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(0.99 * (v.size() - 1) + 0.5));
+  return v[idx];
+}
+
+[[nodiscard]] service::SolveRequest make_request(
+    const std::shared_ptr<const Csr>& a, index_t iters, std::size_t salt) {
+  service::SolveRequest req;
+  req.matrix = a;
+  req.b = Vector(static_cast<std::size_t>(a->rows()),
+                 1.0 + 0.001 * static_cast<value_t>(salt % 97));
+  // Fixed iteration budget: request cost is deterministic, so queue
+  // dynamics are driven by the fault timeline, not solver variance.
+  req.options.solve.max_iters = iters;
+  req.options.solve.tol = 0.0;
+  req.options.solve.record_history = false;
+  req.options.block_size = 32;
+  req.options.local_iters = 2;
+  return req;
+}
+
+/// The hardened configuration under test: every subsystem armed.
+[[nodiscard]] service::ServiceOptions hardened_options() {
+  service::ServiceOptions so;
+  so.num_workers = 2;
+  so.queue_capacity = 16;
+  so.plan_negative_ttl = std::chrono::milliseconds(20);
+  so.retry.max_attempts = 2;
+  so.retry.backoff_base = std::chrono::milliseconds(10);
+  so.retry.jitter = 0.2;
+  so.retry.hedging = true;
+  so.retry.hedge_min_delay = std::chrono::milliseconds(30);
+  so.breaker.enabled = true;
+  so.breaker.failure_threshold = 3;
+  so.breaker.open_duration = std::chrono::milliseconds(100);
+  so.degradation.enabled = true;
+  so.degradation.shed_high_watermark = 0.75;
+  so.degradation.shed_low_watermark = 0.25;
+  so.degradation.shed_priority_floor = 1;
+  so.degradation.fallback_chain = {"jacobi"};
+  so.supervision.max_requeues = 1;
+  so.supervision.grace_factor = 2.0;
+  so.default_deadline = std::chrono::milliseconds(2000);
+  return so;
+}
+
+struct Gate {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const report::Args args(argc, argv);
+  const auto unknown =
+      args.unknown_keys({"seconds", "n", "iters", "baseline", "out", "help"});
+  if (!unknown.empty()) {
+    std::cerr << "service_chaos: unknown flag --" << unknown.front()
+              << "\nvalid flags: --seconds --n --iters --baseline --out; "
+                 "the harness is documented in docs/SERVICE.md\n";
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << "usage: service_chaos [--seconds=2.0] [--n=31] [--iters=30] "
+                 "[--baseline=40] [--out=BENCH_service.json]\n"
+                 "see docs/SERVICE.md (Hardening) and docs/RESILIENCE.md\n";
+    return 0;
+  }
+  const double seconds = std::max(0.5, args.get_double("seconds", 2.0));
+  const index_t n = static_cast<index_t>(args.get_int("n", 31));
+  const index_t iters = static_cast<index_t>(args.get_int("iters", 30));
+  const std::size_t baseline_requests = static_cast<std::size_t>(
+      std::max(8LL, args.get_int("baseline", 40)));
+  const std::string out_path = args.get_string("out", "BENCH_service.json");
+
+  const auto a = std::make_shared<const Csr>(fv_like(n, 0.8));
+  // A second matrix whose plan is *not* prewarmed: traffic on it during
+  // the plan-failure burst forces real builds (cache hits are spared by
+  // design), which is what feeds the circuit breaker.
+  const auto b_mat = std::make_shared<const Csr>(fv_like(n + 2, 0.8));
+  std::cout << "matrix: fv_like(" << n << "), n = " << a->rows()
+            << ", nnz = " << a->nnz() << "; " << iters
+            << " iterations per request\n\n";
+
+  // ---- Phase 1: fault-free baseline + bit-identity gate ------------
+  // A plain service and a fully-hardened (but unfaulted) service must
+  // produce bit-identical iterates: armed hardening may not perturb
+  // numerics.
+  bool bit_identical = true;
+  {
+    service::SolveService plain;
+    service::SolveService hard(hardened_options());
+    const service::SolveResponse rp = plain.solve(make_request(a, iters, 7));
+    const service::SolveResponse rh = hard.solve(make_request(a, iters, 7));
+    if (rp.outcome != service::RequestOutcome::kSolved ||
+        rh.outcome != service::RequestOutcome::kSolved ||
+        rp.result.x.size() != rh.result.x.size()) {
+      bit_identical = false;
+    } else {
+      for (std::size_t i = 0; i < rp.result.x.size(); ++i) {
+        if (rp.result.x[i] != rh.result.x[i]) bit_identical = false;
+      }
+    }
+  }
+
+  std::vector<double> base_ms;
+  service::SolveService baseline_svc(hardened_options());
+  for (std::size_t k = 0; k < baseline_requests; ++k) {
+    const auto t0 = Clock::now();
+    const service::SolveResponse r =
+        baseline_svc.solve(make_request(a, iters, k));
+    base_ms.push_back(ms_since(t0));
+    if (r.outcome != service::RequestOutcome::kSolved) {
+      std::cerr << "baseline request failed: " << r.error << '\n';
+      return 1;
+    }
+  }
+  baseline_svc.shutdown();
+  const double base_p99 = p99(base_ms);
+
+  // ---- Phase 2: the chaos timeline ---------------------------------
+  // Four windows, scaled into [0, seconds): stalls first (hedging +
+  // supervision territory), then a plan-failure burst (retry + breaker
+  // territory), then a flood with a deadline storm riding on its tail
+  // (shedding + admission-control territory). The harness is
+  // *phase-driven* — each traffic loop gates on the injector's own
+  // window queries rather than free-running on the wall clock, so the
+  // right traffic meets the right fault even on a single, oversubscribed
+  // core where this thread can be starved for tens of milliseconds.
+  const double T = seconds;
+  const double plan_at = 0.25 * T;
+  const double flood_at = 0.55 * T;
+  resilience::FaultScenario scenario;
+  scenario.stall_workers(0.0, 0.15 * T, /*stall_s=*/0.05)
+      .fail_plan_builds(plan_at, 0.20 * T)
+      .flood_queue(flood_at, 0.25 * T, /*factor=*/6.0)
+      .storm_deadlines(0.70 * T, 0.10 * T, /*deadline_ms=*/5.0);
+  resilience::ServiceFaultInjector injector(scenario);
+
+  service::ServiceOptions so = hardened_options();
+  so.chaos = &injector;
+  service::SolveService svc(so);
+  (void)svc.solve(make_request(a, iters, 0));  // prewarm the plan
+
+  std::vector<std::shared_ptr<service::Ticket>> tickets;
+  std::size_t harness_submitted = 1;  // the prewarm request
+  int priority = 0;
+
+  injector.start();
+  // Stall phase: async traffic while dispatches stall, so hedges fire
+  // and stalled primaries lose the completion race.
+  while (injector.worker_stall_seconds() > 0.0) {
+    auto req = make_request(a, iters, harness_submitted);
+    req.priority = priority;
+    priority = (priority + 1) % 4;  // deterministic mix above/below floor
+    tickets.push_back(svc.submit(std::move(req)));
+    ++harness_submitted;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Plan-failure burst: synchronous solves on the never-prewarmed
+  // matrix, so every dispatch (and every failing, injected build)
+  // lands inside the window. Each expired negative entry forces a
+  // fresh failing build; the consecutive failures trip its breaker,
+  // and once it is open the fallback chain serves the requests.
+  while (injector.elapsed_seconds() < plan_at) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  while (injector.plan_failure_active()) {
+    (void)svc.solve(make_request(b_mat, iters, harness_submitted));
+    ++harness_submitted;
+  }
+
+  // Flood + storm phase: submit at flood_factor x nominal; during the
+  // storm sub-window every request carries a hopeless deadline.
+  while (injector.elapsed_seconds() < flood_at) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  while (injector.flood_factor() > 1.0) {
+    const auto burst = static_cast<std::size_t>(injector.flood_factor());
+    const auto storm = injector.storm_deadline_ms();
+    for (std::size_t k = 0; k < burst; ++k) {
+      auto req = make_request(a, iters, harness_submitted);
+      req.priority = priority;
+      priority = (priority + 1) % 4;
+      if (storm.has_value()) {
+        req.deadline = std::chrono::milliseconds(
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(*storm)));
+      }
+      tickets.push_back(svc.submit(std::move(req)));
+      ++harness_submitted;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Drain: every ticket must reach a terminal outcome (the "no request
+  // lost, no deadlock" gate — a wedged service would hang right here,
+  // and the CI timeout would flag it).
+  std::size_t terminal = 0;
+  for (const auto& t : tickets) {
+    (void)t->wait();
+    ++terminal;
+  }
+
+  // ---- Phase 3: recovery -------------------------------------------
+  // Past every service-side window, steady traffic must come back to
+  // healthy latency and close the breaker (half-open probe succeeds).
+  const double windows_end = injector.last_service_window_end_seconds();
+  while (injector.elapsed_seconds() < windows_end + 0.15) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::vector<double> rec_ms;
+  std::size_t rec_attempts = 0;
+  while (rec_ms.size() < baseline_requests && rec_attempts < 400) {
+    // Alternate between the steady matrix (healthy-latency signal) and
+    // the burst-battered one (its half-open breaker needs plan-path
+    // probe traffic to recover).
+    const auto& m = (rec_attempts % 2 == 0) ? a : b_mat;
+    const auto t0 = Clock::now();
+    const service::SolveResponse r =
+        svc.solve(make_request(m, iters, rec_attempts));
+    ++rec_attempts;
+    ++harness_submitted;
+    if (r.outcome == service::RequestOutcome::kSolved && !r.degraded) {
+      rec_ms.push_back(ms_since(t0));
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  const double rec_p99 = p99(rec_ms);
+  svc.shutdown();
+
+  const service::ServiceStats s = svc.stats();
+
+  // ---- Gates --------------------------------------------------------
+  const std::uint64_t accounted = s.solved + s.failed + s.cancelled +
+                                  s.deadline_expired + s.rejected_queue_full +
+                                  s.rejected_shutdown + s.rejected_circuit_open +
+                                  s.rejected_load_shed;
+  const double p99_bound = std::max(50.0, 30.0 * base_p99);
+  std::vector<Gate> gates;
+  gates.push_back({"all_tickets_terminal", terminal == tickets.size(),
+                   std::to_string(terminal) + "/" +
+                       std::to_string(tickets.size())});
+  gates.push_back({"outcome_accounting_identity",
+                   s.submitted == harness_submitted && accounted == s.submitted,
+                   "submitted=" + std::to_string(s.submitted) + " accounted=" +
+                       std::to_string(accounted) + " harness=" +
+                       std::to_string(harness_submitted)});
+  gates.push_back({"breaker_tripped_and_recovered",
+                   s.breaker.trips >= 1 && s.breaker.recoveries >= 1,
+                   "trips=" + std::to_string(s.breaker.trips) +
+                       " recoveries=" + std::to_string(s.breaker.recoveries)});
+  gates.push_back({"shed_engaged_and_released",
+                   s.shed_activations >= 1 && s.shed_deactivations >= 1 &&
+                       !s.shed_active,
+                   "activations=" + std::to_string(s.shed_activations) +
+                       " deactivations=" + std::to_string(s.shed_deactivations)});
+  gates.push_back({"faults_actually_injected",
+                   s.chaos_stalls >= 1 && injector.plan_failures_injected() >= 1,
+                   "stalls=" + std::to_string(s.chaos_stalls) +
+                       " plan_failures=" +
+                       std::to_string(injector.plan_failures_injected())});
+  gates.push_back({"recovery_p99_bounded", rec_p99 > 0.0 && rec_p99 <= p99_bound,
+                   "recovery_p99_ms=" + std::to_string(rec_p99) +
+                       " bound_ms=" + std::to_string(p99_bound)});
+  gates.push_back({"fault_free_bit_identical", bit_identical, ""});
+
+  report::Table summary({"gate", "pass", "detail"});
+  bool all_pass = true;
+  for (const Gate& g : gates) {
+    summary.add_row({g.name, g.pass ? "yes" : "NO", g.detail});
+    all_pass = all_pass && g.pass;
+  }
+  summary.print(std::cout);
+
+  report::Table activity({"counter", "value"});
+  activity.add_row({"submitted", std::to_string(s.submitted)});
+  activity.add_row({"solved", std::to_string(s.solved)});
+  activity.add_row({"deadline_expired", std::to_string(s.deadline_expired)});
+  activity.add_row({"rejected_load_shed", std::to_string(s.rejected_load_shed)});
+  activity.add_row({"rejected_queue_full",
+                    std::to_string(s.rejected_queue_full)});
+  activity.add_row({"retries", std::to_string(s.retries)});
+  activity.add_row({"hedges", std::to_string(s.hedges)});
+  activity.add_row({"hedge_wins", std::to_string(s.hedge_wins)});
+  activity.add_row({"requeues", std::to_string(s.requeues)});
+  activity.add_row({"fallbacks", std::to_string(s.fallbacks)});
+  activity.add_row({"late_completions", std::to_string(s.late_completions)});
+  activity.add_row({"breaker_trips", std::to_string(s.breaker.trips)});
+  activity.add_row({"breaker_recoveries",
+                    std::to_string(s.breaker.recoveries)});
+  activity.add_row({"chaos_stalls", std::to_string(s.chaos_stalls)});
+  activity.print(std::cout);
+
+  std::ofstream js(out_path);
+  js << "{\n"
+     << "  \"schema\": \"bars-service-chaos-v1\",\n"
+     << "  \"matrix_n\": " << a->rows() << ",\n"
+     << "  \"iters_per_request\": " << iters << ",\n"
+     << "  \"timeline_seconds\": " << T << ",\n"
+     << "  \"baseline\": {\"requests\": " << baseline_requests
+     << ", \"p99_ms\": " << base_p99
+     << ", \"bit_identical\": " << (bit_identical ? "true" : "false")
+     << "},\n"
+     << "  \"chaos\": {\n"
+     << "    \"submitted\": " << s.submitted << ",\n"
+     << "    \"solved\": " << s.solved << ",\n"
+     << "    \"failed\": " << s.failed << ",\n"
+     << "    \"cancelled\": " << s.cancelled << ",\n"
+     << "    \"deadline_expired\": " << s.deadline_expired << ",\n"
+     << "    \"rejected_queue_full\": " << s.rejected_queue_full << ",\n"
+     << "    \"rejected_circuit_open\": " << s.rejected_circuit_open << ",\n"
+     << "    \"rejected_load_shed\": " << s.rejected_load_shed << ",\n"
+     << "    \"rejected_shutdown\": " << s.rejected_shutdown << ",\n"
+     << "    \"retries\": " << s.retries << ",\n"
+     << "    \"hedges\": " << s.hedges << ",\n"
+     << "    \"hedge_wins\": " << s.hedge_wins << ",\n"
+     << "    \"requeues\": " << s.requeues << ",\n"
+     << "    \"fallbacks\": " << s.fallbacks << ",\n"
+     << "    \"late_completions\": " << s.late_completions << ",\n"
+     << "    \"shed_activations\": " << s.shed_activations << ",\n"
+     << "    \"shed_deactivations\": " << s.shed_deactivations << ",\n"
+     << "    \"breaker_trips\": " << s.breaker.trips << ",\n"
+     << "    \"breaker_recoveries\": " << s.breaker.recoveries << ",\n"
+     << "    \"chaos_stalls\": " << s.chaos_stalls << ",\n"
+     << "    \"plan_failures_injected\": " << injector.plan_failures_injected()
+     << "\n  },\n"
+     << "  \"recovery\": {\"requests\": " << rec_ms.size()
+     << ", \"p99_ms\": " << rec_p99 << ", \"bound_ms\": " << p99_bound
+     << "},\n"
+     << "  \"gates\": {\n";
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    js << "    \"" << gates[i].name << "\": "
+       << (gates[i].pass ? "true" : "false")
+       << (i + 1 < gates.size() ? ",\n" : "\n");
+  }
+  js << "  },\n"
+     << "  \"pass\": " << (all_pass ? "true" : "false") << "\n}\n";
+  js.close();
+  std::cout << "\nwrote " << out_path << "\n";
+
+  if (!all_pass) {
+    std::cerr << "FAIL: one or more chaos gates failed\n";
+    return 1;
+  }
+  return 0;
+}

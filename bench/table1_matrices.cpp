@@ -16,6 +16,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "table1_matrices", {"ufmc", "skip-cond"}))
+    return rc;
   bench::banner("Table 1 — test matrices", "paper Table 1 (Section 3.1)");
   const bool skip_cond = args.has("skip-cond");
 

@@ -12,6 +12,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "table4_local_overhead", {}))
+    return rc;
   bench::banner("Table 4 — overhead of local iterations (fv3)",
                 "paper Section 4.3, Table 4");
 

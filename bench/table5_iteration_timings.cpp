@@ -14,6 +14,9 @@ using namespace bars;
 
 int main(int argc, char** argv) {
   const report::Args args(argc, argv);
+  if (const int rc = bench::require_known_flags(
+          args, "table5_iteration_timings", {}))
+    return rc;
   bench::banner("Table 5 — average iteration timings",
                 "paper Section 4.3, Table 5");
 

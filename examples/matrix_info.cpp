@@ -18,6 +18,13 @@
 int main(int argc, char** argv) {
   using namespace bars;
   const report::Args args(argc, argv);
+  const auto unknown = args.unknown_keys({"matrix", "block-size", "full"});
+  if (!unknown.empty()) {
+    std::cerr << "matrix_info: unknown flag --" << unknown.front()
+              << "\nusage: matrix_info [--matrix=A.mtx] [--block-size=448] "
+                 "[--full]\n";
+    return 2;
+  }
   const std::string path = args.get_string("matrix", "");
   const Csr a = path.empty() ? trefethen(2000) : read_matrix_market_file(path);
   const auto block = static_cast<index_t>(args.get_int("block-size", 448));

@@ -19,6 +19,10 @@
 ///   stats                       one-line service counters
 ///   quit                        drain and exit
 ///
+/// Malformed input never takes the session down: oversized lines,
+/// unparsable numbers, and absurd matrix sizes earn a single-line
+/// `error ...` reply and the loop keeps serving.
+///
 /// --demo ignores stdin and runs a built-in transcript (used by the
 /// ctest smoke test), exercising a cache miss, a hit, and a batch.
 
@@ -48,6 +52,23 @@ struct SessionDefaults {
   std::string solver = "block-async";
 };
 
+/// A hostile or confused client must not take the server down — a
+/// malformed line earns an `error` reply and the session continues.
+/// Oversized payloads are bounded before any parsing happens.
+constexpr std::size_t kMaxLineLength = 4096;
+constexpr long long kMaxMatrixSize = 1 << 22;
+
+/// Reads a positive matrix/iteration dimension. Extraction failure,
+/// zero, negatives, and absurd sizes all reject (formatted extraction
+/// zeroes its target on failure, so callers parse into a temporary).
+bool read_dim(std::istream& ls, index_t& out,
+              long long cap = kMaxMatrixSize) {
+  long long v = 0;
+  if (!(ls >> v) || v <= 0 || v > cap) return false;
+  out = static_cast<index_t>(v);
+  return true;
+}
+
 void print_done(std::ostream& os, std::size_t id,
                 const service::SolveResponse& r) {
   os << "done " << id << " outcome=" << service::to_string(r.outcome)
@@ -68,6 +89,11 @@ int serve(std::istream& in, std::ostream& os, service::SolveService& svc,
 
   std::string line;
   while (std::getline(in, line)) {
+    if (line.size() > kMaxLineLength) {
+      os << "error line too long (" << line.size() << " > "
+         << kMaxLineLength << " bytes)\n";
+      continue;
+    }
     std::istringstream ls(line);
     std::string cmd;
     if (!(ls >> cmd) || cmd[0] == '#') continue;
@@ -76,18 +102,42 @@ int serve(std::istream& in, std::ostream& os, service::SolveService& svc,
       if (cmd == "matrix") {
         std::string name, kind;
         ls >> name >> kind;
+        if (name.empty() || kind.empty()) {
+          os << "error matrix needs NAME and KIND\n";
+          continue;
+        }
         if (kind == "fv") {
           index_t n = 0;
+          if (!read_dim(ls, n)) {
+            os << "error bad matrix size (want 1.." << kMaxMatrixSize
+               << ")\n";
+            continue;
+          }
           value_t rho = 0.5;
-          ls >> n >> rho;
+          std::string rho_tok;
+          if (ls >> rho_tok) {
+            std::istringstream rs(rho_tok);
+            if (!(rs >> rho)) {
+              os << "error bad rho '" << rho_tok << "'\n";
+              continue;
+            }
+          }
           matrices[name] = std::make_shared<const Csr>(fv_like(n, rho));
         } else if (kind == "tref") {
           index_t n = 0;
-          ls >> n;
+          if (!read_dim(ls, n)) {
+            os << "error bad matrix size (want 1.." << kMaxMatrixSize
+               << ")\n";
+            continue;
+          }
           matrices[name] = std::make_shared<const Csr>(trefethen(n));
         } else if (kind == "mtx") {
           std::string path;
           ls >> path;
+          if (path.empty()) {
+            os << "error mtx needs a PATH\n";
+            continue;
+          }
           matrices[name] =
               std::make_shared<const Csr>(read_matrix_market_file(path));
         } else {
@@ -97,26 +147,48 @@ int serve(std::istream& in, std::ostream& os, service::SolveService& svc,
         os << "matrix " << name << " n=" << matrices[name]->rows()
            << " nnz=" << matrices[name]->nnz() << '\n';
       } else if (cmd == "set") {
-        std::string key;
-        ls >> key;
+        // Parse into temporaries: a bad VALUE must leave the session
+        // defaults untouched (extraction failure zeroes its target).
+        std::string key, raw;
+        ls >> key >> raw;
+        if (key.empty() || raw.empty()) {
+          os << "error set needs KEY and VALUE\n";
+          continue;
+        }
+        std::istringstream vs(raw);
+        bool ok = true;
         if (key == "tol") {
-          ls >> d.tol;
+          value_t v = 0;
+          ok = static_cast<bool>(vs >> v) && v > 0;
+          if (ok) d.tol = v;
         } else if (key == "max-iters") {
-          ls >> d.max_iters;
+          index_t v = 0;
+          ok = read_dim(vs, v);
+          if (ok) d.max_iters = v;
         } else if (key == "block-size") {
-          ls >> d.block_size;
+          index_t v = 0;
+          ok = read_dim(vs, v);
+          if (ok) d.block_size = v;
         } else if (key == "local-iters") {
-          ls >> d.local_iters;
+          index_t v = 0;
+          ok = read_dim(vs, v);
+          if (ok) d.local_iters = v;
         } else if (key == "seed") {
-          ls >> d.seed;
+          std::uint64_t v = 0;
+          ok = static_cast<bool>(vs >> v);
+          if (ok) d.seed = v;
         } else if (key == "deadline-ms") {
           long long ms = 0;
-          ls >> ms;
-          d.deadline = std::chrono::milliseconds(ms);
+          ok = static_cast<bool>(vs >> ms) && ms >= 0;
+          if (ok) d.deadline = std::chrono::milliseconds(ms);
         } else if (key == "solver") {
-          ls >> d.solver;
+          d.solver = raw;
         } else {
           os << "error unknown setting '" << key << "'\n";
+          continue;
+        }
+        if (!ok) {
+          os << "error bad value '" << raw << "' for " << key << '\n';
           continue;
         }
         os << "ok\n";
@@ -141,12 +213,13 @@ int serve(std::istream& in, std::ostream& os, service::SolveService& svc,
         tickets.push_back(svc.submit(std::move(req)));
         os << "ticket " << tickets.size() - 1 << '\n';
       } else if (cmd == "wait" || cmd == "cancel") {
-        std::size_t id = 0;
-        ls >> id;
-        if (id >= tickets.size()) {
-          os << "error no ticket " << id << '\n';
+        long long raw_id = -1;
+        if (!(ls >> raw_id) || raw_id < 0 ||
+            static_cast<std::size_t>(raw_id) >= tickets.size()) {
+          os << "error no such ticket\n";
           continue;
         }
+        const std::size_t id = static_cast<std::size_t>(raw_id);
         if (cmd == "cancel") {
           tickets[id]->cancel();
           os << "ok\n";
@@ -190,6 +263,21 @@ wait 3
 set solver cg
 submit demo
 wait 4
+# hostile-input section: every line below must earn an error reply
+# and leave the session (and the defaults) intact
+matrix bad fv 0
+matrix bad fv abc
+matrix bad fv 99999999999
+matrix bad
+set tol nope
+set max-iters -3
+set
+wait abc
+cancel 99
+frobnicate
+submit bad
+submit demo
+wait 5
 stats
 quit
 )";

@@ -26,7 +26,25 @@ enum class CancelReason : int {
   kNone = 0,
   kUser = 1,      ///< explicit request_cancel() by the embedder
   kDeadline = 2,  ///< tripped by a deadline supervisor (service layer)
+  kWatchdog = 3,  ///< stuck-worker supervision cancelled the attempt
+  kHedge = 4,     ///< a hedged duplicate won; this attempt is the loser
 };
+
+[[nodiscard]] constexpr const char* to_string(CancelReason r) noexcept {
+  switch (r) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kUser:
+      return "user";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kWatchdog:
+      return "watchdog";
+    case CancelReason::kHedge:
+      return "hedge";
+  }
+  return "unknown";
+}
 
 class CancelToken {
  public:
@@ -43,17 +61,43 @@ class CancelToken {
     requested_.store(true, std::memory_order_relaxed);
   }
 
-  /// Polled by solvers at iteration boundaries.
+  /// Polled by solvers at iteration boundaries. A token with a parent
+  /// reads as requested when either itself or its parent is tripped.
   [[nodiscard]] bool requested() const noexcept {
-    return requested_.load(std::memory_order_relaxed);
+    if (requested_.load(std::memory_order_relaxed)) return true;
+    const CancelToken* parent = parent_.load(std::memory_order_relaxed);
+    return parent != nullptr && parent->requested();
   }
 
+  /// The first reason recorded on *this* token; falls back to the
+  /// parent's reason when this token was never tripped directly. A
+  /// directly-tripped token always reports its own (first) reason even
+  /// if the parent tripped earlier — the attempt-local verdict is what
+  /// the owner of this token acts on.
   [[nodiscard]] CancelReason reason() const noexcept {
-    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+    const auto own =
+        static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+    if (own != CancelReason::kNone) return own;
+    const CancelToken* parent = parent_.load(std::memory_order_relaxed);
+    return parent != nullptr ? parent->reason() : CancelReason::kNone;
+  }
+
+  /// Link a request-level parent token: this (attempt-level) token then
+  /// reads as requested when the parent is tripped, so one request-wide
+  /// cancel reaches every hedged / requeued attempt without touching
+  /// their attempt-local reasons. The parent must outlive this token
+  /// (the service guarantees it: tickets own the parent and outlive
+  /// every attempt). Safe to call from the submitting thread before the
+  /// token is handed to a solver; the pointer itself is atomic so a
+  /// concurrent poll never tears.
+  void set_parent(const CancelToken* parent) noexcept {
+    parent_.store(parent, std::memory_order_relaxed);
   }
 
   /// Re-arm a token for reuse (tests, pooled request slots). Only call
-  /// between solves — never while a solver may still poll it.
+  /// between solves — never while a solver may still poll it. Keeps
+  /// the parent link: a re-armed attempt still honors request-level
+  /// cancellation.
   void reset() noexcept {
     requested_.store(false, std::memory_order_relaxed);
     reason_.store(static_cast<int>(CancelReason::kNone),
@@ -63,6 +107,7 @@ class CancelToken {
  private:
   std::atomic<bool> requested_{false};
   std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+  std::atomic<const CancelToken*> parent_{nullptr};
 };
 
 /// Null-safe poll helper: `if (cancel_requested(opts.cancel)) ...`.

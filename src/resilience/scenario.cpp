@@ -54,6 +54,49 @@ FaultScenario& FaultScenario::fail_link(index_t at, index_t device,
   return *this;
 }
 
+FaultScenario& FaultScenario::stall_workers(double at_s, double duration_s,
+                                            double stall_s) {
+  ServiceFaultEvent e;
+  e.kind = ServiceFaultKind::kWorkerStall;
+  e.at_seconds = at_s;
+  e.duration_seconds = duration_s;
+  e.stall_seconds = stall_s;
+  service_events.push_back(e);
+  return *this;
+}
+
+FaultScenario& FaultScenario::fail_plan_builds(double at_s,
+                                               double duration_s) {
+  ServiceFaultEvent e;
+  e.kind = ServiceFaultKind::kPlanFailureBurst;
+  e.at_seconds = at_s;
+  e.duration_seconds = duration_s;
+  service_events.push_back(e);
+  return *this;
+}
+
+FaultScenario& FaultScenario::flood_queue(double at_s, double duration_s,
+                                          double factor) {
+  ServiceFaultEvent e;
+  e.kind = ServiceFaultKind::kQueueFlood;
+  e.at_seconds = at_s;
+  e.duration_seconds = duration_s;
+  e.flood_factor = factor;
+  service_events.push_back(e);
+  return *this;
+}
+
+FaultScenario& FaultScenario::storm_deadlines(double at_s, double duration_s,
+                                              double deadline_ms) {
+  ServiceFaultEvent e;
+  e.kind = ServiceFaultKind::kDeadlineStorm;
+  e.at_seconds = at_s;
+  e.duration_seconds = duration_s;
+  e.storm_deadline_ms = deadline_ms;
+  service_events.push_back(e);
+  return *this;
+}
+
 ScenarioTimeline::ScenarioTimeline(FaultScenario scenario, index_t num_rows,
                                    index_t num_devices)
     : n_(num_rows), num_devices_(num_devices) {

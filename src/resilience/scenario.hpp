@@ -38,6 +38,40 @@ enum class FaultKind {
   kLinkFailure,
 };
 
+/// Service-level failure classes — faults against the *serving* layer
+/// (SolveService) rather than the solver's iteration space. They live
+/// on a wall-clock timeline (seconds since injector start) because the
+/// service is a wall-clock system; ScenarioTimeline ignores them, and
+/// ServiceFaultInjector (resilience/service_faults.hpp) is their
+/// runtime engine.
+enum class ServiceFaultKind {
+  /// Dispatched requests stall their worker for `stall_seconds`,
+  /// ignoring cooperative cancellation — a stuck worker, the case the
+  /// service's watchdog/requeue supervision exists for.
+  kWorkerStall,
+  /// Plan construction fails for every cache build in the window
+  /// (models transient allocator/driver failures); drives the
+  /// circuit-breaker and negative-cache-TTL machinery.
+  kPlanFailureBurst,
+  /// Traffic directive for harnesses: submit `flood_factor` times the
+  /// nominal request rate during the window (saturates the queue and
+  /// exercises admission control + load shedding).
+  kQueueFlood,
+  /// Traffic directive for harnesses: submit with `storm_deadline_ms`
+  /// deadlines during the window (drives the deadline-miss rate).
+  kDeadlineStorm,
+};
+
+/// One scheduled service-level fault, on the wall-clock timeline.
+struct ServiceFaultEvent {
+  ServiceFaultKind kind = ServiceFaultKind::kWorkerStall;
+  double at_seconds = 0.0;        ///< window start, relative to start()
+  double duration_seconds = 0.0;  ///< window length
+  double stall_seconds = 0.25;    ///< kWorkerStall: per-dispatch stall
+  double flood_factor = 8.0;      ///< kQueueFlood: rate multiplier
+  double storm_deadline_ms = 1.0; ///< kDeadlineStorm: imposed deadline
+};
+
 /// One scheduled fault. Fields are interpreted per kind (see builders).
 struct FaultEvent {
   FaultKind kind = FaultKind::kComponentFailure;
@@ -60,6 +94,12 @@ struct FaultEvent {
 ///    .corrupt_halo(15, 5, 1e4).drop_device(8, /*device=*/1, 12);
 struct FaultScenario {
   std::vector<FaultEvent> events;
+  /// Service-level faults (wall-clock domain). One scenario can carry
+  /// both solver- and service-level events, so a single timeline
+  /// drives chaos at every layer (bench/service_chaos does exactly
+  /// that); solver executors ignore `service_events` and the service
+  /// injector ignores `events`.
+  std::vector<ServiceFaultEvent> service_events;
 
   FaultScenario& fail_components(index_t at, value_t fraction,
                                  std::optional<index_t> recover_after = {},
@@ -71,7 +111,21 @@ struct FaultScenario {
                              std::optional<index_t> rejoin_after = {});
   FaultScenario& fail_link(index_t at, index_t device, index_t duration);
 
-  [[nodiscard]] bool empty() const { return events.empty(); }
+  /// Service-level builders (seconds on the injector's wall clock).
+  FaultScenario& stall_workers(double at_s, double duration_s,
+                               double stall_s = 0.25);
+  FaultScenario& fail_plan_builds(double at_s, double duration_s);
+  FaultScenario& flood_queue(double at_s, double duration_s,
+                             double factor = 8.0);
+  FaultScenario& storm_deadlines(double at_s, double duration_s,
+                                 double deadline_ms = 1.0);
+
+  [[nodiscard]] bool empty() const {
+    return events.empty() && service_events.empty();
+  }
+  [[nodiscard]] bool has_service_events() const {
+    return !service_events.empty();
+  }
 };
 
 /// Runtime engine for one solve. The owning executor calls

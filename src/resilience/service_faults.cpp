@@ -1,0 +1,59 @@
+#include "resilience/service_faults.hpp"
+
+#include <algorithm>
+
+namespace bars::resilience {
+
+double ServiceFaultInjector::worker_stall_seconds(double now_s) const {
+  double stall = 0.0;
+  for (const ServiceFaultEvent& e : events_) {
+    if (e.kind == ServiceFaultKind::kWorkerStall && active(e, now_s)) {
+      stall = std::max(stall, e.stall_seconds);
+    }
+  }
+  return stall;
+}
+
+bool ServiceFaultInjector::plan_failure_active(double now_s) const {
+  for (const ServiceFaultEvent& e : events_) {
+    if (e.kind == ServiceFaultKind::kPlanFailureBurst && active(e, now_s)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double ServiceFaultInjector::flood_factor(double now_s) const {
+  double factor = 1.0;
+  for (const ServiceFaultEvent& e : events_) {
+    if (e.kind == ServiceFaultKind::kQueueFlood && active(e, now_s)) {
+      factor = std::max(factor, e.flood_factor);
+    }
+  }
+  return factor;
+}
+
+std::optional<double> ServiceFaultInjector::storm_deadline_ms(
+    double now_s) const {
+  std::optional<double> deadline;
+  for (const ServiceFaultEvent& e : events_) {
+    if (e.kind == ServiceFaultKind::kDeadlineStorm && active(e, now_s)) {
+      deadline = deadline ? std::min(*deadline, e.storm_deadline_ms)
+                          : e.storm_deadline_ms;
+    }
+  }
+  return deadline;
+}
+
+double ServiceFaultInjector::last_service_window_end_seconds() const {
+  double end = 0.0;
+  for (const ServiceFaultEvent& e : events_) {
+    if (e.kind == ServiceFaultKind::kWorkerStall ||
+        e.kind == ServiceFaultKind::kPlanFailureBurst) {
+      end = std::max(end, e.at_seconds + e.duration_seconds);
+    }
+  }
+  return end;
+}
+
+}  // namespace bars::resilience

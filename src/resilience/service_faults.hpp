@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "resilience/scenario.hpp"
+
+/// \file service_faults.hpp
+/// Runtime engine for service-level fault scenarios — the wall-clock
+/// sibling of ScenarioTimeline (which advances in solver iterations).
+///
+/// A ServiceFaultInjector is built from a FaultScenario's
+/// `service_events` and anchored with start(); from then on it answers
+/// time-window queries from two sides:
+///
+///   - the *service* asks "should this dispatch stall?" (kWorkerStall)
+///     and "should this plan build fail?" (kPlanFailureBurst) — wired
+///     through ServiceOptions::chaos;
+///   - the *harness* asks "how hard should I flood?" (kQueueFlood) and
+///     "what deadline should I impose?" (kDeadlineStorm) to shape the
+///     traffic it generates (bench/service_chaos).
+///
+/// Every query has a pure overload taking elapsed seconds, so the
+/// window arithmetic is unit-testable without sleeping; the no-arg
+/// overloads read the real clock. All queries are thread-safe after
+/// start(). docs/RESILIENCE.md ("Service-level fault actions") is the
+/// contract document.
+
+namespace bars::resilience {
+
+class ServiceFaultInjector {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit ServiceFaultInjector(const FaultScenario& scenario)
+      : events_(scenario.service_events) {}
+
+  /// Anchor t = 0. Call once, before handing the injector to a
+  /// service; queries before start() see t = 0 (only windows starting
+  /// at 0 are active).
+  void start() {
+    start_time_ = Clock::now();
+    started_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    if (!started_.load(std::memory_order_acquire)) return 0.0;
+    return std::chrono::duration<double>(Clock::now() - start_time_).count();
+  }
+
+  /// kWorkerStall: seconds a dispatch occurring at `now_s` should
+  /// stall its worker (0 outside every stall window; overlapping
+  /// windows take the longest stall).
+  [[nodiscard]] double worker_stall_seconds(double now_s) const;
+  [[nodiscard]] double worker_stall_seconds() const {
+    return worker_stall_seconds(elapsed_seconds());
+  }
+
+  /// kPlanFailureBurst: should a plan build at `now_s` fail?
+  [[nodiscard]] bool plan_failure_active(double now_s) const;
+  [[nodiscard]] bool plan_failure_active() const {
+    return plan_failure_active(elapsed_seconds());
+  }
+
+  /// kQueueFlood: traffic-rate multiplier at `now_s` (1 outside every
+  /// flood window; overlapping windows take the largest factor).
+  [[nodiscard]] double flood_factor(double now_s) const;
+  [[nodiscard]] double flood_factor() const {
+    return flood_factor(elapsed_seconds());
+  }
+
+  /// kDeadlineStorm: deadline (ms) the harness should impose at
+  /// `now_s`; nullopt outside every storm window (overlapping windows
+  /// take the tightest deadline).
+  [[nodiscard]] std::optional<double> storm_deadline_ms(double now_s) const;
+  [[nodiscard]] std::optional<double> storm_deadline_ms() const {
+    return storm_deadline_ms(elapsed_seconds());
+  }
+
+  /// First instant after which every service-side window (stall, plan
+  /// failure) is over — harnesses use it to size the recovery phase.
+  [[nodiscard]] double last_service_window_end_seconds() const;
+
+  /// Injection accounting (incremented by the service at each actual
+  /// injection, so reports distinguish "window existed" from "window
+  /// bit something").
+  void count_stall() noexcept {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_plan_failure() noexcept {
+    plan_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stalls_injected() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t plan_failures_injected() const noexcept {
+    return plan_failures_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<ServiceFaultEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  [[nodiscard]] static bool active(const ServiceFaultEvent& e, double now_s) {
+    return now_s >= e.at_seconds &&
+           now_s < e.at_seconds + e.duration_seconds;
+  }
+
+  std::vector<ServiceFaultEvent> events_;
+  Clock::time_point start_time_{};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> plan_failures_{0};
+};
+
+}  // namespace bars::resilience

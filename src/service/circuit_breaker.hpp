@@ -1,0 +1,135 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "service/plan_cache.hpp"
+
+/// \file circuit_breaker.hpp
+/// Per-plan circuit breakers for the service layer.
+///
+/// A matrix whose kernel construction or solve keeps failing should not
+/// be allowed to burn a worker (and a queue slot) on every submission.
+/// The breaker tracks *consecutive* failures per plan key — the same
+/// (fingerprint, block_size, local_iters) triple the plan cache uses —
+/// and after `failure_threshold` of them trips *open*: submissions for
+/// that key are rejected immediately with kRejectedCircuitOpen (or
+/// degraded onto the fallback chain, see DegradationPolicy) without
+/// touching the queue. After `open_duration` the breaker moves to
+/// *half-open* and lets exactly one probe request through; a successful
+/// probe closes the breaker, a failed one re-opens it for another
+/// window.
+///
+/// Time is passed in by the caller (steady-clock time points), so the
+/// state machine is deterministic and unit-testable without sleeping.
+/// docs/SERVICE.md ("Hardening") is the behavioral contract.
+
+namespace bars::service {
+
+struct CircuitBreakerOptions {
+  /// Off by default: an un-hardened service behaves exactly as before.
+  bool enabled = false;
+  /// Consecutive kFailed outcomes for one plan key that trip the
+  /// breaker open.
+  std::size_t failure_threshold = 3;
+  /// How long the breaker stays open before probing half-open.
+  std::chrono::milliseconds open_duration{1000};
+  /// Distinct plan keys tracked; least-recently-touched *closed*
+  /// entries are pruned beyond this (open/half-open entries are never
+  /// pruned — they are the ones doing work).
+  std::size_t max_tracked = 256;
+};
+
+enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+
+[[nodiscard]] constexpr const char* to_string(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+struct CircuitBreakerStats {
+  std::uint64_t trips = 0;       ///< closed/half-open -> open transitions
+  std::uint64_t rejections = 0;  ///< fast-fails while open
+  std::uint64_t probes = 0;      ///< half-open admissions
+  std::uint64_t recoveries = 0;  ///< half-open -> closed (probe succeeded)
+  std::size_t open = 0;          ///< snapshot: breakers currently open
+  std::size_t tracked = 0;       ///< snapshot: plan keys tracked
+};
+
+/// Thread-safe registry of per-plan breaker state machines.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(CircuitBreakerOptions opts = {});
+
+  /// Admission check for one plan key. Returns true when the request
+  /// may proceed (closed, or half-open granting this caller the probe
+  /// slot); false means reject fast — the breaker is open, or another
+  /// probe is already in flight. Disabled breakers always admit.
+  [[nodiscard]] bool allow(std::uint64_t fingerprint, const PlanConfig& config,
+                           Clock::time_point now);
+
+  /// Record the outcome of an admitted attempt. Success closes
+  /// (half-open) or resets (closed) the state; failure counts toward
+  /// the threshold and re-opens a half-open breaker immediately.
+  void record_success(std::uint64_t fingerprint, const PlanConfig& config);
+  void record_failure(std::uint64_t fingerprint, const PlanConfig& config,
+                      Clock::time_point now);
+
+  /// An admitted attempt ended without a solver verdict (cancelled,
+  /// deadline, shutdown, shed-evicted): release the probe slot it may
+  /// have been holding so a half-open breaker can probe again instead
+  /// of wedging. No-op for closed entries and disabled breakers.
+  void release(std::uint64_t fingerprint, const PlanConfig& config);
+
+  [[nodiscard]] BreakerState state(std::uint64_t fingerprint,
+                                   const PlanConfig& config,
+                                   Clock::time_point now) const;
+
+  [[nodiscard]] CircuitBreakerStats stats() const;
+  [[nodiscard]] const CircuitBreakerOptions& options() const { return opts_; }
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint;
+    PlanConfig config;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Entry {
+    BreakerState state = BreakerState::kClosed;
+    std::size_t consecutive_failures = 0;
+    Clock::time_point opened_at{};
+    bool probe_in_flight = false;
+    std::uint64_t touched = 0;  ///< LRU tick for pruning closed entries
+  };
+
+  /// Resolve open -> half-open when the window has elapsed.
+  void refresh(Entry& e, Clock::time_point now) const;
+  void prune() BARS_REQUIRES(mu_);
+
+  CircuitBreakerOptions opts_;
+  mutable common::Mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> map_ BARS_GUARDED_BY(mu_);
+  std::uint64_t tick_ BARS_GUARDED_BY(mu_) = 0;
+  std::uint64_t trips_ BARS_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejections_ BARS_GUARDED_BY(mu_) = 0;
+  std::uint64_t probes_ BARS_GUARDED_BY(mu_) = 0;
+  std::uint64_t recoveries_ BARS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace bars::service

@@ -1,0 +1,66 @@
+#include "service/degradation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bars::service {
+
+LoadShedController::LoadShedController(const DegradationPolicy& policy,
+                                       std::size_t capacity)
+    : policy_(policy) {
+  const double cap = static_cast<double>(std::max<std::size_t>(1, capacity));
+  high_depth_ = static_cast<std::size_t>(
+      std::ceil(std::clamp(policy_.shed_high_watermark, 0.0, 1.0) * cap));
+  high_depth_ = std::max<std::size_t>(1, high_depth_);
+  low_depth_ = static_cast<std::size_t>(
+      std::floor(std::clamp(policy_.shed_low_watermark, 0.0, 1.0) * cap));
+  if (low_depth_ >= high_depth_) low_depth_ = high_depth_ - 1;
+  window_.assign(std::max<std::size_t>(1, policy_.miss_window), 0);
+}
+
+void LoadShedController::set_active(bool next) {
+  if (next == active_) return;
+  active_ = next;
+  if (next) {
+    ++activations_;
+  } else {
+    ++deactivations_;
+  }
+}
+
+bool LoadShedController::update_queue_depth(std::size_t depth) {
+  last_depth_ = depth;
+  if (!policy_.enabled) return false;
+  if (!active_ && depth >= high_depth_) {
+    set_active(true);
+  } else if (active_ && depth <= low_depth_ &&
+             (policy_.shed_miss_rate <= 0.0 ||
+              miss_rate() < policy_.shed_miss_rate)) {
+    set_active(false);
+  }
+  return active_;
+}
+
+void LoadShedController::record_outcome(bool deadline_missed) {
+  window_misses_ -= window_[window_next_];
+  window_[window_next_] = deadline_missed ? 1 : 0;
+  window_misses_ += window_[window_next_];
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_filled_ = std::min(window_filled_ + 1, window_.size());
+  if (!policy_.enabled || policy_.shed_miss_rate <= 0.0) return;
+  if (window_filled_ < window_.size()) return;  // need a full window
+  if (!active_ && miss_rate() >= policy_.shed_miss_rate) {
+    set_active(true);
+  } else if (active_ && miss_rate() < policy_.shed_miss_rate &&
+             last_depth_ <= low_depth_) {
+    set_active(false);
+  }
+}
+
+double LoadShedController::miss_rate() const noexcept {
+  if (window_filled_ == 0) return 0.0;
+  return static_cast<double>(window_misses_) /
+         static_cast<double>(window_filled_);
+}
+
+}  // namespace bars::service

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file degradation.hpp
+/// Graceful degradation under overload for the service layer.
+///
+/// Two mechanisms, both driven by one DegradationPolicy:
+///
+/// *Load shedding.* When the service is saturated — queue depth above
+/// a high watermark, or the recent deadline-miss rate above a
+/// threshold — it stops taking the cheapest-to-lose work first:
+/// submissions whose priority falls below `shed_priority_floor` are
+/// rejected immediately with kRejectedLoadShed, and a full queue
+/// evicts its lowest-priority entry to admit a strictly
+/// higher-priority newcomer. Shedding deactivates (with hysteresis)
+/// once the queue drains below the low watermark.
+///
+/// *Fallback chains.* Instead of surfacing kFailed after retries are
+/// exhausted — or rejecting outright on an open circuit breaker — the
+/// request is re-run with the next solver in `fallback_chain` (e.g.
+/// block-async -> block-jacobi -> cg), trading the planned/batched
+/// fast path for an answer. Responses report `degraded = true` and the
+/// solver that actually produced the result.
+///
+/// LoadShedController is the pure state machine (no clocks, no locks —
+/// SolveService drives it under its own mutex); docs/SERVICE.md
+/// ("Hardening") is the behavioral contract.
+
+namespace bars::service {
+
+struct DegradationPolicy {
+  /// Off by default: an un-hardened service behaves exactly as before.
+  bool enabled = false;
+
+  /// Shed activates when queue depth >= high_watermark * capacity and
+  /// deactivates when depth <= low_watermark * capacity.
+  double shed_high_watermark = 0.75;
+  double shed_low_watermark = 0.25;
+  /// Shed also activates when the deadline-miss rate over the last
+  /// `miss_window` finished requests reaches `shed_miss_rate`
+  /// (0 disables the trigger; the queue watermark still applies).
+  double shed_miss_rate = 0.0;
+  std::size_t miss_window = 64;
+  /// While shedding, submissions with priority below this floor are
+  /// rejected with kRejectedLoadShed.
+  int shed_priority_floor = 1;
+
+  /// Solvers tried, in order, after the primary solver's retries are
+  /// exhausted (or instead of a kRejectedCircuitOpen fast-fail).
+  std::vector<std::string> fallback_chain;
+
+  [[nodiscard]] bool has_fallbacks() const noexcept {
+    return enabled && !fallback_chain.empty();
+  }
+};
+
+/// Shed-mode state machine with hysteresis. The owner feeds it queue
+/// depth changes and deadline-miss observations; it answers "is shed
+/// mode on?" and counts activations/deactivations so harnesses can
+/// gate that shedding both engaged and released.
+class LoadShedController {
+ public:
+  LoadShedController(const DegradationPolicy& policy, std::size_t capacity);
+
+  /// Re-evaluate after a queue-depth change. Returns the (possibly
+  /// new) shed state.
+  bool update_queue_depth(std::size_t depth);
+
+  /// Record whether a finished request missed its deadline.
+  void record_outcome(bool deadline_missed);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] std::uint64_t activations() const noexcept {
+    return activations_;
+  }
+  [[nodiscard]] std::uint64_t deactivations() const noexcept {
+    return deactivations_;
+  }
+  /// Current deadline-miss rate over the observation window ([0, 1]).
+  [[nodiscard]] double miss_rate() const noexcept;
+
+ private:
+  void set_active(bool next);
+
+  DegradationPolicy policy_;
+  std::size_t high_depth_ = 0;  ///< precomputed watermark depths
+  std::size_t low_depth_ = 0;
+  bool active_ = false;
+  std::uint64_t activations_ = 0;
+  std::uint64_t deactivations_ = 0;
+  std::size_t last_depth_ = 0;
+  /// Ring of the last `miss_window` outcomes (1 = missed deadline).
+  std::vector<std::uint8_t> window_;
+  std::size_t window_next_ = 0;
+  std::size_t window_filled_ = 0;
+  std::size_t window_misses_ = 0;
+};
+
+}  // namespace bars::service

@@ -1,0 +1,30 @@
+#include "service/latency_tracker.hpp"
+
+#include <algorithm>
+
+namespace bars::service {
+
+LatencyTracker::LatencyTracker(std::size_t window)
+    : ring_(std::max<std::size_t>(1, window), 0.0) {}
+
+void LatencyTracker::record(value_t seconds) {
+  ring_[next_] = seconds;
+  next_ = (next_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+}
+
+value_t LatencyTracker::percentile(double q, value_t fallback,
+                                   std::size_t min_samples) const {
+  if (filled_ < std::max<std::size_t>(1, min_samples)) return fallback;
+  std::vector<value_t> scratch(ring_.begin(),
+                               ring_.begin() + static_cast<std::ptrdiff_t>(filled_));
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(filled_ - 1) + 0.5);
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(idx),
+                   scratch.end());
+  return scratch[idx];
+}
+
+}  // namespace bars::service

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+/// \file latency_tracker.hpp
+/// Fixed-size ring of recent request latencies with percentile queries
+/// — the signal the hedging policy keys off ("launch a duplicate once
+/// the primary has run longer than p95 of recent solves").
+///
+/// Not thread-safe on its own; SolveService records and queries under
+/// its service mutex. Percentile queries copy the ring (a few hundred
+/// doubles) and nth_element — cheap at supervision frequency, and the
+/// record path stays O(1).
+
+namespace bars::service {
+
+class LatencyTracker {
+ public:
+  explicit LatencyTracker(std::size_t window = 256);
+
+  void record(value_t seconds);
+
+  /// Percentile (q in [0, 1]) over the recorded window; returns
+  /// `fallback` until at least `min_samples` latencies are recorded so
+  /// early hedges do not key off one cold-start outlier.
+  [[nodiscard]] value_t percentile(double q, value_t fallback = 0.0,
+                                   std::size_t min_samples = 8) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return filled_; }
+
+ private:
+  std::vector<value_t> ring_;
+  std::size_t next_ = 0;
+  std::size_t filled_ = 0;
+};
+
+}  // namespace bars::service

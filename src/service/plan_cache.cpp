@@ -15,22 +15,41 @@ std::size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
       fnv1a64(cfg, sizeof(cfg), k.fingerprint ^ 0xcbf29ce484222325ULL));
 }
 
-PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
-  if (capacity == 0) {
+PlanCache::PlanCache(std::size_t capacity)
+    : PlanCache(PlanCacheOptions{capacity, PlanCacheOptions{}.negative_ttl}) {}
+
+PlanCache::PlanCache(PlanCacheOptions opts) : opts_(opts) {
+  if (opts_.capacity == 0) {
     throw std::invalid_argument("PlanCache: capacity must be >= 1");
   }
 }
 
+void PlanCache::erase_entry(Map::iterator it) {
+  if (it->second.plan->kernel == nullptr) --negative_entries_;
+  lru_.erase(it->second.lru_pos);
+  map_.erase(it);
+}
+
 std::shared_ptr<SolvePlan> PlanCache::acquire(const Csr& a,
                                               const PlanConfig& config,
-                                              bool* hit) {
+                                              bool* hit,
+                                              const char* inject_failure) {
   const Key key{matrix_fingerprint(a), config};
+  const Clock::time_point now = Clock::now();
   common::MutexLock lock(mu_);
   if (auto it = map_.find(key); it != map_.end()) {
-    ++hits_;
-    if (hit != nullptr) *hit = true;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return it->second.plan;
+    if (now >= it->second.expires_at) {
+      // A cached construction failure has aged out: forget it and
+      // rebuild below, so a transient failure cannot poison the
+      // fingerprint past the TTL.
+      ++negative_expirations_;
+      erase_entry(it);
+    } else {
+      ++hits_;
+      if (hit != nullptr) *hit = true;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.plan;
+    }
   }
   ++misses_;
   if (hit != nullptr) *hit = false;
@@ -41,26 +60,37 @@ std::shared_ptr<SolvePlan> PlanCache::acquire(const Csr& a,
   auto plan = std::make_shared<SolvePlan>();
   plan->fingerprint = key.fingerprint;
   plan->config = config;
-  plan->matrix = a;
-  plan->partition = RowPartition::uniform(a.rows(), config.block_size);
-  plan->owner_table = plan->partition.owner_table();
-  plan->seed_rhs.assign(static_cast<std::size_t>(a.rows()), 0.0);
-  try {
-    plan->kernel = std::make_unique<BlockJacobiKernel>(
-        plan->matrix, plan->seed_rhs, plan->partition, config.local_iters);
-  } catch (const std::exception& e) {
+  if (inject_failure != nullptr) {
     plan->kernel = nullptr;
-    plan->kernel_error = e.what();
+    plan->kernel_error = inject_failure;
+  } else {
+    plan->matrix = a;
+    plan->partition = RowPartition::uniform(a.rows(), config.block_size);
+    plan->owner_table = plan->partition.owner_table();
+    plan->seed_rhs.assign(static_cast<std::size_t>(a.rows()), 0.0);
+    try {
+      plan->kernel = std::make_unique<BlockJacobiKernel>(
+          plan->matrix, plan->seed_rhs, plan->partition, config.local_iters);
+    } catch (const std::exception& e) {
+      plan->kernel = nullptr;
+      plan->kernel_error = e.what();
+    }
   }
 
-  if (map_.size() >= capacity_) {
-    const Key& victim = lru_.back();
-    map_.erase(victim);
-    lru_.pop_back();
+  if (map_.size() >= opts_.capacity) {
+    const auto victim = map_.find(lru_.back());
+    erase_entry(victim);
     ++evictions_;
   }
   lru_.push_front(key);
-  map_.emplace(key, Entry{plan, lru_.begin()});
+  Entry entry{plan, lru_.begin(), Clock::time_point::max()};
+  if (plan->kernel == nullptr) {
+    ++negative_entries_;
+    if (opts_.negative_ttl.count() > 0) {
+      entry.expires_at = now + opts_.negative_ttl;
+    }
+  }
+  map_.emplace(key, entry);
   return plan;
 }
 
@@ -68,18 +98,29 @@ std::shared_ptr<SolvePlan> PlanCache::peek(std::uint64_t fingerprint,
                                            const PlanConfig& config) const {
   common::MutexLock lock(mu_);
   const auto it = map_.find(Key{fingerprint, config});
-  return it == map_.end() ? nullptr : it->second.plan;
+  if (it == map_.end()) return nullptr;
+  if (Clock::now() >= it->second.expires_at) return nullptr;  // aged out
+  return it->second.plan;
 }
 
 PlanCacheStats PlanCache::stats() const {
   common::MutexLock lock(mu_);
-  return {hits_, misses_, evictions_, map_.size(), capacity_};
+  PlanCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.evictions = evictions_;
+  out.negative_expirations = negative_expirations_;
+  out.size = map_.size();
+  out.negative_entries = negative_entries_;
+  out.capacity = opts_.capacity;
+  return out;
 }
 
 void PlanCache::clear() {
   common::MutexLock lock(mu_);
   map_.clear();
   lru_.clear();
+  negative_entries_ = 0;
 }
 
 }  // namespace bars::service

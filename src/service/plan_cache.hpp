@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -71,8 +72,22 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
-  std::size_t size = 0;      ///< plans currently resident
+  std::uint64_t negative_expirations = 0;  ///< failed entries aged out
+  std::size_t size = 0;              ///< plans currently resident
+  std::size_t negative_entries = 0;  ///< resident plans with a failed kernel
   std::size_t capacity = 0;
+};
+
+struct PlanCacheOptions {
+  /// Distinct plans kept resident (>= 1 enforced in the constructor).
+  std::size_t capacity = 8;
+  /// How long a *negative* entry (cached kernel-construction failure)
+  /// stays authoritative. Within the TTL, repeat offenders fail fast
+  /// without re-running the analysis; after it, the next acquire
+  /// rebuilds from scratch — so a transient construction failure can
+  /// never poison a matrix fingerprint forever. Zero or negative means
+  /// negative entries never expire (the pre-TTL behavior).
+  std::chrono::milliseconds negative_ttl{30000};
 };
 
 /// LRU map from (fingerprint, config) to shared SolvePlan. Thread-safe;
@@ -81,16 +96,23 @@ class PlanCache {
  public:
   /// `capacity` >= 1 (throws otherwise).
   explicit PlanCache(std::size_t capacity);
+  explicit PlanCache(PlanCacheOptions opts);
 
   /// Return the plan for (a, config), building and inserting it on a
   /// miss (evicting the least-recently-used entry when full). The
   /// returned pointer is never null; a plan whose kernel failed to
   /// build has plan->kernel == nullptr and a non-empty kernel_error.
   /// When `hit` is non-null it reports whether this call was served
-  /// from cache.
-  [[nodiscard]] std::shared_ptr<SolvePlan> acquire(const Csr& a,
-                                                   const PlanConfig& config,
-                                                   bool* hit = nullptr);
+  /// from cache. A cached failure past its negative TTL counts as a
+  /// miss and is rebuilt. `inject_failure`, when non-null, makes any
+  /// *build* this call performs produce a negative entry with that
+  /// reason instead of running the analysis (cache hits are unaffected
+  /// — an already-built plan does not retroactively fail). This is the
+  /// hook fault injection uses to simulate plan-construction failure
+  /// bursts (resilience/service_faults.hpp).
+  [[nodiscard]] std::shared_ptr<SolvePlan> acquire(
+      const Csr& a, const PlanConfig& config, bool* hit = nullptr,
+      const char* inject_failure = nullptr);
 
   /// Like acquire() but never builds: null on miss, and the LRU order
   /// is untouched (peeking is not a use).
@@ -103,6 +125,8 @@ class PlanCache {
   void clear();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Key {
     std::uint64_t fingerprint;
     PlanConfig config;
@@ -114,15 +138,24 @@ class PlanCache {
   struct Entry {
     std::shared_ptr<SolvePlan> plan;
     std::list<Key>::iterator lru_pos;
+    /// Negative entries only: when the cached failure stops being
+    /// authoritative. max() for positive entries (never expires).
+    Clock::time_point expires_at = Clock::time_point::max();
   };
 
+  using Map = std::unordered_map<Key, Entry, KeyHash>;
+
+  void erase_entry(Map::iterator it) BARS_REQUIRES(mu_);
+
+  PlanCacheOptions opts_;
   mutable common::Mutex mu_;
-  std::size_t capacity_ BARS_GUARDED_BY(mu_);
   std::list<Key> lru_ BARS_GUARDED_BY(mu_);  ///< front = most recent
-  std::unordered_map<Key, Entry, KeyHash> map_ BARS_GUARDED_BY(mu_);
+  Map map_ BARS_GUARDED_BY(mu_);
   std::uint64_t hits_ BARS_GUARDED_BY(mu_) = 0;
   std::uint64_t misses_ BARS_GUARDED_BY(mu_) = 0;
   std::uint64_t evictions_ BARS_GUARDED_BY(mu_) = 0;
+  std::uint64_t negative_expirations_ BARS_GUARDED_BY(mu_) = 0;
+  std::size_t negative_entries_ BARS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bars::service

@@ -1,0 +1,22 @@
+#include "service/retry_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bars::service {
+
+std::chrono::milliseconds RetryPolicy::backoff(std::size_t attempt,
+                                               double jitter_u) const {
+  if (attempt < 2) return std::chrono::milliseconds{0};
+  const double exponent = static_cast<double>(attempt - 2);
+  double ms = static_cast<double>(backoff_base.count()) *
+              std::pow(std::max(1.0, backoff_multiplier), exponent);
+  ms = std::min(ms, static_cast<double>(backoff_cap.count()));
+  // Map jitter_u in [0,1) to a factor in [1 - jitter, 1 + jitter].
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  const double factor = 1.0 + j * (2.0 * jitter_u - 1.0);
+  ms = std::max(0.0, ms * factor);
+  return std::chrono::milliseconds{static_cast<std::int64_t>(ms)};
+}
+
+}  // namespace bars::service

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+/// \file retry_policy.hpp
+/// Retry and hedging policy for the service layer.
+///
+/// A RetryPolicy bounds how often the service re-runs a failed attempt
+/// (bounded attempts, exponential backoff with decorrelated jitter so a
+/// burst of same-matrix failures does not re-land in lockstep) and when
+/// it launches a *hedged* duplicate of a slow in-flight request (after
+/// the observed latency percentile, first success wins, the loser is
+/// cooperatively cancelled with CancelReason::kHedge).
+///
+/// Everything here is pure policy arithmetic — no clocks, no threads —
+/// so it is unit-testable in isolation; SolveService owns the timing.
+/// docs/SERVICE.md ("Hardening") is the behavioral contract.
+
+namespace bars::service {
+
+struct RetryPolicy {
+  /// Total attempts per request including the first (1 = retries off,
+  /// the default: a fault-free service behaves exactly as before).
+  std::size_t max_attempts = 1;
+  /// Backoff before attempt k (2nd attempt = base, then * multiplier).
+  std::chrono::milliseconds backoff_base{20};
+  double backoff_multiplier = 2.0;
+  /// Backoff never exceeds this, whatever the multiplier says.
+  std::chrono::milliseconds backoff_cap{2000};
+  /// Uniform jitter fraction in [0, 1): each computed backoff is
+  /// scaled by a factor drawn from [1 - jitter, 1 + jitter].
+  double jitter = 0.2;
+
+  /// Hedging: after a plan-path request has been running longer than
+  /// the `hedge_percentile` of recently observed solve latencies
+  /// (floored at `hedge_min_delay`), submit one duplicate attempt.
+  /// First success completes the ticket; the other attempt is
+  /// cancelled with CancelReason::kHedge.
+  bool hedging = false;
+  double hedge_percentile = 0.95;
+  std::chrono::milliseconds hedge_min_delay{10};
+  /// Duplicates per request (1 = at most one hedge).
+  std::size_t max_hedges = 1;
+
+  [[nodiscard]] bool retries_enabled() const noexcept {
+    return max_attempts > 1;
+  }
+
+  /// Backoff before retry attempt `attempt` (attempt 2 is the first
+  /// retry). `jitter_u` is a uniform draw in [0, 1) supplied by the
+  /// caller so the policy itself stays deterministic and seedable.
+  [[nodiscard]] std::chrono::milliseconds backoff(std::size_t attempt,
+                                                  double jitter_u) const;
+};
+
+}  // namespace bars::service

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/registry.hpp"
 #include "matrices/generators.hpp"
@@ -32,6 +36,96 @@ TEST(CancelToken, ResetRearms) {
   t.reset();
   EXPECT_FALSE(t.requested());
   EXPECT_EQ(t.reason(), common::CancelReason::kNone);
+}
+
+TEST(CancelToken, ParentLinkPropagatesRequestAndReason) {
+  common::CancelToken parent;
+  common::CancelToken attempt;
+  attempt.set_parent(&parent);
+  EXPECT_FALSE(attempt.requested());
+
+  // Request-level cancel reaches the attempt; the attempt reports the
+  // parent's reason because it was never tripped directly.
+  parent.request_cancel(common::CancelReason::kUser);
+  EXPECT_TRUE(attempt.requested());
+  EXPECT_EQ(attempt.reason(), common::CancelReason::kUser);
+  EXPECT_FALSE(parent.requested() && attempt.reason() !=
+               common::CancelReason::kUser);
+
+  // A directly-tripped attempt reports its own reason even though the
+  // parent tripped first — the attempt-local verdict wins.
+  attempt.request_cancel(common::CancelReason::kDeadline);
+  EXPECT_EQ(attempt.reason(), common::CancelReason::kDeadline);
+  EXPECT_EQ(parent.reason(), common::CancelReason::kUser);
+
+  // reset() re-arms the attempt but keeps the parent link.
+  attempt.reset();
+  EXPECT_TRUE(attempt.requested());  // parent still tripped
+  EXPECT_EQ(attempt.reason(), common::CancelReason::kUser);
+}
+
+TEST(CancelToken, ParentLinkLeavesSiblingsIndependent) {
+  common::CancelToken parent;
+  common::CancelToken a;
+  common::CancelToken b;
+  a.set_parent(&parent);
+  b.set_parent(&parent);
+
+  a.request_cancel(common::CancelReason::kHedge);
+  EXPECT_TRUE(a.requested());
+  EXPECT_FALSE(b.requested());
+  EXPECT_FALSE(parent.requested());
+  EXPECT_EQ(b.reason(), common::CancelReason::kNone);
+}
+
+// Many threads race distinct reasons into one token: exactly one reason
+// must win, every thread must observe the token requested afterwards,
+// and the winner must be the reason some thread actually submitted.
+// Run under TSan in CI (suite name is in the TSan filter).
+TEST(CancelTokenConcurrent, FirstReasonWinsUnderContention) {
+  static constexpr std::array<common::CancelReason, 4> kReasons = {
+      common::CancelReason::kUser, common::CancelReason::kDeadline,
+      common::CancelReason::kWatchdog, common::CancelReason::kHedge};
+  for (int round = 0; round < 200; ++round) {
+    common::CancelToken t;
+    std::atomic<int> start{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kReasons.size());
+    for (const common::CancelReason r : kReasons) {
+      threads.emplace_back([&t, &start, r] {
+        start.fetch_add(1);
+        while (start.load() < static_cast<int>(kReasons.size())) {
+        }
+        t.request_cancel(r);
+        EXPECT_TRUE(t.requested());
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    const common::CancelReason winner = t.reason();
+    EXPECT_TRUE(winner == common::CancelReason::kUser ||
+                winner == common::CancelReason::kDeadline ||
+                winner == common::CancelReason::kWatchdog ||
+                winner == common::CancelReason::kHedge);
+    // Once settled, the reason is stable.
+    t.request_cancel(common::CancelReason::kUser);
+    EXPECT_EQ(t.reason(), winner);
+  }
+}
+
+TEST(CancelTokenConcurrent, ParentTripRacesAttemptPolls) {
+  common::CancelToken parent;
+  common::CancelToken attempt;
+  attempt.set_parent(&parent);
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!attempt.requested() && !stop.load()) {
+    }
+    EXPECT_TRUE(attempt.requested());
+  });
+  parent.request_cancel(common::CancelReason::kDeadline);
+  poller.join();
+  stop.store(true);
+  EXPECT_EQ(attempt.reason(), common::CancelReason::kDeadline);
 }
 
 TEST(CancelToken, NullSafeHelper) {

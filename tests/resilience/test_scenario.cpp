@@ -4,6 +4,7 @@
 
 #include "core/block_async.hpp"
 #include "matrices/generators.hpp"
+#include "resilience/service_faults.hpp"
 
 namespace bars {
 namespace {
@@ -196,6 +197,76 @@ TEST(ScenarioSolve, RepeatedFailuresOfSameComponentsConverge) {
   o.scenario = s;
   const auto r = block_async_solve(a, b, o);
   EXPECT_TRUE(r.solve.ok());
+}
+
+TEST(ServiceFaults, BuildersPopulateServiceEventsOnly) {
+  resilience::FaultScenario s;
+  EXPECT_FALSE(s.has_service_events());
+  s.stall_workers(0.5, 1.0, /*stall_s=*/0.1)
+      .fail_plan_builds(2.0, 0.5)
+      .flood_queue(3.0, 1.0, /*factor=*/4.0)
+      .storm_deadlines(4.0, 1.0, /*deadline_ms=*/2.0);
+  EXPECT_TRUE(s.has_service_events());
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.events.empty());  // no solver-level events created
+  ASSERT_EQ(s.service_events.size(), 4u);
+}
+
+TEST(ServiceFaults, WindowArithmeticIsHalfOpen) {
+  // Pure now_s overloads: windows are [at, at + duration) — testable
+  // without sleeping or starting the injector's wall clock.
+  resilience::FaultScenario s;
+  s.stall_workers(1.0, 2.0, /*stall_s=*/0.25).fail_plan_builds(5.0, 1.0);
+  const resilience::ServiceFaultInjector inj(s);
+
+  EXPECT_EQ(inj.worker_stall_seconds(0.99), 0.0);
+  EXPECT_EQ(inj.worker_stall_seconds(1.0), 0.25);   // inclusive start
+  EXPECT_EQ(inj.worker_stall_seconds(2.99), 0.25);
+  EXPECT_EQ(inj.worker_stall_seconds(3.0), 0.0);    // exclusive end
+
+  EXPECT_FALSE(inj.plan_failure_active(4.99));
+  EXPECT_TRUE(inj.plan_failure_active(5.0));
+  EXPECT_FALSE(inj.plan_failure_active(6.0));
+
+  // Last service-side window (stall or plan failure) ends at t = 6.
+  EXPECT_DOUBLE_EQ(inj.last_service_window_end_seconds(), 6.0);
+}
+
+TEST(ServiceFaults, OverlappingWindowsCombineConservatively) {
+  resilience::FaultScenario s;
+  s.stall_workers(0.0, 2.0, /*stall_s=*/0.1)
+      .stall_workers(1.0, 2.0, /*stall_s=*/0.5)
+      .flood_queue(0.0, 2.0, /*factor=*/2.0)
+      .flood_queue(1.0, 2.0, /*factor=*/8.0)
+      .storm_deadlines(0.0, 2.0, /*deadline_ms=*/10.0)
+      .storm_deadlines(1.0, 2.0, /*deadline_ms=*/1.0);
+  const resilience::ServiceFaultInjector inj(s);
+
+  // Longest stall, largest flood, tightest deadline win in overlap.
+  EXPECT_EQ(inj.worker_stall_seconds(0.5), 0.1);
+  EXPECT_EQ(inj.worker_stall_seconds(1.5), 0.5);
+  EXPECT_EQ(inj.flood_factor(0.5), 2.0);
+  EXPECT_EQ(inj.flood_factor(1.5), 8.0);
+  EXPECT_EQ(inj.flood_factor(5.0), 1.0);  // neutral outside windows
+  ASSERT_TRUE(inj.storm_deadline_ms(1.5).has_value());
+  EXPECT_EQ(*inj.storm_deadline_ms(1.5), 1.0);
+  EXPECT_FALSE(inj.storm_deadline_ms(5.0).has_value());
+}
+
+TEST(ServiceFaults, UnstartedInjectorPinsTheClockAtZero) {
+  resilience::FaultScenario s;
+  s.fail_plan_builds(0.0, 0.5).stall_workers(1.0, 1.0);
+  resilience::ServiceFaultInjector inj(s);
+  // Before start() the clock reads 0: only windows at t = 0 are live.
+  EXPECT_EQ(inj.elapsed_seconds(), 0.0);
+  EXPECT_TRUE(inj.plan_failure_active());
+  EXPECT_EQ(inj.worker_stall_seconds(), 0.0);
+
+  inj.count_stall();
+  inj.count_plan_failure();
+  inj.count_plan_failure();
+  EXPECT_EQ(inj.stalls_injected(), 1u);
+  EXPECT_EQ(inj.plan_failures_injected(), 2u);
 }
 
 TEST(ScenarioSolve, TransientHaloCorruptionIsRelaxedAway) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "matrices/generators.hpp"
@@ -125,6 +127,70 @@ TEST(PlanCache, KernelFailureIsCachedWithReason) {
   const auto p2 = cache.acquire(bad, PlanConfig{}, &hit);
   EXPECT_TRUE(hit);  // repeat offenders fail fast, no rebuild attempt
   EXPECT_EQ(p1.get(), p2.get());
+}
+
+TEST(PlanCache, NegativeEntryExpiresAfterTtl) {
+  const Csr bad(2, 2, {0, 1, 2}, {1, 0}, {1.0, 1.0});
+  PlanCacheOptions opts;
+  opts.capacity = 2;
+  opts.negative_ttl = std::chrono::milliseconds(1);
+  PlanCache cache(opts);
+
+  bool hit = true;
+  const auto p1 = cache.acquire(bad, PlanConfig{}, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(p1->kernel, nullptr);
+  EXPECT_EQ(cache.stats().negative_entries, 1u);
+
+  // Within the TTL a cached failure is authoritative; past it the next
+  // acquire rebuilds from scratch and counts as a miss, so a transient
+  // construction failure can never poison the fingerprint forever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(cache.peek(matrix_fingerprint(bad), PlanConfig{}), nullptr);
+  const auto p2 = cache.acquire(bad, PlanConfig{}, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(p1.get(), p2.get());  // rebuilt (still fails: bad matrix)
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.negative_expirations, 1u);
+  EXPECT_EQ(s.misses, 2u);
+}
+
+TEST(PlanCache, ZeroTtlMeansNegativeEntriesNeverExpire) {
+  const Csr bad(2, 2, {0, 1, 2}, {1, 0}, {1.0, 1.0});
+  PlanCacheOptions opts;
+  opts.capacity = 2;
+  opts.negative_ttl = std::chrono::milliseconds(0);  // pre-TTL behavior
+  PlanCache cache(opts);
+  bool hit = true;
+  const auto p1 = cache.acquire(bad, PlanConfig{}, &hit);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const auto p2 = cache.acquire(bad, PlanConfig{}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(cache.stats().negative_expirations, 0u);
+}
+
+TEST(PlanCache, InjectedFailureProducesNegativeEntryButSparesHits) {
+  const Csr good = fv_like(6, 0.5);
+  PlanCache cache(4);
+  bool hit = true;
+
+  // An injected failure poisons the *build* it rides on...
+  const auto p1 =
+      cache.acquire(good, PlanConfig{}, &hit, "injected (chaos)");
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(p1->kernel, nullptr);
+  EXPECT_EQ(p1->kernel_error, "injected (chaos)");
+  EXPECT_EQ(cache.stats().negative_entries, 1u);
+
+  // ...but an already-built plan does not retroactively fail.
+  cache.clear();
+  const auto p2 = cache.acquire(good, PlanConfig{}, &hit);
+  ASSERT_NE(p2->kernel, nullptr);
+  const auto p3 = cache.acquire(good, PlanConfig{}, &hit, "injected (chaos)");
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(p2.get(), p3.get());
+  EXPECT_NE(p3->kernel, nullptr);
 }
 
 TEST(PlanCache, ClearDropsEverything) {

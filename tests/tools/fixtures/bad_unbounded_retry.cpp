@@ -1,0 +1,31 @@
+// Seeded violations for the unbounded-retry rule: thread sleeps in the
+// service layer with no visible attempt cap, backoff, deadline, or
+// jitter. Linted with --treat-as src/service.
+#include <chrono>
+#include <thread>
+
+bool server_ready();
+void resubmit();
+
+void spin_until_ready() {
+  while (true) {
+    if (server_ready()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));  // caught
+  }
+}
+
+void blind_resubmit_loop() {
+  for (;;) {
+    resubmit();
+    std::this_thread::sleep_until(  // caught
+        std::chrono::steady_clock::now() + std::chrono::seconds(1));
+  }
+}
+
+// A visible bound (the attempt cap driving the wait) keeps this clean.
+void capped_retry() {
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    if (server_ready()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10 << attempt));
+  }
+}

@@ -82,6 +82,21 @@ class FixtureViolations(unittest.TestCase):
                           fixture("bad_telemetry_record.cpp"))
         self.assertNotIn("[telemetry-record-hot]", out)
 
+    def test_unbounded_retry_rule_catches_fixture(self):
+        code, out = run_lint("--strict", "--treat-as", "src/service",
+                             fixture("bad_unbounded_retry.cpp"))
+        self.assertEqual(code, 1, out)
+        hits = out.count("[unbounded-retry]")
+        self.assertEqual(
+            hits, 2,
+            "expected exactly the two blind sleeps (the capped retry "
+            f"carries its bound in view and is exempt):\n{out}")
+
+    def test_unbounded_retry_scoped_to_service_dir(self):
+        _, out = run_lint("--treat-as", "src/core",
+                          fixture("bad_unbounded_retry.cpp"))
+        self.assertNotIn("[unbounded-retry]", out)
+
     def test_unmarked_functions_may_allocate(self):
         _, out = run_lint("--strict", "--treat-as", "src/core",
                           fixture("bad_hot_noalloc.cpp"))
@@ -132,7 +147,7 @@ class RuleSelection(unittest.TestCase):
         for rule in ("nondeterminism", "hot-noalloc", "raw-mutex",
                      "raw-assert", "fp-literal", "include-hygiene",
                      "header-guard", "unordered-iteration",
-                     "telemetry-record-hot"):
+                     "telemetry-record-hot", "unbounded-retry"):
             self.assertIn(rule, out)
 
 

@@ -462,6 +462,44 @@ class TelemetryRecordHot(Rule):
         return out
 
 
+class UnboundedRetry(Rule):
+    name = "unbounded-retry"
+    doc = ("Retry and poll waits in the service layer must be bounded: "
+           "a thread sleep with no attempt cap, backoff, deadline, or "
+           "jitter in view is how a transient outage turns into a spin "
+           "of blind re-submits. Route retry waits through "
+           "service::RetryPolicy::backoff (docs/SERVICE.md) or keep the "
+           "bound visibly in scope. Scoped to src/service.")
+    _sleep = re.compile(r"\bsleep_(for|until)\s*\(")
+    # Identifiers that signal a visible bound near the sleep. Matched on
+    # comment-stripped code, so only real code can satisfy the rule.
+    _bound = re.compile(
+        r"backoff|jitter|delay|attempt|retri|deadline|timeout|grace|"
+        r"hedge|budget|\bmax_", re.IGNORECASE)
+    _window = 4  # lines of context scanned either side of the sleep
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.in_dirs(("src/service/",))
+
+    def check(self, sf: SourceFile) -> list[Finding]:
+        out = []
+        for idx, line in enumerate(sf.code, start=1):
+            if not self._sleep.search(line):
+                continue
+            if sf.allowed(self.name, idx):
+                continue
+            lo = max(0, idx - 1 - self._window)
+            hi = min(len(sf.code), idx + self._window)
+            if self._bound.search("\n".join(sf.code[lo:hi])):
+                continue
+            out.append(self._finding(
+                sf, idx,
+                "thread sleep with no visible bound (attempt cap, "
+                "backoff, deadline, or jitter); unbounded retry/poll "
+                "waits must go through RetryPolicy::backoff"))
+        return out
+
+
 ALL_RULES: list[Rule] = [
     Nondeterminism(),
     UnorderedIteration(),
@@ -472,6 +510,7 @@ ALL_RULES: list[Rule] = [
     HeaderGuard(),
     HotNoAlloc(),
     TelemetryRecordHot(),
+    UnboundedRetry(),
 ]
 
 # ---------------------------------------------------------------------- main
