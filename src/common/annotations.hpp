@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/verify_hooks.hpp"
+
 /// \file annotations.hpp
 /// Clang thread-safety-analysis attributes and the annotated
 /// synchronization wrappers the project uses instead of raw std::mutex.
@@ -73,14 +75,38 @@ namespace bars::common {
 
 /// std::mutex with capability annotations. Lock it through MutexLock;
 /// the raw lock()/unlock() exist for the rare non-scoped pattern.
+///
+/// Under an active schedule controller (BARS_ENABLE_VERIFY and the
+/// current thread is controlled) the lock is fully virtualized: mutual
+/// exclusion is provided by the controller's cooperative scheduler,
+/// which also turns contended acquisition into an explorable decision
+/// point and feeds the happens-before race oracle. Mixing controlled
+/// and uncontrolled threads on one Mutex is unsupported (the verify
+/// tests control every participating thread; docs/VERIFY.md).
 class BARS_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() BARS_ACQUIRE() { mu_.lock(); }
-  void unlock() BARS_RELEASE() { mu_.unlock(); }
+  void lock() BARS_ACQUIRE() {
+#if defined(BARS_ENABLE_VERIFY)
+    if (verify::Hooks* h = verify::tl_hooks) {
+      h->on_mutex_lock(this);
+      return;
+    }
+#endif
+    mu_.lock();
+  }
+  void unlock() BARS_RELEASE() {
+#if defined(BARS_ENABLE_VERIFY)
+    if (verify::Hooks* h = verify::tl_hooks) {
+      h->on_mutex_unlock(this);
+      return;
+    }
+#endif
+    mu_.unlock();
+  }
 
   /// The wrapped mutex, for the RAII/condition-variable wrappers only.
   [[nodiscard]] std::mutex& native_handle() { return mu_; }
@@ -93,14 +119,36 @@ class BARS_CAPABILITY("mutex") Mutex {
 /// std::unique_lock internally so ConditionVariable can wait on it.
 class BARS_SCOPED_CAPABILITY MutexLock {
  public:
+#if defined(BARS_ENABLE_VERIFY)
+  explicit MutexLock(Mutex& mu) BARS_ACQUIRE(mu) {
+    if (verify::Hooks* h = verify::tl_hooks) {
+      hooks_ = h;
+      mu_ = &mu;
+      h->on_mutex_lock(mu_);
+    } else {
+      lock_ = std::unique_lock<std::mutex>(mu.native_handle());
+    }
+  }
+#else
   explicit MutexLock(Mutex& mu) BARS_ACQUIRE(mu) : lock_(mu.native_handle()) {}
+#endif
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
+#if defined(BARS_ENABLE_VERIFY)
+  ~MutexLock() BARS_RELEASE() {
+    if (hooks_ != nullptr) hooks_->on_mutex_unlock(mu_);
+  }
+#else
   ~MutexLock() BARS_RELEASE() = default;
+#endif
 
  private:
   friend class ConditionVariable;
   std::unique_lock<std::mutex> lock_;
+#if defined(BARS_ENABLE_VERIFY)
+  Mutex* mu_ = nullptr;            ///< identity for the controller
+  verify::Hooks* hooks_ = nullptr; ///< non-null iff virtually held
+#endif
 };
 
 /// std::condition_variable bound to MutexLock. wait() atomically
@@ -117,6 +165,12 @@ class ConditionVariable {
   ConditionVariable& operator=(const ConditionVariable&) = delete;
 
   void wait(MutexLock& lock) BARS_NO_THREAD_SAFETY_ANALYSIS {
+#if defined(BARS_ENABLE_VERIFY)
+    if (lock.hooks_ != nullptr) {
+      lock.hooks_->on_cv_wait(this, lock.mu_);
+      return;
+    }
+#endif
     cv_.wait(lock.lock_);
   }
 
@@ -129,10 +183,41 @@ class ConditionVariable {
   bool wait_for(MutexLock& lock,
                 const std::chrono::duration<Rep, Period>& timeout)
       BARS_NO_THREAD_SAFETY_ANALYSIS {
+#if defined(BARS_ENABLE_VERIFY)
+    if (lock.hooks_ != nullptr) {
+      // Virtual time: the controller fires the earliest pending timeout
+      // only when every controlled thread is blocked (quiescence), so
+      // timed waits explore both the notified and the timed-out arm
+      // without real-time sleeps.
+      return lock.hooks_->on_cv_wait_for(
+          this, lock.mu_,
+          std::chrono::duration<double>(timeout).count());
+    }
+#endif
     return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
   }
-  void notify_one() noexcept { cv_.notify_one(); }
-  void notify_all() noexcept { cv_.notify_all(); }
+  void notify_one() noexcept {
+#if defined(BARS_ENABLE_VERIFY)
+    if (verify::Hooks* h = verify::tl_hooks) {
+      // Which of several virtual waiters wakes is a controller decision
+      // — notify_one is exactly the kind of nondeterminism the explorer
+      // enumerates. Safe because every wait site uses the while-loop
+      // predicate idiom documented above.
+      h->on_cv_notify(this, /*notify_all=*/false);
+      return;
+    }
+#endif
+    cv_.notify_one();
+  }
+  void notify_all() noexcept {
+#if defined(BARS_ENABLE_VERIFY)
+    if (verify::Hooks* h = verify::tl_hooks) {
+      h->on_cv_notify(this, /*notify_all=*/true);
+      return;
+    }
+#endif
+    cv_.notify_all();
+  }
 
  private:
   std::condition_variable cv_;

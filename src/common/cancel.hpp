@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/verify_hooks.hpp"
+
 /// \file cancel.hpp
 /// Cooperative cancellation for solver runs.
 ///
@@ -58,6 +60,10 @@ class CancelToken {
     int expected = static_cast<int>(CancelReason::kNone);
     reason_.compare_exchange_strong(expected, static_cast<int>(reason),
                                     std::memory_order_relaxed);
+    // Decision point between the reason CAS and the flag store: the
+    // explorer drives pollers through the window where the first-reason
+    // winner is decided but requested() still reads false.
+    BARS_VERIFY_YIELD("cancel.request");
     requested_.store(true, std::memory_order_relaxed);
   }
 

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "common/verify_hooks.hpp"
+
+/// \file thread.hpp
+/// bars::common::Thread — the project's only thread-spawning primitive
+/// outside src/common and src/verify (enforced by bars_lint's
+/// `verify-seam` rule). A plain std::thread wrapper in normal builds;
+/// under an active schedule controller (BARS_ENABLE_VERIFY + a
+/// controlled parent) the child registers with the controller before it
+/// starts, inherits the parent's controller, and parks until scheduled,
+/// so thread ids and start interleavings are deterministic and
+/// explorable.
+///
+/// Semantics match std::thread where they overlap: movable, not
+/// copyable, must be join()ed before destruction (std::terminate
+/// otherwise — same contract as std::thread, kept deliberately so the
+/// wrapper cannot mask a missing join).
+
+namespace bars::common {
+
+class Thread {
+ public:
+  Thread() = default;
+
+  /// Spawn a thread running `fn`. Bind arguments at the call site
+  /// (lambda capture); a nullary callable keeps the verify-seam
+  /// machinery trivial.
+  explicit Thread(std::function<void()> fn) {
+#if defined(BARS_ENABLE_VERIFY)
+    if (verify::Hooks* h = verify::tl_hooks) {
+      hooks_ = h;
+      id_ = h->on_thread_create();
+      const std::uint32_t id = id_;
+      t_ = std::thread([h, id, fn = std::move(fn)] {
+        verify::tl_hooks = h;
+        h->on_thread_adopt(id);
+        fn();
+        h->on_thread_exit();
+        verify::tl_hooks = nullptr;
+      });
+      return;
+    }
+#endif
+    t_ = std::thread(std::move(fn));
+  }
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  Thread(Thread&&) noexcept = default;
+  Thread& operator=(Thread&&) noexcept = default;
+  ~Thread() = default;
+
+  [[nodiscard]] bool joinable() const noexcept { return t_.joinable(); }
+
+  void join() {
+#if defined(BARS_ENABLE_VERIFY)
+    // Virtual join first: parks this (controlled) thread until the
+    // target has exited under the schedule, so the real join below
+    // never blocks the cooperative scheduler.
+    if (hooks_ != nullptr && verify::tl_hooks == hooks_) {
+      hooks_->on_thread_join(id_);
+    }
+#endif
+    t_.join();
+  }
+
+ private:
+  std::thread t_;
+#if defined(BARS_ENABLE_VERIFY)
+  verify::Hooks* hooks_ = nullptr;
+  std::uint32_t id_ = 0;
+#endif
+};
+
+}  // namespace bars::common

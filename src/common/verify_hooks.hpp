@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file verify_hooks.hpp
+/// The seam between the production synchronization wrappers
+/// (annotations.hpp, thread.hpp) and the concurrency-verification layer
+/// (src/verify). A thread that runs under a schedule controller carries
+/// a thread-local `Hooks*`; every Mutex/ConditionVariable/Thread
+/// operation on such a thread is routed to the controller instead of
+/// the real primitive, which lets the verifier serialize execution,
+/// enumerate interleavings, and maintain the happens-before clocks of
+/// the race oracle.
+///
+/// Cost model (the contract docs/VERIFY.md holds the codebase to):
+///  - `BARS_ENABLE_VERIFY` OFF (the default, and the tier-1 build):
+///    the BARS_VERIFY_* macros expand to `((void)0)` and the wrappers
+///    compile to exactly the code they had before this layer existed —
+///    no thread-local reads, no branches, no layout changes.
+///  - ON but no controller installed on the current thread: one
+///    thread-local load + branch per wrapped operation.
+///  - ON and controlled: the controller fully virtualizes the
+///    primitive (see src/verify/schedule_controller.hpp).
+///
+/// The interface is deliberately untyped (`void*` identities): the
+/// wrappers must not depend on verifier types, and the verifier only
+/// needs stable addresses to key its bookkeeping.
+
+namespace bars::common::verify {
+
+/// Controller interface. All methods are noexcept by contract: the
+/// wrappers call them from noexcept contexts (notify_one, destructors),
+/// and a verifier that cannot allocate its bookkeeping should abort the
+/// exploration rather than unwind through product code.
+class Hooks {
+ public:
+  virtual ~Hooks() = default;
+
+  // --- mutexes (identified by wrapper address) -----------------------
+  virtual void on_mutex_lock(void* mu) noexcept = 0;
+  virtual void on_mutex_unlock(void* mu) noexcept = 0;
+
+  // --- condition variables -------------------------------------------
+  /// Atomically release `mu`, park until notified, reacquire `mu`.
+  virtual void on_cv_wait(void* cv, void* mu) noexcept = 0;
+  /// Timed variant over virtual time; returns false on (virtual)
+  /// timeout, true when notified.
+  virtual bool on_cv_wait_for(void* cv, void* mu,
+                              double seconds) noexcept = 0;
+  virtual void on_cv_notify(void* cv, bool notify_all) noexcept = 0;
+
+  // --- threads -------------------------------------------------------
+  /// Called by the parent before the OS thread exists; reserves a
+  /// deterministic thread id (ids follow the parent's program order,
+  /// never the OS start order).
+  [[nodiscard]] virtual std::uint32_t on_thread_create() noexcept = 0;
+  /// First call made by the child; parks until the scheduler picks it.
+  virtual void on_thread_adopt(std::uint32_t id) noexcept = 0;
+  /// Last call made by the child.
+  virtual void on_thread_exit() noexcept = 0;
+  /// Blocks (virtually) until `id` has exited.
+  virtual void on_thread_join(std::uint32_t id) noexcept = 0;
+
+  // --- scheduling and the race oracle --------------------------------
+  /// Explicit preemption point: the scheduler may switch threads here.
+  /// `what` labels the site in reports (string literal, not owned).
+  virtual void on_yield(const char* what) noexcept = 0;
+  /// Plain (non-atomic) shared-memory access of `len` bytes at `addr`,
+  /// checked against the happens-before relation by the race oracle.
+  virtual void on_access(const void* addr, std::size_t len, bool is_write,
+                         const char* what) noexcept = 0;
+};
+
+/// The controller governing the current thread, if any. Installed by
+/// ScheduleController::run on the root thread and by common::Thread on
+/// controlled children; null on every other thread, so uninstrumented
+/// code paths and uncontrolled threads never interact with a verifier.
+/// Declared unconditionally so the verifier library itself (src/verify)
+/// builds in every configuration; with BARS_ENABLE_VERIFY off the
+/// product wrappers never read it.
+inline thread_local Hooks* tl_hooks = nullptr;
+
+#if defined(BARS_ENABLE_VERIFY)
+
+[[nodiscard]] inline Hooks* hooks() noexcept { return tl_hooks; }
+[[nodiscard]] inline bool controlled() noexcept { return tl_hooks != nullptr; }
+constexpr bool instrumentation_enabled() noexcept { return true; }
+
+#else
+
+[[nodiscard]] constexpr Hooks* hooks() noexcept { return nullptr; }
+[[nodiscard]] constexpr bool controlled() noexcept { return false; }
+constexpr bool instrumentation_enabled() noexcept { return false; }
+
+#endif  // BARS_ENABLE_VERIFY
+
+}  // namespace bars::common::verify
+
+/// Annotation macros for product code. Zero-cost when the verify tier
+/// is compiled out; a thread-local load + branch when it is compiled in
+/// but the current thread is uncontrolled.
+#if defined(BARS_ENABLE_VERIFY)
+
+/// Decision point: under a controller the scheduler may preempt here.
+#define BARS_VERIFY_YIELD(what)                                     \
+  do {                                                              \
+    if (::bars::common::verify::Hooks* bars_verify_h_ =            \
+            ::bars::common::verify::tl_hooks) {                     \
+      bars_verify_h_->on_yield(what);                               \
+    }                                                               \
+  } while (0)
+
+/// Declare a plain read/write of [addr, addr + len) to the race oracle.
+#define BARS_VERIFY_READ(addr, len, what)                           \
+  do {                                                              \
+    if (::bars::common::verify::Hooks* bars_verify_h_ =            \
+            ::bars::common::verify::tl_hooks) {                     \
+      bars_verify_h_->on_access((addr), (len), /*is_write=*/false,  \
+                                (what));                            \
+    }                                                               \
+  } while (0)
+
+#define BARS_VERIFY_WRITE(addr, len, what)                          \
+  do {                                                              \
+    if (::bars::common::verify::Hooks* bars_verify_h_ =            \
+            ::bars::common::verify::tl_hooks) {                     \
+      bars_verify_h_->on_access((addr), (len), /*is_write=*/true,   \
+                                (what));                            \
+    }                                                               \
+  } while (0)
+
+#else
+
+#define BARS_VERIFY_YIELD(what) ((void)0)
+#define BARS_VERIFY_READ(addr, len, what) ((void)0)
+#define BARS_VERIFY_WRITE(addr, len, what) ((void)0)
+
+#endif  // BARS_ENABLE_VERIFY

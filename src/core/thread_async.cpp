@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/thread.hpp"
+#include "common/verify_hooks.hpp"
 #include "core/block_jacobi_kernel.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/vector_ops.hpp"
@@ -106,6 +108,7 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
     Vector xs(b.size());
     while (!stop.load(std::memory_order_relaxed)) {
       for (index_t blk = tid; blk < q; blk += threads) {
+        BARS_VERIFY_YIELD("thread_async.block");
         const auto halo = kernel.halo(blk);
         halo_vals.resize(halo.size());
         for (std::size_t i = 0; i < halo.size(); ++i) {
@@ -129,13 +132,16 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
       pass_counts[tid].fetch_add(1, std::memory_order_relaxed);
       // Give other workers a chance on oversubscribed machines so that
       // no block starves (Chazan-Miranker condition 1).
+      BARS_VERIFY_YIELD("thread_async.pass");
       std::this_thread::yield();
     }
   };
 
-  std::vector<std::thread> pool;
+  std::vector<common::Thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
-  for (index_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (index_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&worker, t] { worker(t); });
+  }
   if (metrics != nullptr) {
     metrics->gauge("thread_async_setup_seconds").set(probe.elapsed_seconds());
   }
@@ -174,7 +180,13 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
   bool verdict_on_snap = false;
   while (true) {
     if (min_generation() <= sr.iterations) {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (common::verify::controlled()) {
+        // Under the schedule controller a real sleep would keep the
+        // serial token and livelock the workers; hand it over instead.
+        BARS_VERIFY_YIELD("thread_async.monitor");
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
       continue;
     }
     ++sr.iterations;

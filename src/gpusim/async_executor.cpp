@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "common/verify_hooks.hpp"
 #include "gpusim/incremental_residual.hpp"
 #include "gpusim/stopping.hpp"
 #include "gpusim/worker_pool.hpp"
@@ -402,6 +403,12 @@ ExecutorResult AsyncExecutor::run(
               ctx.block_generation = res.block_executions[blk];
               kernel_.update(blk, halo_snapshot[blk], x, ctx);
               const auto [lo, hi] = kernel_.rows(blk);
+              // Declare this task's slice of x to the race oracle: the
+              // disjoint-row claim above becomes machine-checked.
+              BARS_VERIFY_WRITE(x.data() + lo,
+                                static_cast<std::size_t>(hi - lo) *
+                                    sizeof(value_t),
+                                "executor.batch_rows");
               Vector& fresh = new_rows[static_cast<std::size_t>(blk)];
               fresh.resize(static_cast<std::size_t>(hi - lo));
               std::copy(x.begin() + lo, x.begin() + hi, fresh.begin());

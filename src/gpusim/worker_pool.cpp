@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/verify_hooks.hpp"
 
 namespace bars::gpusim {
 
@@ -20,7 +21,7 @@ WorkerPool::~WorkerPool() {
     shutdown_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& t : pool_) t.join();
+  for (common::Thread& t : pool_) t.join();
 }
 
 index_t WorkerPool::drain(const std::function<void(index_t, index_t)>* fn,
@@ -31,6 +32,7 @@ index_t WorkerPool::drain(const std::function<void(index_t, index_t)>* fn,
   for (index_t task = next_.fetch_add(1, std::memory_order_relaxed);
        task < count;
        task = next_.fetch_add(1, std::memory_order_relaxed)) {
+    BARS_VERIFY_YIELD("worker_pool.drain");
     (*fn)(task, worker);
     ++executed;
   }

@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <thread>
 #include <vector>
 
 #include "common/annotations.hpp"
+#include "common/thread.hpp"
 #include "sparse/types.hpp"
 
 /// \file worker_pool.hpp
@@ -44,7 +44,7 @@ class WorkerPool {
                 index_t count, index_t worker);
 
   index_t threads_;
-  std::vector<std::thread> pool_;
+  std::vector<common::Thread> pool_;
 
   common::Mutex mu_;
   common::ConditionVariable work_cv_;

@@ -67,7 +67,7 @@ SolveService::SolveService(ServiceOptions opts)
   for (index_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
-  supervisor_ = std::thread([this] { supervisor_loop(); });
+  supervisor_ = common::Thread([this] { supervisor_loop(); });
 }
 
 SolveService::~SolveService() { shutdown(/*drain=*/true); }
@@ -780,7 +780,7 @@ void SolveService::shutdown(bool drain) {
     r.attempts = p->rs->attempts_started;
     (void)p->rs->ticket->try_complete(std::move(r));
   }
-  for (std::thread& t : workers_) {
+  for (common::Thread& t : workers_) {
     if (t.joinable()) t.join();
   }
   workers_.clear();

@@ -5,11 +5,11 @@
 #include <deque>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/annotations.hpp"
 #include "common/cancel.hpp"
+#include "common/thread.hpp"
 #include "core/registry.hpp"
 #include "service/circuit_breaker.hpp"
 #include "service/degradation.hpp"
@@ -417,8 +417,8 @@ class SolveService {
   telemetry::Histogram* m_queue_seconds_ = nullptr;
   telemetry::Histogram* m_solve_seconds_ = nullptr;
 
-  std::vector<std::thread> workers_;
-  std::thread supervisor_;
+  std::vector<common::Thread> workers_;
+  common::Thread supervisor_;
 };
 
 }  // namespace bars::service

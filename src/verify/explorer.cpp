@@ -1,0 +1,187 @@
+#include "verify/explorer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace bars::verify {
+
+// ----------------------------------------------------------- DfsStrategy
+
+std::size_t DfsStrategy::pick(const std::vector<ThreadId>& candidates) {
+  const std::size_t depth = taken_.size();
+  std::size_t choice = 0;
+  if (depth < prefix_.size()) {
+    // Replaying: the program is deterministic given the trail, so the
+    // recorded choice must still be in range. Clamp defensively — a
+    // divergence here means the body is not schedule-deterministic,
+    // which its own invariants will surface far more legibly.
+    choice = std::min(prefix_[depth], candidates.size() - 1);
+  }
+  taken_.push_back(choice);
+  fanout_.push_back(candidates.size());
+  return choice;
+}
+
+bool DfsStrategy::next() {
+  for (std::size_t i = taken_.size(); i-- > 0;) {
+    if (taken_[i] + 1 < fanout_[i]) {
+      prefix_.assign(taken_.begin(),
+                     taken_.begin() + static_cast<std::ptrdiff_t>(i));
+      prefix_.push_back(taken_[i] + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+// -------------------------------------------------------- ReplayStrategy
+
+std::size_t ReplayStrategy::pick(const std::vector<ThreadId>& candidates) {
+  std::size_t choice = 0;
+  if (depth_ < trail_.size()) {
+    choice = std::min(trail_[depth_], candidates.size() - 1);
+  }
+  ++depth_;
+  return choice;
+}
+
+// ---------------------------------------------------- RandomWalkStrategy
+
+RandomWalkStrategy::RandomWalkStrategy(std::uint64_t seed,
+                                       std::uint32_t change_denominator)
+    : state_(seed != 0 ? seed : 0x9e3779b97f4a7c15ull),
+      change_denominator_(std::max(change_denominator, 2u)) {}
+
+std::uint64_t RandomWalkStrategy::next_u64() {
+  // splitmix64: tiny, seedable, good enough for schedule perturbation.
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::size_t RandomWalkStrategy::pick(const std::vector<ThreadId>& candidates) {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto tid = static_cast<std::size_t>(candidates[i]);
+    while (tid >= prio_.size()) prio_.push_back(next_u64());
+    if (prio_[candidates[i]] > prio_[candidates[best]]) best = i;
+  }
+  if (next_u64() % change_denominator_ == 0) {
+    // Change point: demote the winner so low-priority threads get their
+    // preemption windows (the PCT insight). Halving biases the redraw
+    // downward so the demotion usually sticks.
+    prio_[candidates[best]] = next_u64() / 2;
+  }
+  taken_.push_back(best);
+  return best;
+}
+
+// --------------------------------------------------------------- explore
+
+namespace {
+
+void accumulate(ExploreReport& rep, const ScheduleController& c,
+                const std::vector<std::size_t>& trail, std::uint64_t seed,
+                std::size_t max_failures) {
+  ++rep.schedules;
+  rep.decisions += c.decisions();
+  rep.max_depth = std::max(rep.max_depth, trail.size());
+  if (c.truncated()) ++rep.truncated;
+  if (!c.violations().empty()) {
+    rep.total_violations += c.violations().size();
+    if (rep.failures.size() < max_failures) {
+      rep.failures.push_back(
+          FailingSchedule{trail, seed, c.violations(), c.truncated()});
+    }
+  }
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t walk) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (walk + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+}  // namespace
+
+ExploreReport explore(const ExploreOptions& opts, const Body& body) {
+  ExploreReport rep;
+  if (opts.mode == ExploreMode::kExhaustive) {
+    DfsStrategy dfs;
+    for (;;) {
+      if (opts.max_schedules != 0 && rep.schedules >= opts.max_schedules) {
+        break;  // capped: rep.exhausted stays false
+      }
+      dfs.begin();
+      ScheduleController c(dfs, opts.controller);
+      c.run(body);
+      accumulate(rep, c, dfs.trail(), /*seed=*/0, opts.max_failures);
+      if (!dfs.next()) {
+        rep.exhausted = true;
+        break;
+      }
+    }
+    return rep;
+  }
+
+  for (std::size_t w = 0; w < opts.walks; ++w) {
+    const std::uint64_t seed = mix_seed(opts.seed, w);
+    RandomWalkStrategy rw(seed, opts.change_denominator);
+    ScheduleController c(rw, opts.controller);
+    c.run(body);
+    accumulate(rep, c, rw.trail(), seed, opts.max_failures);
+  }
+  return rep;
+}
+
+std::vector<Violation> replay_trail(const std::vector<std::size_t>& trail,
+                                    const ControllerOptions& copts,
+                                    const Body& body) {
+  ReplayStrategy rs(trail);
+  ScheduleController c(rs, copts);
+  c.run(body);
+  return c.violations();
+}
+
+std::vector<Violation> replay_seed(std::uint64_t seed,
+                                   std::uint32_t change_denom,
+                                   const ControllerOptions& copts,
+                                   const Body& body) {
+  RandomWalkStrategy rw(seed, change_denom);
+  ScheduleController c(rw, copts);
+  c.run(body);
+  return c.violations();
+}
+
+std::string ExploreReport::summary() const {
+  std::ostringstream os;
+  os << schedules << " schedules, " << decisions << " decisions, max depth "
+     << max_depth << ", " << truncated << " truncated, "
+     << (exhausted ? "exhaustive" : "sampled") << ", " << total_violations
+     << " violation(s)";
+  if (!failures.empty()) {
+    os << "; first failure:";
+    const FailingSchedule& f = failures.front();
+    if (f.seed != 0) {
+      os << " seed " << f.seed;
+    } else {
+      os << " trail [";
+      for (std::size_t i = 0; i < f.trail.size(); ++i) {
+        os << (i == 0 ? "" : ",") << f.trail[i];
+      }
+      os << "]";
+    }
+    for (const Violation& v : f.violations) {
+      os << "\n  [" << v.kind << "] " << v.detail;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bars::verify

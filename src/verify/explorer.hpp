@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/schedule_controller.hpp"
+
+/// \file explorer.hpp
+/// Drives ScheduleController over many schedules.
+///
+/// Two modes:
+///  - kExhaustive: depth-first enumeration of the decision tree. Each
+///    schedule replays a prefix of choices and extends it; after the
+///    run the deepest not-yet-maximal choice is incremented. For small
+///    configurations (few threads, few yields) this covers *every*
+///    cooperative interleaving — the report says so via `exhausted`.
+///  - kRandomWalk: seeded priority walks (PCT-style). Each walk draws
+///    per-thread priorities from a splitmix64 stream and schedules the
+///    highest-priority candidate, occasionally demoting the winner so
+///    priority inversions get explored. Failures record the walk's
+///    seed, which replays the schedule exactly.
+///
+/// A failing schedule is replayable: `replay_trail` re-runs one
+/// explicit decision trail, `replay_seed` re-runs one random walk.
+
+namespace bars::verify {
+
+enum class ExploreMode { kExhaustive, kRandomWalk };
+
+struct ExploreOptions {
+  ExploreMode mode = ExploreMode::kExhaustive;
+  /// Exhaustive: hard cap on schedules (0 = unlimited, rely on the
+  /// tree being finite). If the cap stops the enumeration early the
+  /// report's `exhausted` stays false.
+  std::size_t max_schedules = 0;
+  /// Random walk: number of walks.
+  std::size_t walks = 1000;
+  std::uint64_t seed = 1;
+  /// Random walk: probability (1/denominator) of demoting the chosen
+  /// thread's priority at a decision point.
+  std::uint32_t change_denominator = 8;
+  /// Failing schedules kept with full detail (the rest only counted).
+  std::size_t max_failures = 8;
+  ControllerOptions controller{};
+};
+
+struct FailingSchedule {
+  /// Decision trail (index chosen at each decision point). Filled in
+  /// both modes; replays via replay_trail.
+  std::vector<std::size_t> trail;
+  /// Random-walk seed (0 in exhaustive mode); replays via replay_seed.
+  std::uint64_t seed = 0;
+  std::vector<Violation> violations;
+  bool truncated = false;
+};
+
+struct ExploreReport {
+  std::size_t schedules = 0;
+  std::size_t decisions = 0;   ///< summed over schedules
+  std::size_t truncated = 0;   ///< schedules finished under round-robin
+  std::size_t max_depth = 0;   ///< longest decision trail seen
+  /// Exhaustive mode: the full cooperative schedule tree was covered.
+  bool exhausted = false;
+  std::size_t total_violations = 0;
+  std::vector<FailingSchedule> failures;  ///< first max_failures, in order
+
+  [[nodiscard]] bool ok() const noexcept { return total_violations == 0; }
+  [[nodiscard]] std::string summary() const;
+};
+
+using Body = std::function<void(ScheduleController&)>;
+
+/// Explore `body` under `opts`. The body runs once per schedule; it
+/// must be re-runnable (reset its own state each call) and can call
+/// ScheduleController::report_violation for domain invariants.
+[[nodiscard]] ExploreReport explore(const ExploreOptions& opts,
+                                    const Body& body);
+
+/// Re-run one schedule following `trail` (extra decisions beyond the
+/// trail take index 0). Returns that schedule's violations.
+[[nodiscard]] std::vector<Violation> replay_trail(
+    const std::vector<std::size_t>& trail, const ControllerOptions& copts,
+    const Body& body);
+
+/// Re-run one random walk with `seed` (same parameters as explore's
+/// kRandomWalk mode). Returns that schedule's violations.
+[[nodiscard]] std::vector<Violation> replay_seed(std::uint64_t seed,
+                                                 std::uint32_t change_denom,
+                                                 const ControllerOptions& copts,
+                                                 const Body& body);
+
+// ----------------------------------------------------------- strategies
+
+/// Depth-first enumerator. Usage: begin(); run; next() -> more?
+class DfsStrategy final : public DecisionStrategy {
+ public:
+  void begin() {
+    taken_.clear();
+    fanout_.clear();
+  }
+
+  std::size_t pick(const std::vector<ThreadId>& candidates) override;
+
+  /// Advance to the next unexplored branch; false when the tree is
+  /// exhausted.
+  bool next();
+
+  [[nodiscard]] const std::vector<std::size_t>& trail() const noexcept {
+    return taken_;
+  }
+
+ private:
+  std::vector<std::size_t> prefix_;  ///< forced choices for this run
+  std::vector<std::size_t> taken_;   ///< choices actually made
+  std::vector<std::size_t> fanout_;  ///< candidate count at each depth
+};
+
+/// Replays a fixed trail; index 0 past the end.
+class ReplayStrategy final : public DecisionStrategy {
+ public:
+  explicit ReplayStrategy(std::vector<std::size_t> trail)
+      : trail_(std::move(trail)) {}
+
+  std::size_t pick(const std::vector<ThreadId>& candidates) override;
+
+ private:
+  std::vector<std::size_t> trail_;
+  std::size_t depth_ = 0;
+};
+
+/// Seeded priority walk (PCT-style): highest lazily-drawn priority
+/// wins; the winner is demoted with probability 1/change_denominator.
+class RandomWalkStrategy final : public DecisionStrategy {
+ public:
+  explicit RandomWalkStrategy(std::uint64_t seed,
+                              std::uint32_t change_denominator = 8);
+
+  std::size_t pick(const std::vector<ThreadId>& candidates) override;
+
+  [[nodiscard]] const std::vector<std::size_t>& trail() const noexcept {
+    return taken_;
+  }
+
+ private:
+  std::uint64_t next_u64();
+
+  std::uint64_t state_;
+  std::uint32_t change_denominator_;
+  std::vector<std::uint64_t> prio_;  ///< by thread id, drawn lazily
+  std::vector<std::size_t> taken_;
+};
+
+}  // namespace bars::verify

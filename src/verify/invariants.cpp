@@ -1,0 +1,134 @@
+#include "verify/invariants.hpp"
+
+#include <sstream>
+
+#include "service/solve_service.hpp"
+#include "verify/schedule_controller.hpp"
+
+namespace bars::verify {
+
+namespace {
+constexpr std::size_t kMaxErrors = 16;
+}  // namespace
+
+CommitLedger::CommitLedger(index_t num_blocks, index_t staleness_bound)
+    : num_blocks_(num_blocks),
+      staleness_bound_(staleness_bound),
+      generation_(static_cast<std::size_t>(num_blocks), 0),
+      block_vt_(static_cast<std::size_t>(num_blocks), 0.0) {}
+
+void CommitLedger::fail(std::string msg) {
+  if (errors_.size() < kMaxErrors) errors_.push_back(std::move(msg));
+}
+
+void CommitLedger::on_block_commit(const telemetry::BlockCommitEvent& ev) {
+  if (ev.block < 0 || ev.block >= num_blocks_) {
+    std::ostringstream os;
+    os << "commit for out-of-range block " << ev.block << " (have "
+       << num_blocks_ << ")";
+    fail(os.str());
+    return;
+  }
+  const auto b = static_cast<std::size_t>(ev.block);
+  if (ev.generation != generation_[b]) {
+    std::ostringstream os;
+    os << "block " << ev.block << " committed generation " << ev.generation
+       << " but " << generation_[b] << " commits were observed before it"
+       << (ev.generation > generation_[b] ? " (lost commit)"
+                                          : " (duplicated/reordered commit)");
+    fail(os.str());
+  }
+  ++generation_[b];
+  ++total_commits_;
+
+  if (ev.virtual_time < block_vt_[b]) {
+    std::ostringstream os;
+    os << "block " << ev.block << " virtual time went backwards: "
+       << ev.virtual_time << " after " << block_vt_[b];
+    fail(os.str());
+  }
+  block_vt_[b] = ev.virtual_time;
+  if (ev.virtual_time < last_vt_) {
+    std::ostringstream os;
+    os << "global virtual time went backwards at block " << ev.block << ": "
+       << ev.virtual_time << " after " << last_vt_;
+    fail(os.str());
+  }
+  last_vt_ = ev.virtual_time;
+
+  if (ev.staleness > max_staleness_) max_staleness_ = ev.staleness;
+  if (staleness_bound_ > 0 && ev.staleness > staleness_bound_) {
+    std::ostringstream os;
+    os << "block " << ev.block << " read halo data " << ev.staleness
+       << " generations stale (bound " << staleness_bound_ << ")";
+    fail(os.str());
+  }
+}
+
+void CommitLedger::on_finish(const telemetry::SolveFinishEvent& ev) {
+  finished_ = true;
+  if (ev.block_commits != 0 && ev.block_commits != total_commits_) {
+    std::ostringstream os;
+    os << "finish reports " << ev.block_commits << " block commits but "
+       << total_commits_ << " were observed (lost or phantom commit)";
+    fail(os.str());
+  }
+  if (ev.max_staleness < max_staleness_) {
+    std::ostringstream os;
+    os << "finish reports max staleness " << ev.max_staleness
+       << " below the observed per-commit maximum " << max_staleness_;
+    fail(os.str());
+  }
+}
+
+void CommitLedger::reset() {
+  generation_.assign(generation_.size(), 0);
+  block_vt_.assign(block_vt_.size(), 0.0);
+  last_vt_ = 0.0;
+  total_commits_ = 0;
+  max_staleness_ = 0;
+  finished_ = false;
+  errors_.clear();
+}
+
+index_t CommitLedger::commits_of(index_t block) const {
+  if (block < 0 || block >= num_blocks_) return 0;
+  return generation_[static_cast<std::size_t>(block)];
+}
+
+void CommitLedger::report_to(ScheduleController& controller) const {
+  for (const std::string& e : errors_) {
+    controller.report_violation("invariant", e);
+  }
+}
+
+std::string outcome_accounting_violation(const service::ServiceStats& stats) {
+  if (stats.queue_depth != 0 || stats.active != 0 || stats.parked != 0) {
+    std::ostringstream os;
+    os << "accounting checked on a non-quiescent service (queue "
+       << stats.queue_depth << ", active " << stats.active << ", parked "
+       << stats.parked << ")";
+    return os.str();
+  }
+  const std::uint64_t settled = stats.solved + stats.rejected_queue_full +
+                                stats.rejected_shutdown +
+                                stats.rejected_circuit_open +
+                                stats.rejected_load_shed +
+                                stats.deadline_expired + stats.cancelled +
+                                stats.failed;
+  if (settled != stats.submitted) {
+    std::ostringstream os;
+    os << "outcome accounting broken: submitted " << stats.submitted
+       << " != settled " << settled << " (solved " << stats.solved
+       << ", rejected "
+       << (stats.rejected_queue_full + stats.rejected_shutdown +
+           stats.rejected_circuit_open + stats.rejected_load_shed)
+       << ", deadline " << stats.deadline_expired << ", cancelled "
+       << stats.cancelled << ", failed " << stats.failed
+       << ") — a request was dropped or double-counted";
+    return os.str();
+  }
+  return "";
+}
+
+}  // namespace bars::verify

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+#include "telemetry/observer.hpp"
+
+/// \file invariants.hpp
+/// Domain invariants of the asynchronous solvers, checked on every
+/// explored schedule (docs/VERIFY.md, "Invariant catalogue").
+///
+/// The block-asynchronous iteration (paper Section 3) is chaotic in
+/// *values* but disciplined in *bookkeeping*: whatever order blocks
+/// commit in, every commit must be accounted exactly once, per-block
+/// generations must count 0,1,2,... without gaps, and the simulated
+/// clock can only move forward. CommitLedger checks those properties
+/// from the telemetry stream, so any executor that speaks SolveObserver
+/// is checkable without test hooks into its internals.
+
+namespace bars::verify {
+
+class ScheduleController;
+
+/// Observes one solve and checks the commit bookkeeping:
+///  - generation sequence: commit g of block b arrives exactly when b
+///    has committed g times before (no lost, duplicated, or reordered
+///    commit per block);
+///  - virtual time: non-decreasing per block, and globally
+///    non-decreasing in commit order (the replay emits commits in
+///    simulated-clock order);
+///  - staleness: every commit's halo staleness stays within the
+///    configured bound (0 = unbounded);
+///  - finish accounting: SolveFinishEvent::block_commits equals the
+///    commits observed, and max_staleness covers the per-commit maxima.
+class CommitLedger final : public telemetry::SolveObserver {
+ public:
+  /// `num_blocks` sizes the per-block tables; `staleness_bound` of 0
+  /// disables the staleness check.
+  explicit CommitLedger(index_t num_blocks, index_t staleness_bound = 0);
+
+  void on_block_commit(const telemetry::BlockCommitEvent& ev) override;
+  void on_finish(const telemetry::SolveFinishEvent& ev) override;
+
+  /// Forget everything (for re-runnable explorer bodies).
+  void reset();
+
+  [[nodiscard]] const std::vector<std::string>& errors() const noexcept {
+    return errors_;
+  }
+  [[nodiscard]] index_t total_commits() const noexcept {
+    return total_commits_;
+  }
+  [[nodiscard]] index_t commits_of(index_t block) const;
+  [[nodiscard]] index_t max_staleness_seen() const noexcept {
+    return max_staleness_;
+  }
+
+  /// Forward accumulated errors to the controller as "invariant"
+  /// violations (call from the explorer body after the solve).
+  void report_to(ScheduleController& controller) const;
+
+ private:
+  void fail(std::string msg);
+
+  index_t num_blocks_;
+  index_t staleness_bound_;
+  std::vector<index_t> generation_;  ///< commits observed per block
+  std::vector<value_t> block_vt_;    ///< last virtual_time per block
+  value_t last_vt_ = 0.0;
+  index_t total_commits_ = 0;
+  index_t max_staleness_ = 0;
+  bool finished_ = false;
+  std::vector<std::string> errors_;  ///< capped
+};
+
+}  // namespace bars::verify
+
+// ServiceStats lives in the service layer; the accounting identity is a
+// free function so bars_verify needs only the header.
+namespace bars::service {
+struct ServiceStats;
+}
+
+namespace bars::verify {
+
+/// Check the service outcome-accounting identity on a *quiescent*
+/// service (queue drained, nothing active or parked):
+///   submitted == solved + rejected_* + deadline_expired + cancelled
+///              + failed.
+/// Returns "" when it holds, else a description of the imbalance.
+[[nodiscard]] std::string outcome_accounting_violation(
+    const service::ServiceStats& stats);
+
+}  // namespace bars::verify

@@ -1,0 +1,47 @@
+#include "verify/race_oracle.hpp"
+
+#include <sstream>
+
+namespace bars::verify {
+
+std::string RaceOracle::check_and_record(ThreadId tid, const VectorClock& vc,
+                                         const void* addr, std::size_t len,
+                                         bool write, const char* what) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t hi = lo + len;
+  std::string out;
+  for (const Record& r : records_) {
+    if (r.tid == tid) continue;           // program order
+    if (!(write || r.write)) continue;    // read/read never conflicts
+    if (r.hi <= lo || hi <= r.lo) continue;  // disjoint intervals
+    if (vc.dominates(r.tid, r.clock)) continue;  // happens-before
+    std::ostringstream os;
+    os << "data race: thread " << tid << (write ? " writes " : " reads ")
+       << "[" << what << ", " << len << " bytes] unordered with thread "
+       << r.tid << (r.write ? " write " : " read ") << "[" << r.what
+       << "]; no happens-before edge connects the accesses";
+    out = os.str();
+    break;
+  }
+
+  // Supersede this thread's previous same-interval access of the same
+  // kind — program order makes the older record redundant — then cap.
+  for (Record& r : records_) {
+    if (r.tid == tid && r.lo == lo && r.hi == hi && r.write == write) {
+      r.clock = vc.of(tid);
+      r.what = what;
+      return out;
+    }
+  }
+  if (records_.size() >= max_records_) {
+    // Drop the oldest half; coverage degrades but stays useful.
+    records_.erase(records_.begin(),
+                   records_.begin() +
+                       static_cast<std::ptrdiff_t>(records_.size() / 2));
+    overflowed_ = true;
+  }
+  records_.push_back(Record{lo, hi, tid, vc.of(tid), write, what});
+  return out;
+}
+
+}  // namespace bars::verify

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file race_oracle.hpp
+/// Happens-before race detection for explored schedules.
+///
+/// The ScheduleController maintains a vector clock per controlled
+/// thread and per mutex, advancing them on the synchronization edges
+/// the C++ memory model actually provides:
+///   - thread create: child starts after the parent's creation point;
+///   - mutex unlock -> later lock (and the release/reacquire inside a
+///     condition-variable wait, which goes through the same mutex);
+///   - thread exit -> join.
+/// Deliberately NOT an edge: condition_variable notify -> wake. A
+/// waiter only synchronizes through the mutex it reacquires, so data
+/// written between an unlock and a subsequent notify stays unordered —
+/// a real and subtle class of bug this oracle must keep catching.
+///
+/// Plain accesses declared through BARS_VERIFY_READ / BARS_VERIFY_WRITE
+/// are checked FastTrack-style: each access is an (address interval,
+/// thread, epoch) record; a new access races with an older record when
+/// the intervals overlap, at least one side writes, the threads differ,
+/// and the accessor's vector clock does not dominate the record's
+/// epoch. Because the relation is derived from sync operations — not
+/// from the order the serializing scheduler happened to run things — a
+/// race is reported on *every* schedule that reaches both accesses,
+/// not just on schedules that interleave them adversarially.
+
+namespace bars::verify {
+
+using ThreadId = std::uint32_t;
+
+/// Grow-on-demand vector clock over controlled-thread ids.
+class VectorClock {
+ public:
+  void tick(ThreadId t) {
+    ensure(t);
+    ++c_[t];
+  }
+
+  [[nodiscard]] std::uint32_t of(ThreadId t) const noexcept {
+    return t < c_.size() ? c_[t] : 0;
+  }
+
+  void join(const VectorClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0);
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      if (o.c_[i] > c_[i]) c_[i] = o.c_[i];
+    }
+  }
+
+  /// True when this clock has seen thread t's epoch `clock`.
+  [[nodiscard]] bool dominates(ThreadId t, std::uint32_t clock) const {
+    return of(t) >= clock;
+  }
+
+ private:
+  void ensure(ThreadId t) {
+    if (t >= c_.size()) c_.resize(static_cast<std::size_t>(t) + 1, 0);
+  }
+
+  std::vector<std::uint32_t> c_;
+};
+
+/// Bounded history of annotated accesses with interval-overlap conflict
+/// checks. Owned by the controller; all calls are made under the
+/// controller's scheduler lock, so the oracle itself needs none.
+class RaceOracle {
+ public:
+  explicit RaceOracle(std::size_t max_records) : max_records_(max_records) {}
+
+  /// Check an access against the history, then record it. Returns a
+  /// human-readable description of the race, or "" when none. The
+  /// epoch recorded is `vc.of(tid)` (the accessing thread's own
+  /// component).
+  [[nodiscard]] std::string check_and_record(ThreadId tid,
+                                             const VectorClock& vc,
+                                             const void* addr,
+                                             std::size_t len, bool write,
+                                             const char* what);
+
+  void clear() {
+    records_.clear();
+    overflowed_ = false;
+  }
+
+  /// The record cap was hit and old history was dropped: coverage is
+  /// then best-effort for the rest of the schedule.
+  [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+
+ private:
+  struct Record {
+    std::uintptr_t lo = 0;
+    std::uintptr_t hi = 0;  ///< exclusive
+    ThreadId tid = 0;
+    std::uint32_t clock = 0;
+    bool write = false;
+    const char* what = "";  ///< string literal from the annotation site
+  };
+
+  std::vector<Record> records_;
+  std::size_t max_records_;
+  bool overflowed_ = false;
+};
+
+}  // namespace bars::verify

@@ -1,0 +1,458 @@
+#include "verify/schedule_controller.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace bars::verify {
+
+namespace {
+
+/// Identity of the current thread within its controller. Assigned at
+/// run() for the root and at adoption for children; only meaningful
+/// while common::verify::tl_hooks points at a controller.
+thread_local ThreadId tl_tid = 0;
+
+const char* to_string(std::uint8_t st) {
+  switch (st) {
+    case 0: return "runnable";
+    case 1: return "blocked-mutex";
+    case 2: return "blocked-cv";
+    case 3: return "wants-lock";
+    case 4: return "blocked-join";
+    case 5: return "finished";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ScheduleController::ScheduleController(DecisionStrategy& strategy,
+                                       ControllerOptions opts)
+    : strategy_(strategy), opts_(opts), oracle_(opts.max_access_records) {}
+
+ScheduleController::~ScheduleController() = default;
+
+void ScheduleController::run(
+    const std::function<void(ScheduleController&)>& body) {
+  BARS_CHECK(common::verify::tl_hooks == nullptr)
+      << "ScheduleController::run: calling thread is already controlled "
+         "(nested controllers are not supported)";
+  threads_.clear();
+  mutexes_.clear();
+  cvs_.clear();
+  violations_.clear();
+  oracle_.clear();
+  vt_ = 0.0;
+  steps_ = 0;
+  transitions_ = 0;
+  preemptions_ = 0;
+  truncated_ = false;
+  rr_ = 0;
+  dropped_violations_ = 0;
+
+  threads_.emplace_back();  // root = thread 0
+  threads_[0].vc.tick(0);
+  active_ = 0;
+  tl_tid = 0;
+  common::verify::tl_hooks = this;
+  struct Uninstall {
+    ~Uninstall() { common::verify::tl_hooks = nullptr; }
+  } uninstall;
+
+  body(*this);
+
+  std::unique_lock<std::mutex> lk(big_);
+  for (std::size_t t = 1; t < threads_.size(); ++t) {
+    BARS_CHECK(threads_[t].st == ThreadRec::St::kFinished)
+        << "ScheduleController: body returned while controlled thread " << t
+        << " is still " << to_string(static_cast<std::uint8_t>(threads_[t].st))
+        << " — every spawned common::Thread must be joined inside the body";
+  }
+}
+
+void ScheduleController::report_violation(const char* kind,
+                                          std::string detail) noexcept {
+  std::unique_lock<std::mutex> lk(big_);
+  if (violations_.size() >= opts_.max_violations) {
+    ++dropped_violations_;
+    return;
+  }
+  violations_.push_back(Violation{kind, std::move(detail)});
+}
+
+// ------------------------------------------------------------ helpers
+
+bool ScheduleController::eligible_locked(ThreadId t) const {
+  const ThreadRec& tr = threads_[t];
+  switch (tr.st) {
+    case ThreadRec::St::kRunnable:
+      return true;
+    case ThreadRec::St::kBlockedMutex:
+    case ThreadRec::St::kWantsLock: {
+      const auto it = mutexes_.find(tr.wait_mutex);
+      return it == mutexes_.end() || it->second.owner == kNoThread;
+    }
+    case ThreadRec::St::kBlockedJoin:
+      return threads_[tr.join_target].st == ThreadRec::St::kFinished;
+    case ThreadRec::St::kBlockedCv:
+    case ThreadRec::St::kFinished:
+      return false;
+  }
+  return false;
+}
+
+void ScheduleController::acquire_mutex_locked(ThreadId t, void* mu) {
+  MutexRec& m = mutexes_[mu];
+  BARS_DCHECK(m.owner == kNoThread)
+      << "verify: acquire of held mutex by thread " << t;
+  m.owner = t;
+  threads_[t].vc.join(m.release_vc);
+  threads_[t].held.push_back(mu);
+}
+
+void ScheduleController::release_mutex_locked(ThreadId t, void* mu) {
+  MutexRec& m = mutexes_[mu];
+  if (m.owner != t) {
+    std::ostringstream os;
+    os << "thread " << t << " released a mutex it does not hold (owner: ";
+    if (m.owner == kNoThread) {
+      os << "none";
+    } else {
+      os << m.owner;
+    }
+    os << ")";
+    if (violations_.size() < opts_.max_violations) {
+      violations_.push_back(Violation{"lock-discipline", os.str()});
+    }
+    return;
+  }
+  m.owner = kNoThread;
+  m.release_vc = threads_[t].vc;
+  threads_[t].vc.tick(t);
+  auto& held = threads_[t].held;
+  held.erase(std::remove(held.begin(), held.end(), mu), held.end());
+}
+
+void ScheduleController::wake_from_cv_locked(ThreadId t, bool timed_out) {
+  ThreadRec& tr = threads_[t];
+  auto& waiters = cvs_[tr.wait_cv].waiters;
+  waiters.erase(std::remove(waiters.begin(), waiters.end(), t),
+                waiters.end());
+  tr.timed_out = timed_out;
+  tr.st = ThreadRec::St::kWantsLock;  // wait_mutex still set: reacquire
+  tr.wait_cv = nullptr;
+  tr.timeout_at = -1.0;
+}
+
+void ScheduleController::grant_locked(ThreadId t) {
+  ThreadRec& tr = threads_[t];
+  switch (tr.st) {
+    case ThreadRec::St::kBlockedMutex:
+    case ThreadRec::St::kWantsLock:
+      acquire_mutex_locked(t, tr.wait_mutex);
+      tr.wait_mutex = nullptr;
+      tr.st = ThreadRec::St::kRunnable;
+      return;
+    case ThreadRec::St::kBlockedJoin:
+      tr.vc.join(threads_[tr.join_target].vc);
+      tr.st = ThreadRec::St::kRunnable;
+      return;
+    case ThreadRec::St::kRunnable:
+      return;
+    case ThreadRec::St::kBlockedCv:
+    case ThreadRec::St::kFinished:
+      BARS_CHECK(false) << "verify: granted an ineligible thread " << t;
+  }
+}
+
+std::string ScheduleController::dump_threads_locked() const {
+  std::ostringstream os;
+  for (std::size_t t = 0; t < threads_.size(); ++t) {
+    const ThreadRec& tr = threads_[t];
+    os << "\n  thread " << t << ": "
+       << to_string(static_cast<std::uint8_t>(tr.st));
+    if (tr.st == ThreadRec::St::kBlockedJoin) {
+      os << " on thread " << tr.join_target;
+    }
+    if (tr.wait_mutex != nullptr) os << " (mutex " << tr.wait_mutex << ")";
+    if (tr.wait_cv != nullptr) os << " (cv " << tr.wait_cv << ")";
+    if (!tr.held.empty()) {
+      os << " holding {";
+      for (const void* m : tr.held) os << " " << m;
+      os << " }";
+    }
+  }
+  return os.str();
+}
+
+void ScheduleController::schedule_locked(ThreadId me) {
+  for (;;) {
+    std::vector<ThreadId> cands;
+    for (ThreadId t = 0; t < static_cast<ThreadId>(threads_.size()); ++t) {
+      if (eligible_locked(t)) cands.push_back(t);
+    }
+    if (!cands.empty()) {
+      // A yield site where `me` could keep running is a *preemption*
+      // opportunity; switching there consumes budget. A switch forced
+      // by `me` blocking is unavoidable and always explored.
+      const bool me_runnable =
+          threads_[me].st == ThreadRec::St::kRunnable;
+      std::size_t me_idx = 0;
+      if (me_runnable) {
+        while (me_idx < cands.size() && cands[me_idx] != me) ++me_idx;
+      }
+      std::size_t idx = 0;
+      if (cands.size() > 1) {
+        if (!truncated_ && steps_ >= opts_.max_steps) truncated_ = true;
+        if (truncated_) {
+          // Stop branching; finish the schedule under round-robin so
+          // every thread (in particular a stopping monitor) makes
+          // progress and the body terminates.
+          idx = rr_++ % cands.size();
+        } else if (me_runnable && preemptions_ >= opts_.preemption_bound) {
+          idx = me_idx;  // budget spent: continue on me, no branch
+        } else {
+          ++steps_;
+          idx = strategy_.pick(cands);
+          BARS_CHECK(idx < cands.size())
+              << "verify: strategy picked " << idx << " of " << cands.size();
+          if (me_runnable && cands[idx] != me) ++preemptions_;
+        }
+      }
+      // Runaway backstop: a body whose only "progress" is repeated
+      // virtual timeouts (e.g. a supervisor polling a wall clock that
+      // virtual time cannot advance) would otherwise spin forever
+      // without ever consulting the strategy.
+      ++transitions_;
+      BARS_CHECK(transitions_ <= opts_.max_steps * 50 + 10000)
+          << "verify: schedule did not terminate after " << transitions_
+          << " thread grants (vt " << vt_ << ", " << steps_
+          << " decisions) — the body makes no schedule-visible progress:"
+          << dump_threads_locked();
+      const ThreadId next = cands[idx];
+      grant_locked(next);
+      active_ = next;
+      turn_cv_.notify_all();
+      return;
+    }
+
+    // Quiescence: no eligible thread. Fire the earliest virtual
+    // timeout, if any, and re-evaluate.
+    ThreadId best = kNoThread;
+    for (ThreadId t = 0; t < static_cast<ThreadId>(threads_.size()); ++t) {
+      const ThreadRec& tr = threads_[t];
+      if (tr.st != ThreadRec::St::kBlockedCv || tr.timeout_at < 0.0) continue;
+      if (best == kNoThread || tr.timeout_at < threads_[best].timeout_at) {
+        best = t;
+      }
+    }
+    if (best != kNoThread) {
+      vt_ = std::max(vt_, threads_[best].timeout_at);
+      wake_from_cv_locked(best, /*timed_out=*/true);
+      continue;
+    }
+
+    BARS_CHECK(false)
+        << "verify: deadlock — no runnable thread and no pending virtual "
+           "timeout (scheduling thread " << me << ", vt " << vt_
+        << "):" << dump_threads_locked();
+  }
+}
+
+void ScheduleController::park_until_my_turn(std::unique_lock<std::mutex>& lk,
+                                            ThreadId me) {
+  while (active_ != me) turn_cv_.wait(lk);
+}
+
+// ---------------------------------------------------------------- hooks
+
+void ScheduleController::on_mutex_lock(void* mu) noexcept {
+  const ThreadId me = tl_tid;
+  std::unique_lock<std::mutex> lk(big_);
+  MutexRec& m = mutexes_[mu];
+  if (m.owner == me) {
+    BARS_CHECK(false) << "verify: recursive lock of mutex " << mu
+                      << " by thread " << me << dump_threads_locked();
+  }
+  if (m.owner == kNoThread) {
+    // Uncontended: acquire in place. Contention reorders are explored
+    // through the release-side scheduling decision, so this is not a
+    // branch point of its own.
+    acquire_mutex_locked(me, mu);
+    return;
+  }
+  ThreadRec& tr = threads_[me];
+  tr.st = ThreadRec::St::kBlockedMutex;
+  tr.wait_mutex = mu;
+  schedule_locked(me);
+  park_until_my_turn(lk, me);
+}
+
+void ScheduleController::on_mutex_unlock(void* mu) noexcept {
+  std::unique_lock<std::mutex> lk(big_);
+  release_mutex_locked(tl_tid, mu);
+}
+
+void ScheduleController::on_cv_wait(void* cv, void* mu) noexcept {
+  const ThreadId me = tl_tid;
+  std::unique_lock<std::mutex> lk(big_);
+  if (mutexes_[mu].owner != me) {
+    if (violations_.size() < opts_.max_violations) {
+      std::ostringstream os;
+      os << "thread " << me << " waited on cv " << cv
+         << " without holding its mutex";
+      violations_.push_back(Violation{"lock-discipline", os.str()});
+    }
+    return;
+  }
+  release_mutex_locked(me, mu);
+  cvs_[cv].waiters.push_back(me);
+  ThreadRec& tr = threads_[me];
+  tr.st = ThreadRec::St::kBlockedCv;
+  tr.wait_cv = cv;
+  tr.wait_mutex = mu;  // reacquired on wake
+  tr.timeout_at = -1.0;
+  schedule_locked(me);
+  park_until_my_turn(lk, me);
+}
+
+bool ScheduleController::on_cv_wait_for(void* cv, void* mu,
+                                        double seconds) noexcept {
+  const ThreadId me = tl_tid;
+  std::unique_lock<std::mutex> lk(big_);
+  if (mutexes_[mu].owner != me) {
+    if (violations_.size() < opts_.max_violations) {
+      std::ostringstream os;
+      os << "thread " << me << " timed-waited on cv " << cv
+         << " without holding its mutex";
+      violations_.push_back(Violation{"lock-discipline", os.str()});
+    }
+    return false;
+  }
+  release_mutex_locked(me, mu);
+  cvs_[cv].waiters.push_back(me);
+  ThreadRec& tr = threads_[me];
+  tr.st = ThreadRec::St::kBlockedCv;
+  tr.wait_cv = cv;
+  tr.wait_mutex = mu;
+  tr.timeout_at = vt_ + std::max(seconds, 0.0);
+  tr.timed_out = false;
+  schedule_locked(me);
+  park_until_my_turn(lk, me);
+  return !threads_[me].timed_out;
+}
+
+void ScheduleController::on_cv_notify(void* cv, bool notify_all) noexcept {
+  const ThreadId me = tl_tid;
+  std::unique_lock<std::mutex> lk(big_);
+  auto it = cvs_.find(cv);
+  if (it == cvs_.end() || it->second.waiters.empty()) return;  // lost wakeup
+  if (notify_all) {
+    const std::vector<ThreadId> waiters = it->second.waiters;
+    for (const ThreadId t : waiters) {
+      wake_from_cv_locked(t, /*timed_out=*/false);
+    }
+    return;
+  }
+  // notify_one: the woken waiter is a genuine nondeterministic choice.
+  std::size_t idx = 0;
+  const std::vector<ThreadId>& waiters = it->second.waiters;
+  if (waiters.size() > 1) {
+    if (!truncated_ && steps_ >= opts_.max_steps) truncated_ = true;
+    if (truncated_) {
+      idx = rr_++ % waiters.size();
+    } else {
+      ++steps_;
+      idx = strategy_.pick(waiters);
+      BARS_CHECK(idx < waiters.size())
+          << "verify: strategy picked waiter " << idx << " of "
+          << waiters.size();
+    }
+  }
+  wake_from_cv_locked(waiters[idx], /*timed_out=*/false);
+  // The notifier keeps running (cooperative); the woken thread becomes
+  // schedulable once the mutex frees up.
+  (void)me;
+}
+
+std::uint32_t ScheduleController::on_thread_create() noexcept {
+  const ThreadId me = tl_tid;
+  std::unique_lock<std::mutex> lk(big_);
+  const auto id = static_cast<ThreadId>(threads_.size());
+  threads_.emplace_back();
+  ThreadRec& child = threads_.back();
+  child.vc = threads_[me].vc;  // everything before the spawn happens-before
+  child.vc.tick(id);
+  threads_[me].vc.tick(me);
+  // Not a preemption point: the parent must stay active until the
+  // std::thread object actually exists, or a schedule could pick a
+  // child whose OS thread can never start.
+  return id;
+}
+
+void ScheduleController::on_thread_adopt(std::uint32_t id) noexcept {
+  tl_tid = id;
+  std::unique_lock<std::mutex> lk(big_);
+  park_until_my_turn(lk, id);
+}
+
+void ScheduleController::on_thread_exit() noexcept {
+  const ThreadId me = tl_tid;
+  std::unique_lock<std::mutex> lk(big_);
+  ThreadRec& tr = threads_[me];
+  if (!tr.held.empty() && violations_.size() < opts_.max_violations) {
+    std::ostringstream os;
+    os << "thread " << me << " exited holding " << tr.held.size()
+       << " mutex(es)";
+    violations_.push_back(Violation{"lock-discipline", os.str()});
+  }
+  tr.st = ThreadRec::St::kFinished;
+  schedule_locked(me);
+}
+
+void ScheduleController::on_thread_join(std::uint32_t id) noexcept {
+  const ThreadId me = tl_tid;
+  std::unique_lock<std::mutex> lk(big_);
+  BARS_CHECK(id < threads_.size()) << "verify: join of unknown thread " << id;
+  if (threads_[id].st == ThreadRec::St::kFinished) {
+    threads_[me].vc.join(threads_[id].vc);
+    return;
+  }
+  ThreadRec& tr = threads_[me];
+  tr.st = ThreadRec::St::kBlockedJoin;
+  tr.join_target = id;
+  schedule_locked(me);
+  park_until_my_turn(lk, me);
+}
+
+void ScheduleController::on_yield(const char* what) noexcept {
+  (void)what;
+  const ThreadId me = tl_tid;
+  std::unique_lock<std::mutex> lk(big_);
+  // Continuing on `me` is one of the candidates; schedule_locked keeps
+  // kRunnable threads (including me) eligible.
+  schedule_locked(me);
+  park_until_my_turn(lk, me);
+}
+
+void ScheduleController::on_access(const void* addr, std::size_t len,
+                                   bool is_write,
+                                   const char* what) noexcept {
+  if (!opts_.check_races) return;
+  const ThreadId me = tl_tid;
+  std::unique_lock<std::mutex> lk(big_);
+  std::string race = oracle_.check_and_record(me, threads_[me].vc, addr, len,
+                                              is_write, what);
+  if (!race.empty()) {
+    if (violations_.size() < opts_.max_violations) {
+      violations_.push_back(Violation{"race", std::move(race)});
+    } else {
+      ++dropped_violations_;
+    }
+  }
+}
+
+}  // namespace bars::verify

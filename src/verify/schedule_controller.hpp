@@ -1,0 +1,193 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/verify_hooks.hpp"
+#include "verify/race_oracle.hpp"
+
+/// \file schedule_controller.hpp
+/// Deterministic cooperative scheduler for controlled threads — the
+/// model-checking core of the verification tier (docs/VERIFY.md).
+///
+/// Execution model (CHESS-style serialization): at most one controlled
+/// thread runs at a time; every other controlled thread is parked
+/// inside a hook waiting for its turn. The controller virtualizes the
+/// project's synchronization wrappers completely —
+///   - Mutex ownership is controller bookkeeping (the serial token
+///     already provides mutual exclusion); contended acquisition
+///     reorders are explored through the scheduling choice of which
+///     blocked thread runs when the owner releases.
+///   - ConditionVariable waits park the thread in the controller;
+///     notify_one picks the woken waiter through the decision strategy
+///     (a real source of nondeterminism the explorer must own).
+///   - Timed waits use virtual time: a timeout fires only when every
+///     controlled thread is blocked (quiescence), by advancing the
+///     virtual clock to the earliest deadline. No wall-clock sleeps.
+///   - Thread creation assigns ids in the parent's program order, so
+///     schedules replay identically regardless of OS start order.
+///
+/// Decision points — where the schedule can branch — are: explicit
+/// BARS_VERIFY_YIELD sites, every blocking operation, and notify_one
+/// target selection. Between decision points a thread runs without
+/// preemption; this is the cooperative (preemption-bounded) state
+/// space. Data races *within* those atomic sections are still caught,
+/// because the happens-before oracle derives its relation from sync
+/// operations, not from the serialized execution order.
+///
+/// Deadlock (no runnable thread, no pending virtual timeout, live
+/// threads remain) aborts via BARS_CHECK with a full thread dump — a
+/// deadlock in explored code is a product bug and there is no sound way
+/// to unwind threads that are really parked.
+
+namespace bars::verify {
+
+inline constexpr ThreadId kNoThread = 0xffffffffu;
+
+struct Violation {
+  std::string kind;    ///< "race", "lock-discipline", "invariant", ...
+  std::string detail;
+};
+
+/// Supplies every branch decision; implemented by the explorers.
+class DecisionStrategy {
+ public:
+  virtual ~DecisionStrategy() = default;
+  /// Choose one of `candidates` (>= 2 entries, ascending thread ids for
+  /// scheduling picks, arrival order for notify picks). Returns an
+  /// index into `candidates`.
+  virtual std::size_t pick(const std::vector<ThreadId>& candidates) = 0;
+};
+
+struct ControllerOptions {
+  /// Decision points before the controller stops branching and finishes
+  /// the schedule under plain round-robin (recorded as `truncated`).
+  /// Bounds the tree depth for programs with schedule-dependent length
+  /// (e.g. thread_async, whose workers loop until a monitor verdict).
+  std::size_t max_steps = 50000;
+  /// CHESS-style preemption bound: how many times per schedule the
+  /// scheduler may switch away from a thread that could have kept
+  /// running (yield sites). Switches forced by blocking are always
+  /// explored and never consume budget. Small bounds (1-2) shrink the
+  /// exhaustive tree from exponential-in-yields to tractable while
+  /// empirically catching most concurrency bugs (Musuvathi & Qadeer,
+  /// PLDI 2007). SIZE_MAX = unbounded (full cooperative tree).
+  std::size_t preemption_bound = static_cast<std::size_t>(-1);
+  bool check_races = true;
+  std::size_t max_access_records = 4096;
+  /// Violations kept per schedule (further ones only counted).
+  std::size_t max_violations = 16;
+};
+
+class ScheduleController final : public common::verify::Hooks {
+ public:
+  explicit ScheduleController(DecisionStrategy& strategy,
+                              ControllerOptions opts = {});
+  ~ScheduleController() override;
+
+  ScheduleController(const ScheduleController&) = delete;
+  ScheduleController& operator=(const ScheduleController&) = delete;
+
+  /// Run `body` under this controller: the calling thread becomes
+  /// controlled thread 0, bars::common::Thread objects created inside
+  /// become controlled children, and every decision goes through the
+  /// strategy. Returns when the body returns; the body must have joined
+  /// every thread it spawned (enforced).
+  void run(const std::function<void(ScheduleController&)>& body);
+
+  /// Violations recorded during the last run (races, lock discipline,
+  /// plus anything the body reported).
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  /// Total decision points consulted in the last run.
+  [[nodiscard]] std::size_t decisions() const noexcept { return steps_; }
+  /// The last run hit max_steps and finished under round-robin.
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  [[nodiscard]] double virtual_now() const noexcept { return vt_; }
+
+  /// For bodies and oracles: attach a violation to the current
+  /// schedule so the explorer aggregates it with a replay trail.
+  void report_violation(const char* kind, std::string detail) noexcept;
+
+  // Hooks interface (product wrappers call these; see verify_hooks.hpp).
+  void on_mutex_lock(void* mu) noexcept override;
+  void on_mutex_unlock(void* mu) noexcept override;
+  void on_cv_wait(void* cv, void* mu) noexcept override;
+  bool on_cv_wait_for(void* cv, void* mu, double seconds) noexcept override;
+  void on_cv_notify(void* cv, bool notify_all) noexcept override;
+  [[nodiscard]] std::uint32_t on_thread_create() noexcept override;
+  void on_thread_adopt(std::uint32_t id) noexcept override;
+  void on_thread_exit() noexcept override;
+  void on_thread_join(std::uint32_t id) noexcept override;
+  void on_yield(const char* what) noexcept override;
+  void on_access(const void* addr, std::size_t len, bool is_write,
+                 const char* what) noexcept override;
+
+ private:
+  struct ThreadRec {
+    enum class St : std::uint8_t {
+      kRunnable,      ///< running or parked awaiting its turn
+      kBlockedMutex,  ///< wants wait_mutex
+      kBlockedCv,     ///< parked on wait_cv (released wait_mutex)
+      kWantsLock,     ///< woken/timed out; must reacquire wait_mutex
+      kBlockedJoin,   ///< waiting for join_target to finish
+      kFinished,
+    };
+    St st = St::kRunnable;
+    void* wait_mutex = nullptr;
+    void* wait_cv = nullptr;
+    ThreadId join_target = 0;
+    double timeout_at = -1.0;  ///< < 0: untimed cv wait
+    bool timed_out = false;
+    VectorClock vc;
+    std::vector<void*> held;  ///< lockset, for violation reports
+  };
+  struct MutexRec {
+    ThreadId owner = kNoThread;
+    VectorClock release_vc;
+  };
+  struct CvRec {
+    std::vector<ThreadId> waiters;  ///< arrival order
+  };
+
+  // All helpers require big_ held.
+  [[nodiscard]] bool eligible_locked(ThreadId t) const;
+  void acquire_mutex_locked(ThreadId t, void* mu);
+  void release_mutex_locked(ThreadId t, void* mu);
+  void wake_from_cv_locked(ThreadId t, bool timed_out);
+  void grant_locked(ThreadId t);
+  /// Pick and activate the next thread (me stays a candidate iff
+  /// eligible). Fires virtual timeouts on quiescence; aborts on
+  /// deadlock.
+  void schedule_locked(ThreadId me);
+  void park_until_my_turn(std::unique_lock<std::mutex>& lk, ThreadId me);
+  [[nodiscard]] std::string dump_threads_locked() const;
+
+  DecisionStrategy& strategy_;
+  ControllerOptions opts_;
+  RaceOracle oracle_;
+
+  std::mutex big_;
+  std::condition_variable turn_cv_;
+  std::vector<ThreadRec> threads_;
+  std::map<void*, MutexRec> mutexes_;
+  std::map<void*, CvRec> cvs_;
+  ThreadId active_ = 0;
+  double vt_ = 0.0;
+  std::size_t steps_ = 0;
+  std::size_t transitions_ = 0;   ///< total grants; runaway backstop
+  std::size_t preemptions_ = 0;  ///< budget used (see preemption_bound)
+  bool truncated_ = false;
+  std::size_t rr_ = 0;  ///< round-robin cursor after truncation
+  std::vector<Violation> violations_;
+  std::size_t dropped_violations_ = 0;
+};
+
+}  // namespace bars::verify

@@ -1,0 +1,12 @@
+// Fixture: raw thread spawns, invisible to the schedule explorer.
+#include <thread>
+
+void spawn_and_join() {
+  std::thread t([] {});
+  t.join();
+}
+
+std::thread make_worker() { return std::thread([] {}); }
+
+// Legal: static member access is not a spawn and must NOT be flagged.
+unsigned cores() { return std::thread::hardware_concurrency(); }

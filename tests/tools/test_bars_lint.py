@@ -36,6 +36,7 @@ class FixtureViolations(unittest.TestCase):
         "bad_unordered.cpp": ("unordered-iteration", 1),
         "bad_hot_noalloc.cpp": ("hot-noalloc", 4),
         "bad_raw_mutex.cpp": ("raw-mutex", 3),
+        "bad_verify_seam.cpp": ("verify-seam", 2),
         "bad_raw_assert.cpp": ("raw-assert", 2),
         "bad_fp_literal.cpp": ("fp-literal", 2),
         "bad_include.cpp": ("include-hygiene", 2),
@@ -53,6 +54,14 @@ class FixtureViolations(unittest.TestCase):
                     hits, min_count,
                     f"{name}: expected >= {min_count} [{rule}] findings, "
                     f"got {hits}:\n{out}")
+
+    def test_verify_seam_spares_static_members(self):
+        # std::thread::hardware_concurrency is a query, not a spawn; the
+        # fixture's last line must stay clean.
+        code, out = run_lint("--strict", "--treat-as", "src/core",
+                             fixture("bad_verify_seam.cpp"))
+        self.assertEqual(code, 1, out)
+        self.assertNotIn("bad_verify_seam.cpp:12", out)
 
     def test_findings_name_file_and_line(self):
         code, out = run_lint("--strict", "--treat-as", "src/core",

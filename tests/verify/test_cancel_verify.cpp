@@ -1,0 +1,112 @@
+/// CancelToken under the explorer. The token's contract has two
+/// schedule-sensitive clauses: (1) the first request_cancel decides the
+/// recorded reason even when requests race, and (2) a child token
+/// reads as requested once its parent trips. The request path has a
+/// deliberate decision point between the reason CAS and the requested_
+/// store (cancel.hpp), so the explorer drives pollers through the
+/// window where the winner is decided but requested() still reads
+/// false — the invariant `requested() == true implies reason() != kNone`
+/// must hold on every schedule anyway.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/cancel.hpp"
+#include "common/thread.hpp"
+#include "verify/explorer.hpp"
+
+namespace bars::verify {
+namespace {
+
+TEST(VerifyCancel, RequestedImpliesReasonOnEverySchedule) {
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController& c) {
+    common::CancelToken token;
+    common::Thread canceller(
+        [&] { token.request_cancel(common::CancelReason::kDeadline); });
+    common::Thread poller([&] {
+      BARS_VERIFY_YIELD("test.poll");
+      if (token.requested() &&
+          token.reason() == common::CancelReason::kNone) {
+        c.report_violation("invariant", "requested token with no reason");
+      }
+    });
+    canceller.join();
+    poller.join();
+    if (!token.requested() ||
+        token.reason() != common::CancelReason::kDeadline) {
+      c.report_violation("invariant", "cancel lost or mislabeled");
+    }
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(VerifyCancel, FirstReasonWinsUnderRacingRequests) {
+  // Two racing cancels with different reasons: exhaustive exploration
+  // must see both winners, and the loser must never relabel the token.
+  std::set<common::CancelReason> winners;
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController& c) {
+    common::CancelToken token;
+    common::Thread user(
+        [&] { token.request_cancel(common::CancelReason::kUser); });
+    common::Thread deadline(
+        [&] { token.request_cancel(common::CancelReason::kDeadline); });
+    user.join();
+    deadline.join();
+    const common::CancelReason r = token.reason();
+    if (r != common::CancelReason::kUser &&
+        r != common::CancelReason::kDeadline) {
+      c.report_violation("invariant", "reason is neither racer's");
+    }
+    if (!token.requested()) {
+      c.report_violation("invariant", "two cancels, token not requested");
+    }
+    winners.insert(r);
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(winners.size(), 2u) << "exploration never flipped the race";
+}
+
+TEST(VerifyCancel, ParentTripsChildOnEverySchedule) {
+  // The service's hedging layer hangs attempt tokens off a request
+  // token. Whatever the interleaving of trip and poll, once the
+  // parent's request completes the child must read requested(), and a
+  // child polled mid-trip must never observe requested() without a
+  // reason being available through the chain.
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController& c) {
+    common::CancelToken parent;
+    common::CancelToken child;
+    child.set_parent(&parent);
+    common::Thread tripper(
+        [&] { parent.request_cancel(common::CancelReason::kWatchdog); });
+    common::Thread poller([&] {
+      BARS_VERIFY_YIELD("test.child_poll");
+      if (child.requested() &&
+          child.reason() == common::CancelReason::kNone) {
+        c.report_violation("invariant", "child requested with no reason");
+      }
+    });
+    tripper.join();
+    poller.join();
+    if (!child.requested() ||
+        child.reason() != common::CancelReason::kWatchdog) {
+      c.report_violation("invariant", "parent trip did not reach child");
+    }
+    // A direct cancel on the child takes precedence for reason():
+    // the attempt-local verdict wins over the inherited one.
+    child.request_cancel(common::CancelReason::kHedge);
+    if (child.reason() != common::CancelReason::kHedge) {
+      c.report_violation("invariant", "direct reason lost to parent's");
+    }
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+}  // namespace
+}  // namespace bars::verify

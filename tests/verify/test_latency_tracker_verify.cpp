@@ -1,0 +1,74 @@
+/// LatencyTracker under the explorer. The tracker is documented as
+/// not thread-safe on its own — the service records and queries under
+/// its mutex. These tests machine-check both sides of that contract:
+/// mutex-guarded concurrent recording through the ring's wraparound
+/// stays invariant-clean on every schedule, and the unguarded variant
+/// is flagged as a race by the oracle (so the "guard me" comment in the
+/// header is load-bearing, not advisory).
+
+#include <gtest/gtest.h>
+
+#include "common/annotations.hpp"
+#include "common/thread.hpp"
+#include "service/latency_tracker.hpp"
+#include "verify/explorer.hpp"
+
+namespace bars::verify {
+namespace {
+
+TEST(VerifyLatencyTracker, GuardedWraparoundOnEverySchedule) {
+  // Window 4, six records from two threads: the ring wraps mid-race.
+  // On every schedule: size() == window after the wrap, and any
+  // percentile lies within [min, max] of the recorded values.
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController& c) {
+    service::LatencyTracker lat(4);
+    common::Mutex mu;
+    const auto record3 = [&](value_t base) {
+      for (int i = 0; i < 3; ++i) {
+        common::MutexLock lock(mu);
+        BARS_VERIFY_WRITE(&lat, sizeof(lat), "test.lat_record");
+        lat.record(base + static_cast<value_t>(i));
+      }
+    };
+    common::Thread a([&] { record3(1.0); });
+    common::Thread b([&] { record3(10.0); });
+    a.join();
+    b.join();
+    common::MutexLock lock(mu);
+    if (lat.size() != 4) {
+      c.report_violation("invariant", "ring size wrong after wraparound");
+    }
+    const value_t p50 = lat.percentile(0.5, -1.0, 4);
+    if (p50 < 1.0 || p50 > 12.0) {
+      c.report_violation("invariant", "percentile outside recorded range");
+    }
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(VerifyLatencyTracker, UnguardedRecordingIsFlagged) {
+  // Drop the mutex: the oracle must flag the concurrent record() calls
+  // on every schedule — the header's "not thread-safe" clause, machine
+  // checked.
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController&) {
+    service::LatencyTracker lat(4);
+    const auto record = [&](value_t v) {
+      BARS_VERIFY_WRITE(&lat, sizeof(lat), "test.lat_racy");
+      lat.record(v);
+    };
+    common::Thread a([&] { record(1.0); });
+    common::Thread b([&] { record(2.0); });
+    a.join();
+    b.join();
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_EQ(rep.total_violations, rep.schedules) << rep.summary();
+  ASSERT_FALSE(rep.failures.empty());
+  EXPECT_EQ(rep.failures.front().violations.front().kind, "race");
+}
+
+}  // namespace
+}  // namespace bars::verify

@@ -1,0 +1,321 @@
+/// ScheduleController micro-tests: the cooperative scheduler must
+/// explore real nondeterminism (interleavings, notify_one targets,
+/// timeout arms), the race oracle must flag unsynchronized accesses on
+/// *every* schedule, and failing schedules must replay exactly.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/thread.hpp"
+#include "verify/explorer.hpp"
+#include "verify/schedule_controller.hpp"
+
+namespace bars::verify {
+namespace {
+
+bool has_kind(const std::vector<Violation>& vs, const std::string& kind) {
+  for (const Violation& v : vs) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(ScheduleController, SingleThreadBodyRunsWithoutDecisions) {
+  int runs = 0;
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController&) {
+    ++runs;
+  });
+  EXPECT_EQ(rep.schedules, 1u);
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(ScheduleController, ExploresBothOrdersOfTwoThreads) {
+  // Two threads append to a mutex-protected log; exhaustive exploration
+  // must produce both observable orders and no violations.
+  std::set<std::string> orders;
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController&) {
+    common::Mutex mu;
+    std::string log;
+    common::Thread a([&] {
+      BARS_VERIFY_YIELD("test.a");
+      common::MutexLock lock(mu);
+      log += 'a';
+    });
+    common::Thread b([&] {
+      BARS_VERIFY_YIELD("test.b");
+      common::MutexLock lock(mu);
+      log += 'b';
+    });
+    a.join();
+    b.join();
+    orders.insert(log);
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GT(rep.schedules, 1u);
+  EXPECT_EQ(orders, (std::set<std::string>{"ab", "ba"}));
+}
+
+TEST(ScheduleController, RaceOracleFlagsUnlockedSharedWrite) {
+  // Two threads write the same int with no synchronization: the
+  // happens-before oracle must flag every schedule, not just the
+  // adversarial interleaving.
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController&) {
+    int shared = 0;
+    common::Thread a([&] {
+      BARS_VERIFY_WRITE(&shared, sizeof(shared), "test.racy_a");
+      shared = 1;
+    });
+    common::Thread b([&] {
+      BARS_VERIFY_WRITE(&shared, sizeof(shared), "test.racy_b");
+      shared = 2;
+    });
+    a.join();
+    b.join();
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_EQ(rep.total_violations, rep.schedules) << rep.summary();
+  ASSERT_FALSE(rep.failures.empty());
+  EXPECT_TRUE(has_kind(rep.failures.front().violations, "race"));
+}
+
+TEST(ScheduleController, MutexOrderingSuppressesRaceReports) {
+  // Same shape, but the accesses are under a lock: the unlock->lock
+  // happens-before edge must clear the oracle on every schedule.
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController&) {
+    common::Mutex mu;
+    int shared = 0;
+    common::Thread a([&] {
+      common::MutexLock lock(mu);
+      BARS_VERIFY_WRITE(&shared, sizeof(shared), "test.locked_a");
+      shared = 1;
+    });
+    common::Thread b([&] {
+      common::MutexLock lock(mu);
+      BARS_VERIFY_WRITE(&shared, sizeof(shared), "test.locked_b");
+      shared = 2;
+    });
+    a.join();
+    b.join();
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(ScheduleController, NotifyAfterUnlockStaysRacy) {
+  // The classic bug the no-notify-edge design exists for: publish data,
+  // unlock, *then* write more data, then notify. The post-unlock write
+  // is unordered with the woken waiter's read.
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController&) {
+    common::Mutex mu;
+    common::ConditionVariable cv;
+    bool ready = false;
+    int payload = 0;
+    common::Thread consumer([&] {
+      {
+        common::MutexLock lock(mu);
+        while (!ready) cv.wait(lock);
+      }
+      BARS_VERIFY_READ(&payload, sizeof(payload), "test.consume");
+      (void)payload;
+    });
+    {
+      common::MutexLock lock(mu);
+      ready = true;
+    }
+    BARS_VERIFY_WRITE(&payload, sizeof(payload), "test.late_publish");
+    payload = 42;  // after the unlock: nothing orders this with the read
+    cv.notify_one();
+    consumer.join();
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_GT(rep.total_violations, 0u) << rep.summary();
+  ASSERT_FALSE(rep.failures.empty());
+  EXPECT_TRUE(has_kind(rep.failures.front().violations, "race"));
+}
+
+TEST(ScheduleController, NotifyOneExploresEveryWaiter) {
+  // Two waiters on one cv, one notify_one: which waiter consumes the
+  // token is a controller decision, so exhaustive exploration must see
+  // both winners.
+  std::set<int> winners;
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController&) {
+    common::Mutex mu;
+    common::ConditionVariable cv;
+    int tokens = 0;
+    int winner = 0;
+    bool stop = false;
+    const auto waiter = [&](int who) {
+      common::MutexLock lock(mu);
+      while (tokens == 0 && !stop) cv.wait(lock);
+      if (tokens > 0) {
+        --tokens;
+        winner = who;
+      }
+    };
+    common::Thread a([&] { waiter(1); });
+    common::Thread b([&] { waiter(2); });
+    BARS_VERIFY_YIELD("test.let_them_wait");
+    {
+      common::MutexLock lock(mu);
+      tokens = 1;
+    }
+    cv.notify_one();
+    {
+      common::MutexLock lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    a.join();
+    b.join();
+    winners.insert(winner);
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(winners, (std::set<int>{1, 2}));
+}
+
+TEST(ScheduleController, VirtualTimeoutFiresOnQuiescence) {
+  // A timed wait nobody signals must time out via the virtual clock —
+  // no wall-clock sleeping, and wait_for reports the timeout.
+  std::size_t timeouts = 0;
+  std::size_t runs = 0;
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController& c) {
+    ++runs;
+    common::Mutex mu;
+    common::ConditionVariable cv;
+    bool notified;
+    {
+      common::MutexLock lock(mu);
+      notified = cv.wait_for(lock, std::chrono::hours(24));
+    }
+    if (!notified) ++timeouts;
+    EXPECT_GE(c.virtual_now(), 24.0 * 3600.0);
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(timeouts, runs);
+}
+
+TEST(ScheduleController, TimeoutsFireInDeadlineOrder) {
+  // Two timed waits with different deadlines, nobody signals: the
+  // virtual clock must fire them earliest-first, and advance exactly to
+  // each deadline.
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, [&](ScheduleController& c) {
+    common::Mutex mu;
+    common::ConditionVariable cv;
+    std::vector<int> wake_order;
+    common::Thread slow([&] {
+      common::MutexLock lock(mu);
+      (void)cv.wait_for(lock, std::chrono::seconds(2));
+      wake_order.push_back(2);
+    });
+    common::Thread fast([&] {
+      common::MutexLock lock(mu);
+      (void)cv.wait_for(lock, std::chrono::seconds(1));
+      wake_order.push_back(1);
+    });
+    slow.join();
+    fast.join();
+    if (wake_order != std::vector<int>{1, 2}) {
+      c.report_violation("invariant", "timeouts fired out of deadline order");
+    }
+    EXPECT_GE(c.virtual_now(), 2.0);
+  });
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(ScheduleController, LockDisciplineViolationReported) {
+  ExploreOptions opts;
+  opts.max_schedules = 1;
+  const ExploreReport rep = explore(opts, [&](ScheduleController&) {
+    common::Mutex mu;
+    common::Thread t([&] {
+      mu.lock();  // exits without unlocking
+    });
+    t.join();
+    mu.unlock();  // and the parent unlocks a mutex it never took
+  });
+  EXPECT_FALSE(rep.ok());
+  ASSERT_FALSE(rep.failures.empty());
+  EXPECT_TRUE(has_kind(rep.failures.front().violations, "lock-discipline"));
+}
+
+TEST(ScheduleController, FailingTrailReplaysIdentically) {
+  const auto body = [](ScheduleController&) {
+    int shared = 0;
+    common::Mutex mu;
+    common::Thread a([&] {
+      BARS_VERIFY_WRITE(&shared, sizeof(shared), "test.replay_a");
+      shared = 1;
+    });
+    common::Thread b([&] {
+      common::MutexLock lock(mu);
+      BARS_VERIFY_WRITE(&shared, sizeof(shared), "test.replay_b");
+      shared = 2;
+    });
+    a.join();
+    b.join();
+  };
+  ExploreOptions opts;
+  const ExploreReport rep = explore(opts, body);
+  ASSERT_FALSE(rep.failures.empty()) << rep.summary();
+  const FailingSchedule& f = rep.failures.front();
+  const std::vector<Violation> again =
+      replay_trail(f.trail, opts.controller, body);
+  ASSERT_EQ(again.size(), f.violations.size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].kind, f.violations[i].kind);
+    EXPECT_EQ(again[i].detail, f.violations[i].detail);
+  }
+}
+
+TEST(ScheduleController, RandomWalksAreSeedDeterministic) {
+  const auto body = [](ScheduleController& c) {
+    common::Mutex mu;
+    int order = 0;
+    std::vector<int> seen;
+    const auto worker = [&](int who) {
+      BARS_VERIFY_YIELD("test.walk");
+      common::MutexLock lock(mu);
+      seen.push_back(who);
+      ++order;
+    };
+    common::Thread a([&] { worker(1); });
+    common::Thread b([&] { worker(2); });
+    common::Thread d([&] { worker(3); });
+    a.join();
+    b.join();
+    d.join();
+    if (seen.size() != 3) {
+      c.report_violation("invariant", "lost worker");
+    }
+  };
+  ExploreOptions opts;
+  opts.mode = ExploreMode::kRandomWalk;
+  opts.walks = 50;
+  opts.seed = 1234;
+  const ExploreReport r1 = explore(opts, body);
+  const ExploreReport r2 = explore(opts, body);
+  EXPECT_TRUE(r1.ok()) << r1.summary();
+  EXPECT_EQ(r1.schedules, 50u);
+  EXPECT_EQ(r1.decisions, r2.decisions);  // same seeds, same walks
+}
+
+}  // namespace
+}  // namespace bars::verify

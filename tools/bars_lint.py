@@ -46,8 +46,15 @@ DETERMINISTIC_CORE = ("src/core/", "src/gpusim/", "src/sparse/")
 # rounding, which shows up as "same seed, different convergence curve".
 KERNEL_PATHS = DETERMINISTIC_CORE
 
-# The annotated wrappers themselves necessarily touch std::mutex.
-RAW_MUTEX_EXEMPT = ("src/common/",)
+# The annotated wrappers themselves necessarily touch std::mutex, and
+# the schedule controller (src/verify) deliberately runs on raw
+# primitives: it IS the instrumentation layer, so routing it through the
+# wrappers it virtualizes would recurse.
+RAW_MUTEX_EXEMPT = ("src/common/", "src/verify/")
+
+# Same exemptions for thread spawns: common/thread.hpp wraps std::thread
+# and the controller manages already-wrapped threads.
+VERIFY_SEAM_EXEMPT = RAW_MUTEX_EXEMPT
 
 SUPPRESS_RE = re.compile(r"bars-lint:\s*allow\(([^)]*)\)")
 SUPPRESS_FILE_RE = re.compile(r"bars-lint:\s*allow-file\(([^)]*)\)")
@@ -255,6 +262,33 @@ class RawMutex(TokenRule):
             RAW_MUTEX_EXEMPT)
 
 
+class VerifySeam(TokenRule):
+    name = "verify-seam"
+    doc = ("Threads spawned with raw std::thread/std::jthread/"
+           "pthread_create are invisible to the schedule explorer "
+           "(docs/VERIFY.md): the model checker can only control threads "
+           "created through bars::common::Thread. Static members like "
+           "std::thread::hardware_concurrency stay legal. Exempt: "
+           "src/common (the wrapper itself) and src/verify (the "
+           "controller).")
+    tokens = [
+        # `std::thread` as a type (construction, members, vectors of) but
+        # not `std::thread::...` static member access.
+        (re.compile(r"std::thread\b(?!\s*::)"),
+         "raw std::thread spawn; use bars::common::Thread so the "
+         "verifier controls it"),
+        (re.compile(r"std::jthread\b"),
+         "raw std::jthread spawn; use bars::common::Thread"),
+        (re.compile(r"\bpthread_create\s*\("),
+         "pthread_create bypasses the verify seam; use "
+         "bars::common::Thread"),
+    ]
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.scope_path.startswith("src/") and not sf.in_dirs(
+            VERIFY_SEAM_EXEMPT)
+
+
 class RawAssert(TokenRule):
     name = "raw-assert"
     doc = ("assert() aborts without context. Use BARS_CHECK (always on) "
@@ -307,7 +341,7 @@ class IncludeHygiene(Rule):
     _inc = re.compile(r'^\s*#\s*include\s*(["<])([^">]+)([">])')
     _project_dirs = ("common/", "core/", "gpusim/", "sparse/", "stats/",
                      "eigen/", "matrices/", "mg/", "report/", "resilience/",
-                     "telemetry/", "service/")
+                     "telemetry/", "service/", "verify/")
 
     def check(self, sf: SourceFile) -> list[Finding]:
         out = []
@@ -504,6 +538,7 @@ ALL_RULES: list[Rule] = [
     Nondeterminism(),
     UnorderedIteration(),
     RawMutex(),
+    VerifySeam(),
     RawAssert(),
     FpLiteral(),
     IncludeHygiene(),
