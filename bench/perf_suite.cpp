@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -27,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "backend/registry.hpp"
+#include "backend/simd_kernel.hpp"
 #include "core/block_async.hpp"
 #include "core/thread_async.hpp"
 #include "report/table.hpp"
@@ -183,6 +186,78 @@ int main(int argc, char** argv) {
       serial_res.solve.residual_history == par_res.solve.residual_history;
   const double speedup = par_sec > 0.0 ? serial_sec / par_sec : 0.0;
 
+  // Backend comparison: scalar vs simd over *prebuilt* kernels (the
+  // plan-cache steady state — construction is amortized across
+  // requests, so the sweep itself is what's timed; see
+  // docs/PERFORMANCE.md). Gated: when the simd backend is available it
+  // must be >= kSpeedupGate faster on >= kMinFastMatrices of the paper
+  // matrices AND agree with scalar elementwise within kToleranceGate on
+  // all of them (docs/BACKENDS.md documents the tolerance policy).
+  constexpr double kSpeedupGate = 1.3;
+  constexpr int kMinFastMatrices = 2;
+  constexpr double kToleranceGate = 1e-10;
+  struct BackendCmp {
+    std::string matrix;
+    double scalar_seconds = 0.0;
+    double simd_seconds = 0.0;
+    double speedup = 0.0;
+    double max_rel_diff = 0.0;
+    index_t iterations = 0;
+  };
+  std::vector<BackendCmp> cmps;
+  const bool simd_on = backend::simd_available();
+  int fast_matrices = 0;
+  bool tolerance_ok = true;
+  if (simd_on) {
+    for (const PaperMatrix which : suite) {
+      const TestProblem p = make_paper_problem(which);
+      const Vector b = bench::unit_rhs(p.matrix.rows());
+      BlockAsyncOptions o;
+      o.solve.max_iters = iters;
+      o.solve.tol = 1e-10;
+      o.block_size = 256;
+      o.local_iters = 5;
+      o.policy = gpusim::SchedulePolicy::kRoundRobin;
+      o.concurrent_slots = 64;
+      o.matrix_name = p.name;
+      o.solve.telemetry.observer = telemetry_sink.get();
+      const RowPartition part =
+          RowPartition::uniform(p.matrix.rows(), o.block_size);
+      const auto ks = backend::build_kernel("scalar", p.matrix, b, part,
+                                            {o.local_iters});
+      const auto kv = backend::build_kernel("simd", p.matrix, b, part,
+                                            {o.local_iters});
+      BlockAsyncResult rs, rv;
+      BackendCmp c;
+      c.matrix = p.name;
+      c.scalar_seconds = time_best_of(repeats, [&] {
+        rs = block_async_solve_with_kernel(p.matrix, b, *ks, o);
+      });
+      c.simd_seconds = time_best_of(repeats, [&] {
+        rv = block_async_solve_with_kernel(p.matrix, b, *kv, o);
+      });
+      c.speedup =
+          c.simd_seconds > 0.0 ? c.scalar_seconds / c.simd_seconds : 0.0;
+      c.iterations = rv.solve.iterations;
+      for (std::size_t i = 0; i < rs.solve.x.size(); ++i) {
+        const double scale = std::max(std::abs(rs.solve.x[i]), 1.0);
+        c.max_rel_diff = std::max(
+            c.max_rel_diff, std::abs(rs.solve.x[i] - rv.solve.x[i]) / scale);
+      }
+      if (c.speedup >= kSpeedupGate) ++fast_matrices;
+      if (c.max_rel_diff > kToleranceGate) tolerance_ok = false;
+      rows.push_back({p.name, "async-(5) scalar backend (prebuilt)",
+                      c.scalar_seconds, rs.solve.iterations,
+                      rs.solve.final_residual, rs.solve.ok()});
+      rows.push_back({p.name, "async-(5) simd backend (prebuilt)",
+                      c.simd_seconds, rv.solve.iterations,
+                      rv.solve.final_residual, rv.solve.ok()});
+      cmps.push_back(c);
+    }
+  }
+  const bool backend_gate_ok =
+      !simd_on || (fast_matrices >= kMinFastMatrices && tolerance_ok);
+
   report::Table t({"matrix", "config", "wall [s]", "iters", "residual"});
   for (const Row& r : rows) {
     t.add_row({r.matrix, r.config, report::fmt_fixed(r.seconds, 4),
@@ -198,6 +273,27 @@ int main(int argc, char** argv) {
             << (identical ? "yes" : "NO") << "\n"
             << "(hardware threads: " << hw
             << "; speedup requires a multi-core host)\n";
+
+  if (simd_on) {
+    std::cout << "\nbackend comparison (prebuilt kernels, block 256, "
+                 "async-(5)):\n";
+    for (const BackendCmp& c : cmps) {
+      std::cout << "  " << c.matrix << ": scalar "
+                << report::fmt_fixed(c.scalar_seconds, 4) << " s, simd "
+                << report::fmt_fixed(c.simd_seconds, 4) << " s, speedup "
+                << report::fmt_fixed(c.speedup, 2) << "x, max rel diff "
+                << report::fmt_sci(c.max_rel_diff) << "\n";
+    }
+    std::cout << "backend gate: " << fast_matrices << "/" << cmps.size()
+              << " matrices >= " << kSpeedupGate << "x (need >= "
+              << kMinFastMatrices << "), tolerance "
+              << (tolerance_ok ? "ok" : "EXCEEDED") << " (bound "
+              << report::fmt_sci(kToleranceGate) << ") -> "
+              << (backend_gate_ok ? "PASS" : "FAIL") << "\n";
+  } else {
+    std::cout << "\nbackend comparison skipped: simd backend not available "
+                 "on this machine/build\n";
+  }
 
   std::ofstream js(out_path);
   js << "{\n  \"schema\": \"bars-perf-v1\",\n"
@@ -222,6 +318,25 @@ int main(int argc, char** argv) {
      << ", \"parallel_seconds\": " << par_sec
      << ", \"speedup\": " << speedup
      << ", \"bit_identical\": " << (identical ? "true" : "false")
+     << "},\n"
+     << "  \"simd_available\": " << (simd_on ? "true" : "false") << ",\n"
+     << "  \"backend_comparison\": [\n";
+  for (std::size_t i = 0; i < cmps.size(); ++i) {
+    const BackendCmp& c = cmps[i];
+    js << "    {\"matrix\": \"" << json_escape(c.matrix)
+       << "\", \"scalar_seconds\": " << c.scalar_seconds
+       << ", \"simd_seconds\": " << c.simd_seconds
+       << ", \"speedup\": " << c.speedup
+       << ", \"max_rel_diff\": " << c.max_rel_diff
+       << ", \"iterations\": " << c.iterations << "}"
+       << (i + 1 < cmps.size() ? "," : "") << "\n";
+  }
+  js << "  ],\n"
+     << "  \"backend_gate\": {\"required_speedup\": " << kSpeedupGate
+     << ", \"min_matrices\": " << kMinFastMatrices
+     << ", \"tolerance\": " << kToleranceGate
+     << ", \"fast_matrices\": " << fast_matrices
+     << ", \"passed\": " << (backend_gate_ok ? "true" : "false")
      << "}\n}\n";
   js.close();
   std::cout << "\nwrote " << out_path << "\n";
@@ -229,5 +344,5 @@ int main(int argc, char** argv) {
     telemetry_file.close();
     std::cout << "wrote " << telemetry_path << "\n";
   }
-  return identical ? 0 : 1;
+  return (identical && backend_gate_ok) ? 0 : 1;
 }

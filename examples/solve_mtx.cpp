@@ -4,7 +4,7 @@
 ///   build/examples/solve_mtx --matrix=path/to/A.mtx \
 ///       [--solver=block-async] [--tol=1e-10] [--max-iters=1000]
 ///       [--block-size=448] [--local-iters=5] [--omega=1.0] [--rcm]
-///       [--events=run.jsonl]
+///       [--backend=scalar|simd|auto] [--events=run.jsonl]
 ///
 /// Without --matrix, solves the built-in Trefethen_2000 demo system.
 /// Every run is observed through the telemetry subsystem; a summary
@@ -15,6 +15,7 @@
 #include <iostream>
 #include <memory>
 
+#include "backend/registry.hpp"
 #include "core/registry.hpp"
 #include "matrices/generators.hpp"
 #include "report/args.hpp"
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
 
   const auto unknown = args.unknown_keys(
       {"matrix", "solver", "tol", "max-iters", "block-size", "local-iters",
-       "omega", "seed", "rcm", "events", "help"});
+       "omega", "seed", "rcm", "backend", "events", "help"});
   if (!unknown.empty()) {
     std::cerr << "solve_mtx: unknown flag --" << unknown.front()
               << "\nrun with --help for the flag list; the solver knobs are "
@@ -43,9 +44,11 @@ int main(int argc, char** argv) {
     std::cout << "usage: solve_mtx [--matrix=A.mtx] [--solver=NAME] "
                  "[--tol=..] [--max-iters=..]\n       [--block-size=..] "
                  "[--local-iters=..] [--omega=..] [--rcm] "
-                 "[--events=out.jsonl]\nsolvers:";
+                 "[--backend=NAME] [--events=out.jsonl]\nsolvers:";
     for (const auto& n : solver_names()) std::cout << ' ' << n;
-    std::cout << '\n';
+    std::cout << "\nbackends:";
+    for (const auto& n : backend::backend_names()) std::cout << ' ' << n;
+    std::cout << " auto\n";
     return 0;
   }
 
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
   o.local_iters = args.get_int("local-iters", 5);
   o.omega = args.get_double("omega", 1.0);
   o.seed = static_cast<std::uint64_t>(args.get_int("seed", 99));
+  o.backend = args.get_string("backend", "scalar");
 
   // Observe the solve: metrics always, event stream on request.
   telemetry::MetricsRegistry registry;

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/block_kernel.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/partition.hpp"
+
+/// \file kernel_backend.hpp
+/// The compute-backend seam: every provider of the paper's block-sweep
+/// numerics (scalar CSR, SIMD sliced layout, future CUDA/sharded
+/// backends) sits behind KernelBackend, and both executors — the
+/// virtual-time gpusim::AsyncExecutor and the host-thread
+/// thread_async_solve — consume the kernels it builds through
+/// BlockSweepKernel without knowing which provider made them.
+///
+/// Contract summary (docs/BACKENDS.md is the authoritative version):
+///   - caps() advertises what the backend guarantees *at best*; the
+///     kernel a concrete configuration produces may be stricter (e.g.
+///     overlap > 0 disables parallel commits on the scalar backend).
+///   - available() is a cheap runtime probe (ISA detection, device
+///     presence). init() is the fail-fast lifecycle entry: it throws
+///     backend_unsupported when the backend cannot run here.
+///   - make_kernel() either returns a working kernel or throws
+///     backend_unsupported for configurations the backend cannot
+///     express (callers degrade to the scalar backend; see
+///     registry.hpp's build_kernel for the policy).
+
+namespace bars {
+
+/// Flavor of the local sweeps inside a block. Lives at namespace scope
+/// (not inside a backend) because it is part of the cross-backend
+/// kernel configuration vocabulary.
+enum class LocalSweep {
+  kJacobi,       ///< Algorithm 1 as written ("Jacobi-like" local updates)
+  kGaussSeidel,  ///< local forward Gauss-Seidel (ablation / extension)
+};
+
+namespace backend {
+
+/// What a backend guarantees about the kernels it builds.
+struct BackendCaps {
+  /// Kernels may honor the BlockKernel parallel-commit contract
+  /// (distinct blocks updated concurrently). Per-kernel
+  /// parallel_commit_safe() remains authoritative for a concrete
+  /// configuration.
+  bool parallel_commit_safe = true;
+  /// Same inputs → bitwise-identical outputs on this machine. All
+  /// current backends are deterministic; a backend doing atomics-order
+  /// dependent reductions would clear this.
+  bool deterministic = true;
+  /// SIMD lanes (values per vector) the sweep processes at once;
+  /// 1 = scalar.
+  index_t vector_width = 1;
+};
+
+/// Thrown when a backend cannot run on this machine or cannot express
+/// the requested kernel configuration. Callers that can degrade should
+/// catch this and fall back to the scalar backend (build_kernel in
+/// registry.hpp implements exactly that policy).
+class backend_unsupported : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Cross-backend kernel configuration: the sweep parameters every
+/// provider understands (or rejects with backend_unsupported).
+struct KernelConfig {
+  index_t local_iters = 1;            ///< the k of async-(k)
+  LocalSweep sweep = LocalSweep::kJacobi;
+  value_t local_omega = 1.0;          ///< local relaxation weight
+  index_t overlap = 0;                ///< restricted additive Schwarz rows
+};
+
+/// The kernel interface the solvers program against: gpusim's
+/// BlockKernel (halo/rows/update — what the executors need) plus the
+/// RHS/partition bookkeeping the solver front-ends and the service
+/// layer's plan cache rely on.
+class BlockSweepKernel : public gpusim::BlockKernel {
+ public:
+  /// Repoint the right-hand side without rebuilding the per-block
+  /// analysis; the new vector must match num_rows() and outlive all
+  /// subsequent update() calls. Callers serialize set_rhs() against
+  /// concurrent update()s.
+  virtual void set_rhs(const Vector& b) = 0;
+  /// The right-hand side currently bound to the kernel.
+  [[nodiscard]] virtual const Vector& rhs() const noexcept = 0;
+
+  [[nodiscard]] virtual const RowPartition& partition() const noexcept = 0;
+  [[nodiscard]] virtual index_t local_iters() const noexcept = 0;
+  [[nodiscard]] virtual index_t overlap() const noexcept = 0;
+
+  /// Override the sweep count per block (adaptive async-(k)). Size must
+  /// equal num_blocks(); values must be >= 1. Backends that cannot vary
+  /// the count per block throw backend_unsupported.
+  virtual void set_per_block_iters(std::vector<index_t> per_block) = 0;
+  /// Sweeps block b will perform.
+  [[nodiscard]] virtual index_t block_local_iters(index_t block) const = 0;
+
+  /// Registry name of the backend that built this kernel ("scalar",
+  /// "simd", ...). Telemetry uses it for per-backend counters.
+  [[nodiscard]] virtual std::string_view backend_name() const noexcept = 0;
+};
+
+/// A provider of BlockSweepKernels. Stateless and immortal once
+/// registered (the registry hands out references, never ownership).
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+
+  /// Registry key, stable across the process ("scalar", "simd", ...).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual BackendCaps caps() const noexcept = 0;
+
+  /// Cheap runtime probe: can this backend run on this machine at all
+  /// (ISA present, device reachable)? Never throws.
+  [[nodiscard]] virtual bool available() const noexcept = 0;
+
+  /// Lifecycle entry: fail fast when the backend cannot run here.
+  /// Default implementation throws backend_unsupported when
+  /// available() is false; backends with real setup (device contexts,
+  /// pinned pools) override and may still throw on setup failure.
+  virtual void init() const {
+    if (!available()) {
+      throw backend_unsupported(std::string(name()) +
+                                " backend is not available on this machine");
+    }
+  }
+  /// Lifecycle exit; default no-op. Must be safe to call without a
+  /// prior init() and more than once.
+  virtual void finalize() const {}
+
+  /// Build a kernel over (a, b, partition) with the given sweep
+  /// configuration. Throws backend_unsupported when the backend cannot
+  /// express `config` or cannot run here; throws std::invalid_argument
+  /// for malformed inputs (non-square matrix, zero diagonal, ...), same
+  /// as constructing the scalar kernel directly.
+  [[nodiscard]] virtual std::unique_ptr<BlockSweepKernel> make_kernel(
+      const Csr& a, const Vector& b, RowPartition partition,
+      const KernelConfig& config) const = 0;
+};
+
+}  // namespace backend
+}  // namespace bars

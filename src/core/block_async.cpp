@@ -1,9 +1,11 @@
 #include "core/block_async.hpp"
 
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
+#include "backend/registry.hpp"
 #include "gpusim/incremental_residual.hpp"
 #include "sparse/vector_ops.hpp"
 #include "telemetry/probe.hpp"
@@ -51,17 +53,21 @@ BlockAsyncResult block_async_solve(const Csr& a, const Vector& b,
   }
 
   const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
-  BlockJacobiKernel kernel(a, b, part, opts.local_iters, opts.local_sweep,
-                           opts.local_omega, opts.overlap);
+  const std::unique_ptr<backend::BlockSweepKernel> kernel =
+      backend::build_kernel(
+          opts.backend, a, b, part,
+          {opts.local_iters, opts.local_sweep, opts.local_omega,
+           opts.overlap},
+          opts.solve.telemetry.metrics);
   if (opts.adaptive_local_iters) {
-    kernel.set_per_block_iters(
+    kernel->set_per_block_iters(
         adaptive_local_iter_counts(a, part, opts.local_iters));
   }
-  return block_async_solve_with_kernel(a, b, kernel, opts, x0);
+  return block_async_solve_with_kernel(a, b, *kernel, opts, x0);
 }
 
 BlockAsyncResult block_async_solve_with_kernel(const Csr& a, const Vector& b,
-                                               BlockJacobiKernel& kernel,
+                                               backend::BlockSweepKernel& kernel,
                                                const BlockAsyncOptions& opts,
                                                const Vector* x0) {
   if (a.rows() != a.cols() ||
@@ -160,17 +166,21 @@ std::vector<BlockAsyncResult> block_async_solve_multi(
   // each RHS then replays the same (value-independent, seeded) executor
   // schedule, so every result is bit-identical to its standalone solve.
   const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
-  BlockJacobiKernel kernel(a, bs.front(), part, opts.local_iters,
-                           opts.local_sweep, opts.local_omega, opts.overlap);
+  const std::unique_ptr<backend::BlockSweepKernel> kernel =
+      backend::build_kernel(
+          opts.backend, a, bs.front(), part,
+          {opts.local_iters, opts.local_sweep, opts.local_omega,
+           opts.overlap},
+          opts.solve.telemetry.metrics);
   if (opts.adaptive_local_iters) {
-    kernel.set_per_block_iters(
+    kernel->set_per_block_iters(
         adaptive_local_iter_counts(a, part, opts.local_iters));
   }
 
   std::vector<BlockAsyncResult> out;
   out.reserve(bs.size());
   for (const Vector& b : bs) {
-    out.push_back(block_async_solve_with_kernel(a, b, kernel, opts, x0));
+    out.push_back(block_async_solve_with_kernel(a, b, *kernel, opts, x0));
   }
   return out;
 }

@@ -4,7 +4,7 @@
 #include <span>
 #include <string>
 
-#include "core/block_jacobi_kernel.hpp"
+#include "backend/kernel_backend.hpp"
 #include "core/solver_types.hpp"
 #include "gpusim/async_executor.hpp"
 #include "gpusim/cost_model.hpp"
@@ -37,6 +37,14 @@ struct BlockAsyncOptions {
   /// block — blocks with diagonal local structure (where sweeps cannot
   /// help, cf. Chem97ZtZ) automatically drop to one sweep.
   bool adaptive_local_iters = false;
+
+  /// Compute backend building the block-sweep kernel (see
+  /// backend/registry.hpp and docs/BACKENDS.md): "scalar", "simd", or
+  /// "auto". An unavailable backend degrades to "scalar" (counted on
+  /// solve.telemetry.metrics when attached). The default stays "scalar"
+  /// so seeded runs remain bit-identical across machines; opt into
+  /// "simd"/"auto" where the documented FP tolerance is acceptable.
+  std::string backend = "scalar";
 
   gpusim::SchedulePolicy policy = gpusim::SchedulePolicy::kJittered;
   index_t concurrent_slots = 14;
@@ -102,9 +110,10 @@ struct BlockAsyncResult {
 /// bit-identical to block_async_solve(a, b, opts, x0), because the
 /// executor schedule depends only on options and seed, never on values.
 /// This is the amortization point the service layer's plan cache rides
-/// on (see docs/SERVICE.md).
+/// on (see docs/SERVICE.md). Any backend's kernel works: the executor
+/// consumes it through the BlockSweepKernel seam.
 [[nodiscard]] BlockAsyncResult block_async_solve_with_kernel(
-    const Csr& a, const Vector& b, BlockJacobiKernel& kernel,
+    const Csr& a, const Vector& b, backend::BlockSweepKernel& kernel,
     const BlockAsyncOptions& opts = {}, const Vector* x0 = nullptr);
 
 /// Batched multi-RHS solve: one kernel build amortized over every

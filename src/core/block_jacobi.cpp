@@ -1,8 +1,10 @@
 #include "core/block_jacobi.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "backend/registry.hpp"
 #include "sparse/vector_ops.hpp"
 #include "telemetry/probe.hpp"
 
@@ -16,9 +18,13 @@ SolveResult block_jacobi_solve(const Csr& a, const Vector& b,
     throw std::invalid_argument("block_jacobi_solve: dimension mismatch");
   }
   const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
-  const BlockJacobiKernel kernel(a, b, part, opts.local_iters,
-                                 opts.local_sweep, opts.local_omega,
-                                 opts.overlap);
+  const std::unique_ptr<backend::BlockSweepKernel> kernel_ptr =
+      backend::build_kernel(
+          opts.backend, a, b, part,
+          {opts.local_iters, opts.local_sweep, opts.local_omega,
+           opts.overlap},
+          opts.solve.telemetry.metrics);
+  const backend::BlockSweepKernel& kernel = *kernel_ptr;
   const index_t q = kernel.num_blocks();
 
   SolveResult res;

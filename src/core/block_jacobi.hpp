@@ -1,6 +1,8 @@
 #pragma once
 
-#include "core/block_jacobi_kernel.hpp"
+#include <string>
+
+#include "backend/kernel_backend.hpp"
 #include "core/solver_types.hpp"
 
 /// \file block_jacobi.hpp
@@ -19,6 +21,9 @@ struct BlockJacobiOptions {
   LocalSweep local_sweep = LocalSweep::kJacobi;
   value_t local_omega = 1.0;
   index_t overlap = 0;
+  /// Compute backend building the block-sweep kernel ("scalar",
+  /// "simd", "auto"; see docs/BACKENDS.md).
+  std::string backend = "scalar";
 };
 
 /// Solve A x = b by synchronous two-stage block-Jacobi iteration.

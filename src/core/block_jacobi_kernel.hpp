@@ -1,129 +1,10 @@
 #pragma once
 
-#include <vector>
-
-#include "gpusim/block_kernel.hpp"
-#include "sparse/csr.hpp"
-#include "sparse/partition.hpp"
-
 /// \file block_jacobi_kernel.hpp
-/// The numeric kernel of Algorithm 1 / Eq. (4): for one row block
-/// ("subdomain"), freeze the off-block contribution using the halo
-/// snapshot, then perform `local_iters` relaxation sweeps on the local
-/// sub-system before committing.
+/// Forwarding header: BlockJacobiKernel moved to the compute-backend
+/// layer (src/backend) when the backend seam was introduced — it is the
+/// scalar backend's kernel. This shim keeps historical includes
+/// compiling; new code should include "backend/block_jacobi_kernel.hpp"
+/// (or, better, build kernels through backend/registry.hpp).
 
-namespace bars {
-
-/// Flavor of the local sweeps inside a block.
-enum class LocalSweep {
-  kJacobi,       ///< Algorithm 1 as written ("Jacobi-like" local updates)
-  kGaussSeidel,  ///< local forward Gauss-Seidel (ablation / extension)
-};
-
-/// BlockKernel implementation over a CSR matrix and a contiguous row
-/// partition. Precomputes, per block: the halo index list and a local /
-/// global split of each row's entries, so one block update touches only
-/// block-local data plus the snapshot.
-///
-/// With `overlap > 0` each block's *working* range extends `overlap`
-/// rows beyond its owned range on both sides (restricted additive
-/// Schwarz: compute on the extended subdomain, commit only the owned
-/// rows). The overlap rows are seeded from the current iterate at
-/// update time; the halo consists of columns outside the working range.
-class BlockJacobiKernel final : public gpusim::BlockKernel {
- public:
-  /// Throws if `a` is not square, has a zero diagonal, or the partition
-  /// does not cover its rows.
-  BlockJacobiKernel(const Csr& a, const Vector& b, RowPartition partition,
-                    index_t local_iters,
-                    LocalSweep sweep = LocalSweep::kJacobi,
-                    value_t local_omega = 1.0, index_t overlap = 0);
-
-  [[nodiscard]] index_t num_blocks() const override;
-  [[nodiscard]] index_t num_rows() const override;
-  [[nodiscard]] std::span<const index_t> halo(index_t block) const override;
-  [[nodiscard]] std::pair<index_t, index_t> rows(
-      index_t block) const override;
-
-  void update(index_t block, std::span<const value_t> halo_values,
-              std::span<value_t> x,
-              const gpusim::ExecContext& ctx) const override;
-
-  /// Without overlap an update touches only its owned rows, so the
-  /// executor may run distinct blocks concurrently (the per-block
-  /// scratch buffers keep that race-free). Overlapping subdomains read
-  /// neighbor rows of x at update time and must stay serialized.
-  [[nodiscard]] bool parallel_commit_safe() const override {
-    return overlap_ == 0;
-  }
-
-  [[nodiscard]] index_t local_iters() const noexcept { return local_iters_; }
-  [[nodiscard]] const RowPartition& partition() const noexcept {
-    return partition_;
-  }
-
-  /// Override the sweep count per block (adaptive async-(k), the
-  /// paper's Section 5 tuning question): block b performs
-  /// per_block[b] local sweeps instead of the uniform local_iters.
-  /// Size must equal num_blocks(); values must be >= 1.
-  void set_per_block_iters(std::vector<index_t> per_block);
-
-  /// Sweeps block b will perform.
-  [[nodiscard]] index_t block_local_iters(index_t block) const;
-
-  [[nodiscard]] index_t overlap() const noexcept { return overlap_; }
-
-  /// Repoint the right-hand side without rebuilding the per-block
-  /// analysis (halo lists, local/global splits, diagonal factors) —
-  /// those depend only on the matrix structure and partition, never on
-  /// b. This is what lets the service layer's plan cache reuse one
-  /// kernel across requests and run multi-RHS batches. The new vector
-  /// must match num_rows() and outlive all subsequent update() calls;
-  /// callers must serialize set_rhs() against concurrent update()s
-  /// (the plan cache holds a per-plan lock for exactly this reason).
-  void set_rhs(const Vector& b);
-
-  /// The right-hand side currently bound to the kernel.
-  [[nodiscard]] const Vector& rhs() const noexcept { return *b_; }
-
- private:
-  struct BlockData {
-    index_t lo = 0;       ///< owned range (committed rows)
-    index_t hi = 0;
-    index_t work_lo = 0;  ///< working range (owned + overlap)
-    index_t work_hi = 0;
-    std::vector<index_t> halo;  ///< global indices read from outside
-
-    // Local sub-matrix (strictly off-diagonal, columns as local ids).
-    std::vector<index_t> lrow_ptr;
-    std::vector<index_t> lcol;
-    std::vector<value_t> lval;
-
-    // Global coupling (columns as positions into `halo`).
-    std::vector<index_t> grow_ptr;
-    std::vector<index_t> gcol;
-    std::vector<value_t> gval;
-
-    std::vector<value_t> diag;  ///< a_ii per local row
-
-    // Reusable sweep buffers, sized to the working range at
-    // construction so update() performs no per-visit heap allocation.
-    // `mutable` because update() is logically const; safe under
-    // concurrent updates of *distinct* blocks (each block only ever
-    // touches its own scratch).
-    mutable std::vector<value_t> scratch_s;   ///< frozen s_i (Eq. 4)
-    mutable std::vector<value_t> scratch_a;   ///< sweep iterate
-    mutable std::vector<value_t> scratch_b;   ///< Jacobi double buffer
-  };
-
-  const Vector* b_;  ///< current RHS (never null; repointed by set_rhs)
-  RowPartition partition_;
-  index_t local_iters_;
-  LocalSweep sweep_;
-  value_t omega_;
-  index_t overlap_;
-  std::vector<BlockData> blocks_;
-  std::vector<index_t> per_block_iters_;  ///< empty = uniform local_iters_
-};
-
-}  // namespace bars
+#include "backend/block_jacobi_kernel.hpp"  // IWYU pragma: export

@@ -1,7 +1,9 @@
 #include "core/multi_gpu_solver.hpp"
 
+#include <memory>
 #include <stdexcept>
 
+#include "backend/registry.hpp"
 #include "sparse/vector_ops.hpp"
 #include "telemetry/probe.hpp"
 
@@ -16,8 +18,11 @@ MultiGpuResult multi_gpu_block_async_solve(const Csr& a, const Vector& b,
         "multi_gpu_block_async_solve: dimension mismatch");
   }
   const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
-  const BlockJacobiKernel kernel(a, b, part, opts.local_iters,
-                                 opts.local_sweep);
+  const std::unique_ptr<backend::BlockSweepKernel> kernel_ptr =
+      backend::build_kernel(opts.backend, a, b, part,
+                            {opts.local_iters, opts.local_sweep},
+                            opts.solve.telemetry.metrics);
+  const backend::BlockSweepKernel& kernel = *kernel_ptr;
 
   static const gpusim::CostModel kDefaultModel =
       gpusim::CostModel::calibrated_to_paper();

@@ -3,7 +3,7 @@
 #include <optional>
 #include <string>
 
-#include "core/block_jacobi_kernel.hpp"
+#include "backend/kernel_backend.hpp"
 #include "core/solver_types.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/multi_device.hpp"
@@ -25,6 +25,9 @@ struct MultiGpuOptions {
   index_t block_size = 448;
   index_t local_iters = 5;
   LocalSweep local_sweep = LocalSweep::kJacobi;
+  /// Compute backend building the block-sweep kernel ("scalar",
+  /// "simd", "auto"; see docs/BACKENDS.md).
+  std::string backend = "scalar";
 
   index_t slots_per_device = 14;
   value_t jitter = 0.20;

@@ -1,8 +1,10 @@
 #include "core/nonlinear.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "backend/registry.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/vector_ops.hpp"
 
@@ -30,7 +32,8 @@ class NonlinearBlockKernel final : public gpusim::BlockKernel {
                        const DiagonalNonlinearity& phi,
                        RowPartition partition, index_t local_iters,
                        value_t damping)
-      : linear_(a, b, std::move(partition), local_iters),
+      : linear_(backend::build_kernel("scalar", a, b, std::move(partition),
+                                      {local_iters})),
         a_(a),
         b_(b),
         phi_(phi),
@@ -43,17 +46,17 @@ class NonlinearBlockKernel final : public gpusim::BlockKernel {
   }
 
   [[nodiscard]] index_t num_blocks() const override {
-    return linear_.num_blocks();
+    return linear_->num_blocks();
   }
   [[nodiscard]] index_t num_rows() const override {
-    return linear_.num_rows();
+    return linear_->num_rows();
   }
   [[nodiscard]] std::span<const index_t> halo(index_t block) const override {
-    return linear_.halo(block);
+    return linear_->halo(block);
   }
   [[nodiscard]] std::pair<index_t, index_t> rows(
       index_t block) const override {
-    return linear_.rows(block);
+    return linear_->rows(block);
   }
 
   void update(index_t block, std::span<const value_t> halo_values,
@@ -118,7 +121,9 @@ class NonlinearBlockKernel final : public gpusim::BlockKernel {
   }
 
  private:
-  BlockJacobiKernel linear_;  ///< reused for partition/halo bookkeeping
+  /// Reused for partition/halo bookkeeping only; built through the
+  /// scalar backend (the nonlinear sweep itself is hand-rolled above).
+  std::unique_ptr<backend::BlockSweepKernel> linear_;
   const Csr& a_;
   const Vector& b_;
   const DiagonalNonlinearity& phi_;

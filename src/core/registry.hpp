@@ -24,6 +24,10 @@ struct RegistrySolveOptions {
   index_t local_iters = 5;    ///< async-(k)
   std::uint64_t seed = 99;
   index_t num_threads = 0;    ///< thread-async worker count (0 = auto)
+  /// Compute backend for the block-sweep solvers ("scalar", "simd",
+  /// "auto"; see docs/BACKENDS.md). Solvers without a block kernel
+  /// ignore it.
+  std::string backend = "scalar";
 };
 
 using RegistrySolver = std::function<SolveResult(

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
+#include "backend/registry.hpp"
 #include "gpusim/async_executor.hpp"
 #include "sparse/vector_ops.hpp"
 #include "stats/rng.hpp"
@@ -105,12 +107,16 @@ SdcRunResult block_async_solve_with_sdc(
         "block_async_solve_with_sdc: dimension mismatch");
   }
   const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
-  BlockJacobiKernel base(a, b, part, opts.local_iters, opts.local_sweep,
-                         opts.local_omega, opts.overlap);
+  const std::unique_ptr<backend::BlockSweepKernel> base =
+      backend::build_kernel(
+          opts.backend, a, b, part,
+          {opts.local_iters, opts.local_sweep, opts.local_omega,
+           opts.overlap},
+          opts.solve.telemetry.metrics);
   std::optional<SdcKernel> wrapped;
-  const gpusim::BlockKernel* kernel = &base;
+  const gpusim::BlockKernel* kernel = base.get();
   if (sdc) {
-    wrapped.emplace(base, *sdc);
+    wrapped.emplace(*base, *sdc);
     kernel = &*wrapped;
   }
 

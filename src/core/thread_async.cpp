@@ -8,10 +8,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include "backend/registry.hpp"
 #include "common/check.hpp"
 #include "common/thread.hpp"
 #include "common/verify_hooks.hpp"
-#include "core/block_jacobi_kernel.hpp"
 #include "sparse/partition.hpp"
 #include "sparse/vector_ops.hpp"
 #include "telemetry/metrics.hpp"
@@ -59,7 +59,10 @@ ThreadAsyncResult thread_async_solve(const Csr& a, const Vector& b,
     throw std::invalid_argument("thread_async_solve: dimension mismatch");
   }
   const RowPartition part = RowPartition::uniform(a.rows(), opts.block_size);
-  const BlockJacobiKernel kernel(a, b, part, opts.local_iters);
+  const std::unique_ptr<backend::BlockSweepKernel> kernel_ptr =
+      backend::build_kernel(opts.backend, a, b, part, {opts.local_iters},
+                            opts.solve.telemetry.metrics);
+  const backend::BlockSweepKernel& kernel = *kernel_ptr;
   const index_t q = part.num_blocks();
   if (q == 0) {
     // Empty system: with no blocks there are no workers, and the

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/solver_types.hpp"
 
@@ -21,6 +22,10 @@ struct ThreadAsyncOptions {
   index_t local_iters = 1;
   /// 0 = use std::thread::hardware_concurrency (at least 1).
   index_t num_threads = 0;
+  /// Compute backend building the block-sweep kernel ("scalar",
+  /// "simd", "auto"; see docs/BACKENDS.md). Unavailable backends
+  /// degrade to "scalar".
+  std::string backend = "scalar";
 };
 
 /// Extended result with per-block execution counts.

@@ -105,6 +105,7 @@ SolveResult run_block_jacobi(const Csr& a, const Vector& b,
   bo.solve = o.solve;
   bo.block_size = o.block_size;
   bo.local_iters = o.local_iters;
+  bo.backend = o.backend;
   return block_jacobi_solve(a, b, bo);
 }
 
@@ -121,6 +122,7 @@ SolveResult run_async(const Csr& a, const Vector& b,
   ao.solve = o.solve;
   ao.block_size = o.block_size;
   ao.local_iters = o.local_iters;
+  ao.backend = o.backend;
   ao.seed = o.seed;
   return block_async_solve(a, b, ao).solve;
 }
@@ -132,6 +134,7 @@ SolveResult run_thread_async(const Csr& a, const Vector& b,
   to.block_size = o.block_size;
   to.local_iters = o.local_iters;
   to.num_threads = o.num_threads;
+  to.backend = o.backend;
   return thread_async_solve(a, b, to).solve;
 }
 

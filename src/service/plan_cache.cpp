@@ -3,16 +3,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "backend/registry.hpp"
 #include "service/fingerprint.hpp"
 
 namespace bars::service {
 
 std::size_t PlanCache::KeyHash::operator()(const Key& k) const noexcept {
   // Fold the config into the matrix fingerprint with the same FNV-1a
-  // primitive the fingerprint itself uses.
+  // primitive the fingerprint itself uses. The backend name is part of
+  // the key: a plan built for one backend must never hash-collide into
+  // serving another (equality would still reject it; keying it keeps
+  // the buckets honest).
   const index_t cfg[2] = {k.config.block_size, k.config.local_iters};
+  const std::uint64_t seed =
+      fnv1a64(cfg, sizeof(cfg), k.fingerprint ^ 0xcbf29ce484222325ULL);
   return static_cast<std::size_t>(
-      fnv1a64(cfg, sizeof(cfg), k.fingerprint ^ 0xcbf29ce484222325ULL));
+      fnv1a64(k.config.backend.data(), k.config.backend.size(), seed));
 }
 
 PlanCache::PlanCache(std::size_t capacity)
@@ -69,8 +75,11 @@ std::shared_ptr<SolvePlan> PlanCache::acquire(const Csr& a,
     plan->owner_table = plan->partition.owner_table();
     plan->seed_rhs.assign(static_cast<std::size_t>(a.rows()), 0.0);
     try {
-      plan->kernel = std::make_unique<BlockJacobiKernel>(
-          plan->matrix, plan->seed_rhs, plan->partition, config.local_iters);
+      // Unknown backend names throw std::invalid_argument here and
+      // become negative entries like any other construction failure.
+      plan->kernel =
+          backend::build_kernel(config.backend, plan->matrix, plan->seed_rhs,
+                                plan->partition, {config.local_iters});
     } catch (const std::exception& e) {
       plan->kernel = nullptr;
       plan->kernel_error = e.what();

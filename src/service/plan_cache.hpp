@@ -8,8 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backend/kernel_backend.hpp"
 #include "common/annotations.hpp"
-#include "core/block_jacobi_kernel.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/partition.hpp"
 
@@ -20,13 +20,14 @@
 /// global iteration that depends only on the matrix and the partition
 /// config — never on the right-hand side: the row partition, the dense
 /// owner table, the per-block halo lists / local-global splits /
-/// diagonal factors (all inside BlockJacobiKernel), and the kernel's
-/// construction-sized scratch arenas. BlockJacobiKernel::set_rhs
-/// repoints the RHS without rebuilding any of it, which is what makes
-/// one plan serve many requests and multi-RHS batches.
+/// diagonal factors (all inside the backend's BlockSweepKernel), and
+/// the kernel's construction-sized scratch arenas.
+/// BlockSweepKernel::set_rhs repoints the RHS without rebuilding any of
+/// it, which is what makes one plan serve many requests and multi-RHS
+/// batches.
 ///
 /// Keying and eviction (docs/SERVICE.md has the full contract):
-///   key   = (matrix fingerprint, block_size, local_iters)
+///   key   = (matrix fingerprint, block_size, local_iters, backend)
 ///   evict = least-recently-used once `capacity` distinct plans exist.
 /// Plans are handed out as shared_ptr, so eviction never destroys a
 /// plan a worker is still solving with.
@@ -39,6 +40,11 @@ namespace bars::service {
 struct PlanConfig {
   index_t block_size = 448;
   index_t local_iters = 5;
+  /// Compute backend the kernel is built with (docs/BACKENDS.md).
+  /// Part of the cache key: backends differ in memory layout and FP
+  /// rounding, so a plan built for one backend is never served to a
+  /// request asking for another.
+  std::string backend = "scalar";
   friend bool operator==(const PlanConfig&, const PlanConfig&) = default;
 };
 
@@ -61,7 +67,7 @@ struct SolvePlan {
   /// Null when kernel construction failed (e.g. zero diagonal): such
   /// matrices are still cached so repeat offenders fail fast, and the
   /// failure reason is kept in `kernel_error`.
-  std::unique_ptr<BlockJacobiKernel> kernel;
+  std::unique_ptr<backend::BlockSweepKernel> kernel;
   std::string kernel_error;
   /// Serializes kernel use across workers: set_rhs + the executor run
   /// must be one critical section per request/batch.

@@ -147,7 +147,8 @@ std::shared_ptr<Ticket> SolveService::submit(SolveRequest req) {
     // Fingerprint outside the service lock: O(nnz), but it buys the
     // cache lookup, the batching key, and the breaker key.
     rs->fingerprint = matrix_fingerprint(*req.matrix);
-    rs->config = PlanConfig{req.options.block_size, req.options.local_iters};
+    rs->config = PlanConfig{req.options.block_size, req.options.local_iters,
+                            req.options.backend};
   }
   rs->req = std::move(req);
   rs->ticket = ticket;
@@ -378,6 +379,7 @@ void SolveService::run_one(Attempt& p, const std::shared_ptr<SolvePlan>& plan,
       ao.solve = o.solve;
       ao.block_size = o.block_size;
       ao.local_iters = o.local_iters;
+      ao.backend = o.backend;
       ao.seed = o.seed;
       if (opts_.watchdog) {
         resilience::Policy policy;

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "backend/block_jacobi_kernel.hpp"
 #include "core/gauss_seidel.hpp"
 #include "core/jacobi.hpp"
 #include "matrices/generators.hpp"

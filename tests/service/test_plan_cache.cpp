@@ -61,6 +61,58 @@ TEST(PlanCache, DistinctConfigsGetDistinctPlans) {
   EXPECT_EQ(cache.stats().misses, 2u);
 }
 
+TEST(PlanCache, BackendIsPartOfTheKey) {
+  // Backends differ in memory layout and FP rounding, so a plan built
+  // for one backend must never be served to a request asking for
+  // another: same matrix + same partition config but different backend
+  // names are two misses and two resident plans.
+  PlanCache cache(4);
+  const Csr a = fv_like(6, 0.5);
+  bool hit = true;
+  const auto scalar =
+      cache.acquire(a, PlanConfig{.backend = "scalar"}, &hit);
+  EXPECT_FALSE(hit);
+  const auto simd = cache.acquire(a, PlanConfig{.backend = "simd"}, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(scalar.get(), simd.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().size, 2u);
+
+  // Both kernels built (an unavailable simd degrades to a scalar
+  // kernel, but the plan still lives under the requested key).
+  ASSERT_NE(scalar->kernel, nullptr);
+  ASSERT_NE(simd->kernel, nullptr);
+  EXPECT_EQ(scalar->kernel->backend_name(), "scalar");
+
+  // Each key hits its own entry on re-acquire and peeks distinctly.
+  const auto again = cache.acquire(a, PlanConfig{.backend = "simd"}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(again.get(), simd.get());
+  const std::uint64_t fp = matrix_fingerprint(a);
+  EXPECT_EQ(cache.peek(fp, PlanConfig{.backend = "scalar"}).get(),
+            scalar.get());
+  EXPECT_EQ(cache.peek(fp, PlanConfig{.backend = "simd"}).get(), simd.get());
+}
+
+TEST(PlanCache, UnknownBackendIsANegativeEntry) {
+  // A typo'd backend name fails the build (std::invalid_argument from
+  // the backend registry) and is cached as a negative entry, so repeat
+  // offenders fail fast like any other construction failure.
+  PlanCache cache(4);
+  const Csr a = fv_like(6, 0.5);
+  bool hit = true;
+  const auto p1 = cache.acquire(a, PlanConfig{.backend = "cuda"}, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(p1->kernel, nullptr);
+  EXPECT_NE(p1->kernel_error.find("cuda"), std::string::npos);
+  const auto p2 = cache.acquire(a, PlanConfig{.backend = "cuda"}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(p1.get(), p2.get());
+  // The well-formed config on the same matrix is unaffected.
+  const auto good = cache.acquire(a, PlanConfig{}, &hit);
+  EXPECT_NE(good->kernel, nullptr);
+}
+
 TEST(PlanCache, LruEvictionUnderChurn) {
   PlanCache cache(2);
   const Csr a = fv_like(4, 0.5);

@@ -41,6 +41,7 @@ class FixtureViolations(unittest.TestCase):
         "bad_fp_literal.cpp": ("fp-literal", 2),
         "bad_include.cpp": ("include-hygiene", 2),
         "bad_header_guard.hpp": ("header-guard", 1),
+        "bad_backend_seam.cpp": ("backend-seam", 3),
     }
 
     def test_each_rule_catches_its_fixture(self):
@@ -101,6 +102,19 @@ class FixtureViolations(unittest.TestCase):
             "expected exactly the two blind sleeps (the capped retry "
             f"carries its bound in view and is exempt):\n{out}")
 
+    def test_backend_seam_spares_backend_dir_and_type_mentions(self):
+        # The providers themselves construct kernels, so the same file
+        # treated as src/backend must pass; and merely *naming* the type
+        # (the describe() line) is never a finding.
+        code, out = run_lint("--strict", "--treat-as", "src/backend",
+                             fixture("bad_backend_seam.cpp"))
+        self.assertEqual(code, 0, f"src/backend must be exempt:\n{out}")
+        _, out = run_lint("--strict", "--treat-as", "src/core",
+                          fixture("bad_backend_seam.cpp"))
+        for line in out.splitlines():
+            if "[backend-seam]" in line:
+                self.assertNotIn(":29:", line)  # describe() stays clean
+
     def test_unbounded_retry_scoped_to_service_dir(self):
         _, out = run_lint("--treat-as", "src/core",
                           fixture("bad_unbounded_retry.cpp"))
@@ -156,7 +170,8 @@ class RuleSelection(unittest.TestCase):
         for rule in ("nondeterminism", "hot-noalloc", "raw-mutex",
                      "raw-assert", "fp-literal", "include-hygiene",
                      "header-guard", "unordered-iteration",
-                     "telemetry-record-hot", "unbounded-retry"):
+                     "telemetry-record-hot", "unbounded-retry",
+                     "backend-seam"):
             self.assertIn(rule, out)
 
 

@@ -39,7 +39,8 @@ from dataclasses import dataclass, field
 # core: identical inputs + identical seeds must give bit-identical
 # results, so wall clocks, OS entropy, and address-seeded hashing are
 # banned outright.
-DETERMINISTIC_CORE = ("src/core/", "src/gpusim/", "src/sparse/")
+DETERMINISTIC_CORE = ("src/backend/", "src/core/", "src/gpusim/",
+                      "src/sparse/")
 
 # Kernel code paths that must stay bitwise-reproducible across builds:
 # mixed float/double arithmetic (or f-suffixed literals) silently changes
@@ -339,9 +340,9 @@ class IncludeHygiene(Rule):
            "src/ — no \"../\" path escapes, no angle brackets for project "
            "headers, no quotes for system headers.")
     _inc = re.compile(r'^\s*#\s*include\s*(["<])([^">]+)([">])')
-    _project_dirs = ("common/", "core/", "gpusim/", "sparse/", "stats/",
-                     "eigen/", "matrices/", "mg/", "report/", "resilience/",
-                     "telemetry/", "service/", "verify/")
+    _project_dirs = ("backend/", "common/", "core/", "gpusim/", "sparse/",
+                     "stats/", "eigen/", "matrices/", "mg/", "report/",
+                     "resilience/", "telemetry/", "service/", "verify/")
 
     def check(self, sf: SourceFile) -> list[Finding]:
         out = []
@@ -534,6 +535,36 @@ class UnboundedRetry(Rule):
         return out
 
 
+class BackendSeam(TokenRule):
+    name = "backend-seam"
+    doc = ("Concrete block-sweep kernels (BlockJacobiKernel, "
+           "SimdBlockSweepKernel) are backend implementation detail: "
+           "production code must select a provider through the backend "
+           "registry (backend::build_kernel, docs/BACKENDS.md) so the "
+           "availability/config fallback to scalar and the per-backend "
+           "telemetry counters are never bypassed. Direct construction "
+           "is allowed only inside src/backend — the providers "
+           "themselves. Tests may construct kernels directly.")
+    tokens = [
+        (re.compile(r"\bnew\s+(backend\s*::\s*)?"
+                    r"(BlockJacobiKernel|SimdBlockSweepKernel)\b"),
+         "direct kernel `new`; build through backend::build_kernel"),
+        (re.compile(r"std::make_unique\s*<\s*(backend\s*::\s*)?"
+                    r"(BlockJacobiKernel|SimdBlockSweepKernel)\b"),
+         "direct kernel make_unique; build through backend::build_kernel"),
+        # Stack construction: the type name followed by a variable name
+        # and an initializer. `Type::member` accesses never match (no
+        # whitespace after the type name).
+        (re.compile(r"\b(BlockJacobiKernel|SimdBlockSweepKernel)\s+"
+                    r"[A-Za-z_]\w*\s*[({]"),
+         "direct kernel construction; build through backend::build_kernel"),
+    ]
+
+    def applies(self, sf: SourceFile) -> bool:
+        return sf.scope_path.startswith("src/") and not sf.in_dirs(
+            ("src/backend/",))
+
+
 ALL_RULES: list[Rule] = [
     Nondeterminism(),
     UnorderedIteration(),
@@ -546,6 +577,7 @@ ALL_RULES: list[Rule] = [
     HotNoAlloc(),
     TelemetryRecordHot(),
     UnboundedRetry(),
+    BackendSeam(),
 ]
 
 # ---------------------------------------------------------------------- main

@@ -19,6 +19,12 @@ Two checks over README.md and docs/*.md (stdlib-only, like bars_lint):
    to a repo path (docs/FOO.md, tools/bar.py, src/x/y.hpp) must point
    at an existing file.
 
+3. **No orphaned docs.** Every file under docs/ must be reachable from
+   the doc index: referenced by name from README.md or from
+   docs/ARCHITECTURE.md (the two entry points readers actually start
+   at). A guide nobody links to is a guide nobody finds — and one that
+   silently rots.
+
 Usage:
     tools/check_docs.py [--cxx COMPILER] [--root REPO_ROOT] [--keep]
 
@@ -45,6 +51,8 @@ PREAMBLE = """\
 #include <string>
 #include <vector>
 
+#include "backend/registry.hpp"
+#include "backend/simd_kernel.hpp"
 #include "core/block_async.hpp"
 #include "core/cg.hpp"
 #include "core/fcg.hpp"
@@ -203,6 +211,29 @@ def check_links(path: str, root: str) -> list[str]:
     return errors
 
 
+def check_orphans(root: str) -> list[str]:
+    """Every docs/*.md must be referenced from README.md or
+    docs/ARCHITECTURE.md (matched by file name, so both
+    `[x](FOO.md)`-style sibling links and `docs/FOO.md` prose count)."""
+    md_ref = re.compile(r"([A-Za-z0-9_-]+\.md)\b")
+    referenced: set[str] = set()
+    for src in (os.path.join(root, "README.md"),
+                os.path.join(root, "docs", "ARCHITECTURE.md")):
+        if not os.path.isfile(src):
+            continue
+        with open(src, encoding="utf-8") as f:
+            referenced.update(md_ref.findall(f.read()))
+    errors = []
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md") and name not in referenced:
+                errors.append(
+                    f"docs/{name}: orphaned — not referenced from README.md "
+                    "or docs/ARCHITECTURE.md; add it to the doc index")
+    return errors
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
@@ -221,7 +252,7 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
-    errors: list[str] = []
+    errors: list[str] = check_orphans(root)
     compiled = 0
     skipped = 0
     for path in files:
